@@ -1,0 +1,270 @@
+// Package repro's top-level benchmark harness: one benchmark per
+// experiment table (E1–E14, matching DESIGN.md) plus micro-benchmarks for
+// the substrates (graph generation, protocol rounds, baselines) and
+// ablations for the design choices called out in DESIGN.md (worker count,
+// tracking overhead, SAER vs RAES, array engine vs channel engine).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gen"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+)
+
+// benchGraph builds (and caches per benchmark invocation) a Δ-regular
+// graph of the given size.
+func benchGraph(b *testing.B, n, delta int) *bipartite.Graph {
+	b.Helper()
+	g, err := gen.Regular(n, delta, rng.New(uint64(n)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// --- Substrate micro-benchmarks -------------------------------------------
+
+func BenchmarkGraphGenRegular(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			delta := 100
+			for i := 0; i < b.N; i++ {
+				if _, err := gen.Regular(n, delta, rng.New(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGraphGenTrustSubset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.TrustSubset(1<<13, 1<<13, 100, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphGenProximity(b *testing.B) {
+	cfg := gen.ProximityConfig{
+		NumClients: 1 << 13,
+		NumServers: 1 << 13,
+		Radius:     gen.RadiusForExpectedDegree(1<<13, 100),
+		MinDegree:  2,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Proximity(cfg, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGraphGenAlmostRegular(b *testing.B) {
+	cfg := gen.DefaultAlmostRegularConfig(1 << 13)
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.AlmostRegular(cfg, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSAERRun measures full protocol executions per size.
+func BenchmarkSAERRun(b *testing.B) {
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16} {
+		delta := 100
+		g := benchGraph(b, n, delta)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, core.SAER, core.Params{D: 2, C: 4, Seed: uint64(i)}, core.Options{})
+				if err != nil || !res.Completed {
+					b.Fatalf("run failed: %v %v", err, res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWorkers quantifies the parallel-engine design choice:
+// identical runs with 1, 2, 4 and GOMAXPROCS workers (results are
+// identical by construction; only wall-clock changes).
+func BenchmarkAblationWorkers(b *testing.B) {
+	g := benchGraph(b, 1<<15, 128)
+	for _, workers := range []int{1, 2, 4, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, core.SAER,
+					core.Params{D: 2, C: 4, Seed: uint64(i), Workers: workers}, core.Options{})
+				if err != nil || !res.Completed {
+					b.Fatalf("run failed: %v %v", err, res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTracking quantifies the cost of the O(|E|)-per-round
+// neighborhood tracking used by the analysis experiments.
+func BenchmarkAblationTracking(b *testing.B) {
+	g := benchGraph(b, 1<<14, 128)
+	for _, track := range []bool{false, true} {
+		b.Run(fmt.Sprintf("track=%v", track), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, core.SAER, core.Params{D: 2, C: 4, Seed: uint64(i)},
+					core.Options{TrackNeighborhoods: track})
+				if err != nil || !res.Completed {
+					b.Fatalf("run failed: %v %v", err, res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationVariant contrasts SAER and RAES on the same instance
+// (Corollary 2's pairing).
+func BenchmarkAblationVariant(b *testing.B) {
+	g := benchGraph(b, 1<<14, 128)
+	for _, variant := range []core.Variant{core.SAER, core.RAES} {
+		b.Run(variant.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, variant, core.Params{D: 2, C: 2.5, Seed: uint64(i)}, core.Options{})
+				if err != nil || !res.Completed {
+					b.Fatalf("run failed: %v %v", err, res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEngine contrasts the array-based engine (core) with the
+// goroutine-per-entity message-passing engine (netsim) on the same
+// instance; both compute the identical random process, so the ratio is the
+// price of literal message passing.
+func BenchmarkAblationEngine(b *testing.B) {
+	g := benchGraph(b, 1<<12, 100)
+	params := core.Params{D: 2, C: 4, Seed: 3}
+	b.Run("core-array", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(g, core.SAER, params, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("netsim-channels", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := netsim.Run(g, core.SAER, params, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBaselines measures the comparison algorithms on the E7 graph.
+func BenchmarkBaselines(b *testing.B) {
+	g := benchGraph(b, 1<<13, 100)
+	d := 2
+	b.Run("one-choice", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.OneChoice(g, d, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("greedy-best-of-2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.GreedyBestOfK(g, d, 2, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("greedy-full-scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.GreedyFullScan(g, d, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-threshold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.ParallelThreshold(g, d, 4, 0, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- One benchmark per experiment table (E1–E14) --------------------------
+
+// benchExperiment runs the identified experiment in quick mode; the
+// regenerated table is what the corresponding EXPERIMENTS.md entry records.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiments.QuickSuiteConfig()
+	cfg.Trials = 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("experiment %s produced an empty table", id)
+		}
+	}
+}
+
+func BenchmarkE1CompletionScaling(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2WorkScaling(b *testing.B)       { benchExperiment(b, "E2") }
+func BenchmarkE3BurnedFraction(b *testing.B)    { benchExperiment(b, "E3") }
+func BenchmarkE4SaerVsRaes(b *testing.B)        { benchExperiment(b, "E4") }
+func BenchmarkE5MaxLoad(b *testing.B)           { benchExperiment(b, "E5") }
+func BenchmarkE6DegreeSweep(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkE7Baselines(b *testing.B)         { benchExperiment(b, "E7") }
+func BenchmarkE8AlmostRegular(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9ThresholdSweep(b *testing.B)    { benchExperiment(b, "E9") }
+func BenchmarkE10Dense(b *testing.B)            { benchExperiment(b, "E10") }
+func BenchmarkE11AliveDecay(b *testing.B)       { benchExperiment(b, "E11") }
+func BenchmarkE12Dynamic(b *testing.B)          { benchExperiment(b, "E12") }
+func BenchmarkE13Expander(b *testing.B)         { benchExperiment(b, "E13") }
+func BenchmarkE14Demand(b *testing.B)           { benchExperiment(b, "E14") }
+
+// TestExperimentSuiteQuick is the integration test that regenerates every
+// experiment table end-to-end (quick sizes) and fails if any experiment
+// errors or produces an empty table. It is the `go test` counterpart of
+// the saer-experiments CLI.
+func TestExperimentSuiteQuick(t *testing.T) {
+	cfg := experiments.QuickSuiteConfig()
+	cfg.Trials = 2
+	for _, exp := range experiments.All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			table, err := exp.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s failed: %v", exp.ID, err)
+			}
+			if len(table.Rows) == 0 {
+				t.Fatalf("%s produced an empty table", exp.ID)
+			}
+			t.Logf("\n%s", table)
+		})
+	}
+}

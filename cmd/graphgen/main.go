@@ -1,0 +1,101 @@
+// Command graphgen generates, inspects and exports the client–server
+// bipartite topologies used by the simulator.
+//
+// Examples:
+//
+//	graphgen -graph regular -n 4096 -delta 64 -out graph.edges
+//	graphgen -graph almost -n 8192 -stats
+//	graphgen -in graph.edges -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bipartite"
+	"repro/internal/cli"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		graphKind = flag.String("graph", "regular", "graph family: regular, simple-regular, trust, erdos, almost, proximity, complete")
+		n         = flag.Int("n", 4096, "number of clients and servers")
+		delta     = flag.Int("delta", 0, "client degree (0 = ceil(log2(n)^2))")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		out       = flag.String("out", "", "write the graph as an edge list to this file")
+		outJSON   = flag.String("out-json", "", "write the graph as JSON to this file")
+		in        = flag.String("in", "", "read a graph edge list instead of generating one")
+		showStats = flag.Bool("stats", true, "print degree statistics and the paper's prescribed c")
+		d         = flag.Int("d", 2, "request number used when reporting the prescribed c")
+	)
+	flag.Parse()
+
+	if err := run(*graphKind, *n, *delta, *seed, *out, *outJSON, *in, *showStats, *d); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphKind string, n, delta int, seed uint64, out, outJSON, in string, showStats bool, d int) error {
+	var g *bipartite.Graph
+	var err error
+	if in != "" {
+		f, ferr := os.Open(in)
+		if ferr != nil {
+			return ferr
+		}
+		g, err = bipartite.ReadEdgeList(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		g, err = cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, Seed: seed}.Build()
+		if err != nil {
+			return err
+		}
+	}
+
+	if showStats {
+		st := g.Stats()
+		fmt.Println(g)
+		fmt.Printf("  client degrees: min=%d max=%d mean=%.1f\n", st.MinClientDegree, st.MaxClientDegree, st.MeanClientDeg)
+		fmt.Printf("  server degrees: min=%d max=%d mean=%.1f\n", st.MinServerDegree, st.MaxServerDegree, st.MeanServerDeg)
+		fmt.Printf("  eta=%.3f rho=%.3f\n", st.Eta, st.RegularityRatio)
+		fmt.Printf("  paper-prescribed c for d=%d: %.1f (capacity %d per server)\n",
+			d, core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d),
+			int(core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d)*float64(d)))
+		fmt.Printf("  completion bound 3·log2(n): %d rounds\n", core.CompletionBound(g.NumClients()))
+		if err := g.Validate(); err != nil {
+			fmt.Printf("  WARNING: %v\n", err)
+		}
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := g.WriteEdgeList(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote edge list to %s\n", out)
+	}
+	if outJSON != "" {
+		data, err := g.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outJSON, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote JSON to %s\n", outJSON)
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+// Command saer-experiments regenerates the reproduction's experiment
+// tables (E1–E12, see DESIGN.md). By default it runs every experiment at
+// full size and prints the tables to stdout; individual experiments, quick
+// mode and CSV export are selectable with flags.
+//
+// Examples:
+//
+//	saer-experiments                 # the whole suite, full size
+//	saer-experiments -quick          # reduced sizes, finishes in seconds
+//	saer-experiments -only E1,E3     # a subset
+//	saer-experiments -csv-dir out/   # additionally write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "use reduced problem sizes and trial counts")
+		trials   = flag.Int("trials", 0, "trials per configuration point (0 = default)")
+		seed     = flag.Uint64("seed", 0, "suite seed (0 = built-in default)")
+		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E4); empty = all")
+		csvDir   = flag.String("csv-dir", "", "directory to write one CSV file per experiment table")
+		listOnly = flag.Bool("list", false, "list the available experiments and exit")
+	)
+	flag.Parse()
+
+	if *listOnly {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-28s %s\n", e.ID, e.Title, e.Claim)
+		}
+		return
+	}
+
+	cfg := experiments.DefaultSuiteConfig()
+	if *quick {
+		cfg = experiments.QuickSuiteConfig()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	selected, err := selectExperiments(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saer-experiments:", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "saer-experiments:", err)
+			os.Exit(1)
+		}
+	}
+
+	failed := 0
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "saer-experiments: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if err := table.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "saer-experiments: rendering %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("  (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
+			if err := writeCSV(path, table); err != nil {
+				fmt.Fprintf(os.Stderr, "saer-experiments: writing %s: %v\n", path, err)
+				failed++
+			}
+		}
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func selectExperiments(only string) ([]experiments.Experiment, error) {
+	if strings.TrimSpace(only) == "" {
+		return experiments.All(), nil
+	}
+	var out []experiments.Experiment
+	for _, id := range strings.Split(only, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		e, err := experiments.ByID(strings.ToUpper(id))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiments selected from %q", only)
+	}
+	return out, nil
+}
+
+func writeCSV(path string, table *experiments.Table) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := table.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

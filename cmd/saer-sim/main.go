@@ -1,0 +1,114 @@
+// Command saer-sim runs a single SAER or RAES execution on a generated
+// client–server topology and prints the measured outcome next to the
+// paper's bounds.
+//
+// Examples:
+//
+//	saer-sim -n 8192 -d 2 -c 4
+//	saer-sim -graph trust -n 4096 -delta 64 -protocol raes -track
+//	saer-sim -graph proximity -n 4096 -expected-degree 48 -rounds-csv rounds.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		graphKind   = flag.String("graph", "regular", "graph family: regular, simple-regular, trust, erdos, almost, proximity, complete")
+		n           = flag.Int("n", 4096, "number of clients and servers")
+		delta       = flag.Int("delta", 0, "client degree (0 = ceil(log2(n)^2))")
+		expectedDeg = flag.Int("expected-degree", 0, "proximity graphs: expected degree used to derive the radius (0 = delta)")
+		d           = flag.Int("d", 2, "requests per client")
+		c           = flag.Float64("c", 4, "threshold constant c (server capacity = floor(c*d)); 0 = the paper's prescribed value")
+		protocol    = flag.String("protocol", "saer", "protocol: saer or raes")
+		seed        = flag.Uint64("seed", 1, "random seed (graph seed = seed, protocol seed = seed+1)")
+		workers     = flag.Int("workers", 0, "worker goroutines per phase (0 = GOMAXPROCS)")
+		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
+		trackFlag   = flag.Bool("track", false, "track per-round S_t / r_t / K_t series (costs O(edges) per round)")
+		roundsCSV   = flag.String("rounds-csv", "", "write the per-round series to this CSV file (implies -track)")
+		loadsCSV    = flag.String("loads-csv", "", "write the final per-server loads to this CSV file")
+		resultJSON  = flag.String("result-json", "", "write the full result as JSON to this file")
+	)
+	flag.Parse()
+
+	if err := run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *seed, *workers, *maxRounds,
+		*trackFlag, *roundsCSV, *loadsCSV, *resultJSON); err != nil {
+		fmt.Fprintln(os.Stderr, "saer-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol string, seed uint64,
+	workers, maxRounds int, track bool, roundsCSV, loadsCSV, resultJSON string) error {
+
+	g, err := cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, ExpectedDegree: expectedDeg, Seed: seed}.Build()
+	if err != nil {
+		return err
+	}
+	st := g.Stats()
+	fmt.Printf("graph: %s\n", g)
+	fmt.Printf("  eta=%.3f rho=%.3f (paper's prescribed c for this graph: %.1f)\n",
+		st.Eta, st.RegularityRatio, core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d))
+
+	variant, err := cli.ParseProtocol(protocol)
+	if err != nil {
+		return err
+	}
+	if c <= 0 {
+		c = core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d)
+	}
+
+	opts := core.Options{
+		TrackRounds:        track || roundsCSV != "",
+		TrackNeighborhoods: track || roundsCSV != "",
+		TrackLoads:         loadsCSV != "" || resultJSON != "",
+	}
+	params := core.Params{D: d, C: c, Seed: seed + 1, Workers: workers, MaxRounds: maxRounds}
+	res, err := core.Run(g, variant, params, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%s\n", res)
+	fmt.Printf("\ntheorem check:\n%s\n", analysis.CheckTheorem1(res))
+
+	if roundsCSV != "" {
+		if err := writeFile(roundsCSV, func(f *os.File) error { return trace.WriteRoundsCSV(f, res) }); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote per-round series to %s\n", roundsCSV)
+	}
+	if loadsCSV != "" {
+		if err := writeFile(loadsCSV, func(f *os.File) error { return trace.WriteLoadsCSV(f, res.Loads) }); err != nil {
+			return err
+		}
+		fmt.Printf("wrote per-server loads to %s\n", loadsCSV)
+	}
+	if resultJSON != "" {
+		if err := writeFile(resultJSON, func(f *os.File) error { return trace.WriteResultJSON(f, res) }); err != nil {
+			return err
+		}
+		fmt.Printf("wrote result JSON to %s\n", resultJSON)
+	}
+	return nil
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

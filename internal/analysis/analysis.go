@@ -1,0 +1,228 @@
+// Package analysis implements the quantitative side of the paper's proof:
+// the recurrences that drive the two-stage analysis of Section 3
+// (γ_t, δ_t, the stage-I horizon T) and report helpers that compare a
+// measured protocol execution against the statements of Theorem 1,
+// Lemma 4 and the work bound of Section 3.2.
+//
+// These quantities are not needed to run the protocol — they exist so the
+// experiments can plot "measured vs analysis" series and so the tests can
+// verify the recurrences' algebraic properties (Lemma 12).
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// GammaSequence returns the first rounds+1 terms γ_0 … γ_rounds of the
+// recurrence (11) of the paper for the regular case:
+//
+//	γ_0 = 1,   γ_t = (2/c)·Σ_{i=1..t} Π_{j=0..i-1} γ_j.
+//
+// γ_t upper-bounds K_t (the normalized cumulative requests into any
+// client's neighborhood) during stage I of the analysis.
+func GammaSequence(c float64, rounds int) []float64 {
+	return gammaSequenceScaled(2/c, rounds)
+}
+
+// GammaSequenceAlmostRegular returns the γ'_t sequence of recurrence (32),
+// which replaces the 2/c factor with (2/c)·ρ to account for the degree
+// imbalance ρ = ∆max(S)/∆min(C).
+func GammaSequenceAlmostRegular(c, rho float64, rounds int) []float64 {
+	return gammaSequenceScaled(2*rho/c, rounds)
+}
+
+func gammaSequenceScaled(factor float64, rounds int) []float64 {
+	if rounds < 0 {
+		rounds = 0
+	}
+	gamma := make([]float64, rounds+1)
+	gamma[0] = 1
+	// prefixProducts[i] = Π_{j=0..i-1} γ_j, maintained incrementally.
+	prod := 1.0 // Π_{j=0..0-1} = empty product for i=1 uses γ_0
+	sum := 0.0
+	for t := 1; t <= rounds; t++ {
+		// At step t the new summand is Π_{j=0..t-1} γ_j.
+		prod *= gamma[t-1]
+		sum += prod
+		gamma[t] = factor * sum
+	}
+	return gamma
+}
+
+// GammaProducts returns the prefix products Π_{j=0..t-1} γ_j for
+// t = 0..rounds (the value at index 0 is the empty product 1). These
+// products are the per-round decay factors of E[r_t(N(v))] in Lemma 11.
+func GammaProducts(gamma []float64) []float64 {
+	out := make([]float64, len(gamma))
+	prod := 1.0
+	for t := range gamma {
+		out[t] = prod
+		prod *= gamma[t]
+	}
+	return out
+}
+
+// AlphaFor returns the α used by Lemma 12: the largest α ≥ 2 with
+// 2/c ≤ 1/α², i.e. α = √(c/2) (capped below at 2). The lemma then gives
+// γ_t ≤ 1/α and Π_{j<t} γ_j ≤ α^{-t}.
+func AlphaFor(c float64) float64 {
+	if c <= 0 {
+		return 2
+	}
+	a := math.Sqrt(c / 2)
+	if a < 2 {
+		return 2
+	}
+	return a
+}
+
+// StageOneHorizon returns the paper's stage-I horizon T: the smallest t
+// such that d·∆·Π_{j<t} γ_j ≤ 12·log₂ n (equation (14)). After T the
+// analysis switches to the δ_t sequence. The second return value is the
+// bound T ≤ ½·log(d∆/(12 log₂ n)) stated in Lemma 13.
+func StageOneHorizon(c float64, d, delta, n int) (horizon int, bound float64) {
+	if n < 2 || d <= 0 || delta <= 0 {
+		return 0, 0
+	}
+	target := 12 * math.Log2(float64(n))
+	limit := 4 * core.CompletionBound(n) // generous cap; the product decays geometrically
+	gamma := GammaSequence(c, limit)
+	products := GammaProducts(gamma)
+	dDelta := float64(d) * float64(delta)
+	horizon = limit
+	for t := 0; t <= limit; t++ {
+		if dDelta*products[t] <= target {
+			horizon = t
+			break
+		}
+	}
+	ratio := dDelta / target
+	if ratio < 1 {
+		bound = 0
+	} else {
+		bound = 0.5 * math.Log(ratio)
+	}
+	return horizon, bound
+}
+
+// DeltaSequence returns δ_T..δ_rounds from recurrence (17):
+//
+//	δ_t = 1/4 + 24·t·log₂ n / (c·d·∆)
+//
+// which bounds K_t during stage II. The slice is indexed from 0 for t = T.
+// Base-2 logarithms are used consistently with core.CompletionBound and
+// the η reported by bipartite.DegreeStats.
+func DeltaSequence(c float64, d, delta, n, fromRound, toRound int) []float64 {
+	if toRound < fromRound {
+		return nil
+	}
+	out := make([]float64, toRound-fromRound+1)
+	logn := math.Log2(float64(n))
+	den := c * float64(d) * float64(delta)
+	for i := range out {
+		t := fromRound + i
+		out[i] = 0.25 + 24*float64(t)*logn/den
+	}
+	return out
+}
+
+// BurnedFractionBound is the bound of Lemma 4 / Lemma 19 on the maximum
+// fraction of burned servers in any client's neighborhood.
+const BurnedFractionBound = 0.5
+
+// WorkDecayFactor is the per-round decay factor of the number of alive
+// balls established in Section 3.2 (equation (20)): while at least
+// n·d/log n balls are alive, each round removes at least a 1/5 fraction,
+// w.h.p.
+const WorkDecayFactor = 4.0 / 5.0
+
+// TheoremReport compares one measured execution against the paper's
+// statements. Fields are grouped per claim.
+type TheoremReport struct {
+	// Completion (Theorem 1).
+	Completed             bool
+	Rounds                int
+	CompletionBoundRounds int // 3·log₂ n
+	WithinCompletionBound bool
+
+	// Maximum load (protocol invariant).
+	MaxLoad         int
+	LoadBound       int // ⌊c·d⌋
+	WithinLoadBound bool
+
+	// Burned servers (Lemma 4): available only if the run tracked
+	// neighborhoods.
+	MaxBurnedFraction       float64
+	BurnedFractionTracked   bool
+	BurnedFractionBelowHalf bool
+
+	// Work (Theorem 1): messages per ball should be a small constant.
+	WorkPerBall float64
+}
+
+// CheckTheorem1 builds a TheoremReport from a protocol result.
+func CheckTheorem1(res *core.Result) TheoremReport {
+	rep := TheoremReport{
+		Completed:             res.Completed,
+		Rounds:                res.Rounds,
+		CompletionBoundRounds: core.CompletionBound(res.NumClients),
+		MaxLoad:               res.MaxLoad,
+		LoadBound:             res.LoadBound(),
+		WorkPerBall:           res.WorkPerBall(),
+	}
+	rep.WithinCompletionBound = res.Completed && res.Rounds <= rep.CompletionBoundRounds
+	rep.WithinLoadBound = res.MaxLoad <= rep.LoadBound
+	if len(res.PerRound) > 0 {
+		tracked := false
+		maxFrac := 0.0
+		for _, st := range res.PerRound {
+			if st.MaxNeighborhoodBurnedFrac > 0 || st.MaxKt > 0 {
+				tracked = true
+			}
+			if st.MaxNeighborhoodBurnedFrac > maxFrac {
+				maxFrac = st.MaxNeighborhoodBurnedFrac
+			}
+		}
+		rep.BurnedFractionTracked = tracked
+		rep.MaxBurnedFraction = maxFrac
+		rep.BurnedFractionBelowHalf = maxFrac <= BurnedFractionBound
+	}
+	return rep
+}
+
+// String renders the report as a short multi-line summary.
+func (r TheoremReport) String() string {
+	burned := "not tracked"
+	if r.BurnedFractionTracked {
+		burned = fmt.Sprintf("max S_t = %.3f (bound %.1f, ok=%v)", r.MaxBurnedFraction, BurnedFractionBound, r.BurnedFractionBelowHalf)
+	}
+	return fmt.Sprintf(
+		"completed=%v rounds=%d (bound %d, within=%v)\nmax load=%d (bound %d, within=%v)\nburned fraction: %s\nwork per ball=%.2f messages",
+		r.Completed, r.Rounds, r.CompletionBoundRounds, r.WithinCompletionBound,
+		r.MaxLoad, r.LoadBound, r.WithinLoadBound, burned, r.WorkPerBall)
+}
+
+// AliveDecayRespectsBound reports whether the measured alive-ball series
+// decays at least as fast as the 4/5-per-round bound of Section 3.2 while
+// more than n·d/log n balls remain. It returns the first offending round
+// (1-based) or 0 when the bound holds.
+func AliveDecayRespectsBound(perRound []core.RoundStats, n, d int) int {
+	if len(perRound) == 0 || n < 3 {
+		return 0
+	}
+	threshold := float64(n*d) / math.Log2(float64(n))
+	for i := 1; i < len(perRound); i++ {
+		prev := float64(perRound[i-1].AliveBalls)
+		cur := float64(perRound[i].AliveBalls)
+		if prev <= threshold {
+			break
+		}
+		if cur > WorkDecayFactor*prev+1e-9 {
+			return perRound[i].Round
+		}
+	}
+	return 0
+}

@@ -1,0 +1,317 @@
+// Package baseline implements the prior-work algorithms the paper
+// positions SAER against, so the experiments can compare maximum load,
+// completion time and message work on identical inputs:
+//
+//   - OneChoice — every ball goes to a single uniformly random admissible
+//     server (the classic "one choice" process; Θ(log n/log log n) max
+//     load on the complete graph).
+//   - GreedyBestOfK — the sequential best-of-k greedy of Azar et al.,
+//     restricted to the client's neighborhood as analysed by Kenthapadi
+//     and Panigrahy: each ball probes k random admissible servers and
+//     joins the least loaded.
+//   - GreedyFullScan — Godfrey's sequential greedy on random clusters:
+//     each ball joins a uniformly random least-loaded server of the whole
+//     neighborhood (work Θ(n·∆max(C))).
+//   - ParallelOneShotKChoice — a one-round parallel greedy: every ball
+//     simultaneously probes k random admissible servers and commits to the
+//     least loaded according to the pre-round loads; collisions are
+//     accepted. This is the natural parallelization of greedy whose
+//     weaknesses motivated the threshold protocols of Micah et al.
+//   - ParallelThreshold — the classic multi-round threshold protocol:
+//     every alive ball picks one random admissible server per round and a
+//     server accepts at most `threshold` new balls per round, rejecting
+//     the excess (re-thrown next round). Unlike SAER/RAES it requires the
+//     server to select which requests to keep and has no global load cap.
+//
+// All baselines share the Result type so the experiment tables can list
+// them side by side with the core protocols.
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bipartite"
+	"repro/internal/rng"
+)
+
+// Result is the outcome of a baseline execution.
+type Result struct {
+	// Algorithm is a short identifier such as "one-choice" or
+	// "greedy-best-of-2".
+	Algorithm string
+	// Sequential is true for ball-at-a-time algorithms; Steps then counts
+	// ball placements. For parallel algorithms Steps counts rounds.
+	Sequential bool
+	Steps      int
+	// Work is the number of messages exchanged, counting one request and
+	// one reply per probe/submission, matching the accounting used for
+	// SAER/RAES.
+	Work int64
+	// Completed is false only for parallel baselines stopped by the round
+	// cap.
+	Completed bool
+	// UnassignedBalls counts balls never placed (only for incomplete runs).
+	UnassignedBalls int
+	// MaxLoad, MinLoad and MeanLoad summarize the final server loads.
+	MaxLoad  int
+	MinLoad  int
+	MeanLoad float64
+	// Loads is the full per-server load vector.
+	Loads []int
+}
+
+// String summarizes the result in one line.
+func (r *Result) String() string {
+	kind := "rounds"
+	if r.Sequential {
+		kind = "steps"
+	}
+	return fmt.Sprintf("%s: maxLoad=%d %s=%d work=%d completed=%v",
+		r.Algorithm, r.MaxLoad, kind, r.Steps, r.Work, r.Completed)
+}
+
+func finalize(r *Result, loads []int32) {
+	r.Loads = make([]int, len(loads))
+	r.MinLoad = math.MaxInt
+	var sum int64
+	for i, l := range loads {
+		v := int(l)
+		r.Loads[i] = v
+		if v > r.MaxLoad {
+			r.MaxLoad = v
+		}
+		if v < r.MinLoad {
+			r.MinLoad = v
+		}
+		sum += int64(v)
+	}
+	if len(loads) == 0 {
+		r.MinLoad = 0
+	}
+	r.MeanLoad = float64(sum) / float64(len(loads))
+}
+
+func validateInput(g *bipartite.Graph, d int) error {
+	if d <= 0 {
+		return fmt.Errorf("baseline: request number d must be positive, got %d", d)
+	}
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	return nil
+}
+
+// OneChoice assigns every ball to a single uniformly random admissible
+// server, one ball at a time.
+func OneChoice(g *bipartite.Graph, d int, seed uint64) (*Result, error) {
+	if err := validateInput(g, d); err != nil {
+		return nil, err
+	}
+	src := rng.New(seed)
+	loads := make([]int32, g.NumServers())
+	res := &Result{Algorithm: "one-choice", Sequential: true, Completed: true}
+	for v := 0; v < g.NumClients(); v++ {
+		nbrs := g.ClientNeighbors(v)
+		for i := 0; i < d; i++ {
+			u := nbrs[src.Intn(len(nbrs))]
+			loads[u]++
+			res.Steps++
+			res.Work += 2
+		}
+	}
+	finalize(res, loads)
+	return res, nil
+}
+
+// GreedyBestOfK is the sequential best-of-k greedy on graphs: every ball
+// probes k admissible servers chosen independently and uniformly at random
+// (with replacement, as in the paper's protocol model) and joins the one
+// with the smallest current load, ties broken toward the first probed.
+func GreedyBestOfK(g *bipartite.Graph, d, k int, seed uint64) (*Result, error) {
+	if err := validateInput(g, d); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("baseline: GreedyBestOfK needs k > 0, got %d", k)
+	}
+	src := rng.New(seed)
+	loads := make([]int32, g.NumServers())
+	res := &Result{Algorithm: fmt.Sprintf("greedy-best-of-%d", k), Sequential: true, Completed: true}
+	for v := 0; v < g.NumClients(); v++ {
+		nbrs := g.ClientNeighbors(v)
+		for i := 0; i < d; i++ {
+			best := nbrs[src.Intn(len(nbrs))]
+			for probe := 1; probe < k; probe++ {
+				cand := nbrs[src.Intn(len(nbrs))]
+				if loads[cand] < loads[best] {
+					best = cand
+				}
+			}
+			loads[best]++
+			res.Steps++
+			// k probes with load replies, plus the final placement and ack.
+			res.Work += int64(2*k) + 2
+		}
+	}
+	finalize(res, loads)
+	return res, nil
+}
+
+// GreedyFullScan is Godfrey's sequential greedy: every ball is placed on a
+// uniformly random server among the least-loaded servers of the client's
+// whole neighborhood. The work charged is proportional to the neighborhood
+// size, reflecting the load queries the client must issue.
+func GreedyFullScan(g *bipartite.Graph, d int, seed uint64) (*Result, error) {
+	if err := validateInput(g, d); err != nil {
+		return nil, err
+	}
+	src := rng.New(seed)
+	loads := make([]int32, g.NumServers())
+	res := &Result{Algorithm: "greedy-full-scan", Sequential: true, Completed: true}
+	var ties []int32
+	for v := 0; v < g.NumClients(); v++ {
+		nbrs := g.ClientNeighbors(v)
+		for i := 0; i < d; i++ {
+			minLoad := int32(math.MaxInt32)
+			ties = ties[:0]
+			for _, u := range nbrs {
+				switch {
+				case loads[u] < minLoad:
+					minLoad = loads[u]
+					ties = append(ties[:0], u)
+				case loads[u] == minLoad:
+					ties = append(ties, u)
+				}
+			}
+			u := ties[src.Intn(len(ties))]
+			loads[u]++
+			res.Steps++
+			res.Work += int64(2*len(nbrs)) + 2
+		}
+	}
+	finalize(res, loads)
+	return res, nil
+}
+
+// ParallelOneShotKChoice is the one-round parallel greedy: every ball
+// simultaneously probes k random admissible servers, learns their loads as
+// of the start of the round (all zero initially, or the committed loads of
+// earlier waves when d > 1: the d balls of a client are sent in d
+// simultaneous waves, one per ball index), and commits to the least
+// loaded. Since all commitments happen in parallel, collisions are not
+// prevented, which is exactly the weakness that motivates threshold-based
+// protocols.
+func ParallelOneShotKChoice(g *bipartite.Graph, d, k int, seed uint64) (*Result, error) {
+	if err := validateInput(g, d); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("baseline: ParallelOneShotKChoice needs k > 0, got %d", k)
+	}
+	n := g.NumClients()
+	streams := rng.NewStreams(seed, n)
+	loads := make([]int32, g.NumServers())
+	committed := make([]int32, g.NumServers())
+	res := &Result{Algorithm: fmt.Sprintf("parallel-1shot-%d-choice", k), Sequential: false, Completed: true}
+	for wave := 0; wave < d; wave++ {
+		res.Steps++
+		// Snapshot the loads visible to this wave.
+		copy(loads, committed)
+		for v := 0; v < n; v++ {
+			nbrs := g.ClientNeighbors(v)
+			src := &streams[v]
+			best := nbrs[src.Intn(len(nbrs))]
+			for probe := 1; probe < k; probe++ {
+				cand := nbrs[src.Intn(len(nbrs))]
+				if loads[cand] < loads[best] {
+					best = cand
+				}
+			}
+			committed[best]++
+			res.Work += int64(2*k) + 2
+		}
+	}
+	finalize(res, committed)
+	return res, nil
+}
+
+// ParallelThreshold is the classic threshold protocol: in each round every
+// alive ball picks one admissible server uniformly at random; each server
+// accepts at most threshold of the balls it received this round (keeping
+// the lowest-numbered requests, an arbitrary fair rule) and rejects the
+// rest, which retry in the next round. maxRounds caps the execution
+// (0 selects 16·⌈log₂ n⌉+64).
+func ParallelThreshold(g *bipartite.Graph, d, threshold, maxRounds int, seed uint64) (*Result, error) {
+	if err := validateInput(g, d); err != nil {
+		return nil, err
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("baseline: ParallelThreshold needs threshold > 0, got %d", threshold)
+	}
+	n := g.NumClients()
+	m := g.NumServers()
+	if maxRounds <= 0 {
+		maxRounds = 64
+		if n >= 2 {
+			maxRounds += 16 * int(math.Ceil(math.Log2(float64(n))))
+		}
+	}
+	streams := rng.NewStreams(seed, n)
+	loads := make([]int32, m)
+	alive := make([]int32, n)
+	for v := range alive {
+		alive[v] = int32(d)
+	}
+	// choices[v*d+i] holds the destination of the i-th alive ball of v.
+	choices := make([]int32, n*d)
+	received := make([]int32, m)
+	acceptedCount := make([]int32, m)
+	res := &Result{Algorithm: fmt.Sprintf("parallel-threshold-%d", threshold), Sequential: false}
+
+	totalAlive := int64(n) * int64(d)
+	for round := 0; round < maxRounds && totalAlive > 0; round++ {
+		res.Steps++
+		for u := range received {
+			received[u] = 0
+			acceptedCount[u] = 0
+		}
+		for v := 0; v < n; v++ {
+			a := alive[v]
+			if a == 0 {
+				continue
+			}
+			nbrs := g.ClientNeighbors(v)
+			src := &streams[v]
+			for i := int32(0); i < a; i++ {
+				u := nbrs[src.Intn(len(nbrs))]
+				choices[v*d+int(i)] = u
+				received[u]++
+			}
+			res.Work += 2 * int64(a)
+		}
+		// Servers accept up to threshold balls this round, in client order
+		// (the "first threshold requests" fair rule).
+		for v := 0; v < n; v++ {
+			a := alive[v]
+			if a == 0 {
+				continue
+			}
+			var kept int32
+			for i := int32(0); i < a; i++ {
+				u := choices[v*d+int(i)]
+				if int(acceptedCount[u]) < threshold {
+					acceptedCount[u]++
+					loads[u]++
+					kept++
+				}
+			}
+			alive[v] = a - kept
+			totalAlive -= int64(kept)
+		}
+	}
+	res.Completed = totalAlive == 0
+	res.UnassignedBalls = int(totalAlive)
+	finalize(res, loads)
+	return res, nil
+}

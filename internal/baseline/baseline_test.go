@@ -1,0 +1,281 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bipartite"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func testGraph(t testing.TB, n, delta int, seed uint64) *bipartite.Graph {
+	t.Helper()
+	g, err := gen.Regular(n, delta, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// checkBallConservation verifies that the total load equals n·d.
+func checkBallConservation(t *testing.T, r *Result, n, d int) {
+	t.Helper()
+	var total int
+	for _, l := range r.Loads {
+		total += l
+	}
+	if r.Completed && total != n*d {
+		t.Errorf("%s: total load %d, want %d", r.Algorithm, total, n*d)
+	}
+	if math.Abs(r.MeanLoad*float64(len(r.Loads))-float64(total)) > 1e-6 {
+		t.Errorf("%s: mean load inconsistent with totals", r.Algorithm)
+	}
+}
+
+func TestOneChoice(t *testing.T) {
+	g := testGraph(t, 1024, 32, 1)
+	r, err := OneChoice(g, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sequential || !r.Completed {
+		t.Error("one-choice should be a completed sequential run")
+	}
+	if r.Steps != 1024*2 {
+		t.Errorf("steps %d, want %d", r.Steps, 1024*2)
+	}
+	if r.Work != int64(1024*2*2) {
+		t.Errorf("work %d, want %d", r.Work, 1024*2*2)
+	}
+	checkBallConservation(t, r, 1024, 2)
+	if r.MaxLoad < 2 {
+		t.Errorf("one-choice max load %d suspiciously low", r.MaxLoad)
+	}
+}
+
+func TestGreedyBestOfKBeatsOneChoice(t *testing.T) {
+	g := testGraph(t, 4096, 64, 2)
+	one, err := OneChoice(g, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := GreedyBestOfK(g, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := GreedyBestOfK(g, 2, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBallConservation(t, two, 4096, 2)
+	checkBallConservation(t, four, 4096, 2)
+	// The power of two choices: the best-of-2 max load must not exceed the
+	// one-choice max load, and best-of-4 must not exceed best-of-2 by more
+	// than 1 (they are typically equal or decreasing).
+	if two.MaxLoad > one.MaxLoad {
+		t.Errorf("best-of-2 max load %d worse than one-choice %d", two.MaxLoad, one.MaxLoad)
+	}
+	if four.MaxLoad > two.MaxLoad+1 {
+		t.Errorf("best-of-4 max load %d much worse than best-of-2 %d", four.MaxLoad, two.MaxLoad)
+	}
+	// Work accounting: 2k+2 messages per ball.
+	if two.Work != int64(4096*2*(2*2+2)) {
+		t.Errorf("best-of-2 work %d unexpected", two.Work)
+	}
+}
+
+func TestGreedyBestOfKValidation(t *testing.T) {
+	g := testGraph(t, 64, 8, 1)
+	if _, err := GreedyBestOfK(g, 2, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := GreedyBestOfK(g, 0, 2, 1); err == nil {
+		t.Error("d=0 accepted")
+	}
+}
+
+func TestGreedyFullScanOptimalOnRegular(t *testing.T) {
+	// With full knowledge of the neighborhood loads and a regular graph,
+	// greedy full scan should achieve an essentially perfect assignment:
+	// max load d or d+1.
+	g := testGraph(t, 1024, 32, 5)
+	r, err := GreedyFullScan(g, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkBallConservation(t, r, 1024, 2)
+	if r.MaxLoad > 3 {
+		t.Errorf("full-scan greedy max load %d, expected near-perfect (<= 3)", r.MaxLoad)
+	}
+	// Work should be about 2·∆ per ball.
+	expectedWork := int64(1024 * 2 * (2*32 + 2))
+	if r.Work != expectedWork {
+		t.Errorf("work %d, want %d", r.Work, expectedWork)
+	}
+}
+
+func TestParallelOneShotKChoice(t *testing.T) {
+	g := testGraph(t, 2048, 32, 6)
+	r, err := ParallelOneShotKChoice(g, 2, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sequential {
+		t.Error("one-shot k-choice should be parallel")
+	}
+	if r.Steps != 2 {
+		t.Errorf("steps %d, want d=2 waves", r.Steps)
+	}
+	checkBallConservation(t, r, 2048, 2)
+	if _, err := ParallelOneShotKChoice(g, 2, 0, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestParallelThresholdCompletes(t *testing.T) {
+	g := testGraph(t, 1024, 32, 7)
+	r, err := ParallelThreshold(g, 2, 4, 0, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Completed {
+		t.Fatalf("threshold protocol did not complete: %v", r)
+	}
+	checkBallConservation(t, r, 1024, 2)
+	if r.MaxLoad < 2 {
+		t.Errorf("max load %d suspiciously low", r.MaxLoad)
+	}
+	if r.Steps <= 0 {
+		t.Error("no rounds recorded")
+	}
+}
+
+func TestParallelThresholdRespectsRoundCap(t *testing.T) {
+	// threshold=1 with d=4 on a tiny graph cannot finish in one round;
+	// with a cap of 1 round it must stop incomplete and report leftovers.
+	g := testGraph(t, 64, 8, 8)
+	r, err := ParallelThreshold(g, 4, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Completed {
+		t.Error("run should not complete in a single round")
+	}
+	if r.UnassignedBalls <= 0 {
+		t.Error("incomplete run should report unassigned balls")
+	}
+	if r.Steps != 1 {
+		t.Errorf("steps %d, want 1", r.Steps)
+	}
+}
+
+func TestParallelThresholdValidation(t *testing.T) {
+	g := testGraph(t, 64, 8, 1)
+	if _, err := ParallelThreshold(g, 2, 0, 0, 1); err == nil {
+		t.Error("threshold=0 accepted")
+	}
+}
+
+func TestBaselinesRejectIsolatedClients(t *testing.T) {
+	bad, err := bipartite.NewBuilder(2, 2).AddEdge(0, 0).Build(bipartite.KeepParallelEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OneChoice(bad, 2, 1); err == nil {
+		t.Error("OneChoice accepted isolated client")
+	}
+	if _, err := GreedyBestOfK(bad, 2, 2, 1); err == nil {
+		t.Error("GreedyBestOfK accepted isolated client")
+	}
+	if _, err := GreedyFullScan(bad, 2, 1); err == nil {
+		t.Error("GreedyFullScan accepted isolated client")
+	}
+	if _, err := ParallelOneShotKChoice(bad, 2, 2, 1); err == nil {
+		t.Error("ParallelOneShotKChoice accepted isolated client")
+	}
+	if _, err := ParallelThreshold(bad, 2, 2, 0, 1); err == nil {
+		t.Error("ParallelThreshold accepted isolated client")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	g := testGraph(t, 64, 8, 1)
+	r, err := OneChoice(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.String() == "" {
+		t.Error("empty result string")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g := testGraph(t, 512, 16, 9)
+	a, err := GreedyBestOfK(g, 2, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GreedyBestOfK(g, 2, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxLoad != b.MaxLoad || a.Work != b.Work {
+		t.Error("GreedyBestOfK not deterministic")
+	}
+	for i := range a.Loads {
+		if a.Loads[i] != b.Loads[i] {
+			t.Fatal("load vectors differ between identical runs")
+		}
+	}
+}
+
+// Property: every baseline conserves balls and keeps loads non-negative on
+// random trust-subset graphs.
+func TestQuickBaselinesConserveBalls(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := 32 + int(nRaw%64)
+		k := 4 + int(kRaw%8)
+		if k > n {
+			k = n
+		}
+		g, err := gen.TrustSubset(n, n, k, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		d := 2
+		check := func(r *Result, err error) bool {
+			if err != nil || !r.Completed {
+				return false
+			}
+			total := 0
+			for _, l := range r.Loads {
+				if l < 0 {
+					return false
+				}
+				total += l
+			}
+			return total == n*d
+		}
+		if !check(OneChoice(g, d, seed)) {
+			return false
+		}
+		if !check(GreedyBestOfK(g, d, 2, seed)) {
+			return false
+		}
+		if !check(GreedyFullScan(g, d, seed)) {
+			return false
+		}
+		if !check(ParallelOneShotKChoice(g, d, 2, seed)) {
+			return false
+		}
+		if !check(ParallelThreshold(g, d, 4, 0, seed)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

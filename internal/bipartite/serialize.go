@@ -1,0 +1,122 @@
+package bipartite
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// graphJSON is the wire form used by MarshalJSON/UnmarshalJSON.
+// Edges are stored as [client, server] pairs in client-major order.
+type graphJSON struct {
+	NumClients int      `json:"num_clients"`
+	NumServers int      `json:"num_servers"`
+	Edges      [][2]int `json:"edges"`
+}
+
+// MarshalJSON encodes the graph as a compact JSON document.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	doc := graphJSON{
+		NumClients: g.numClients,
+		NumServers: g.numServers,
+		Edges:      make([][2]int, 0, g.NumEdges()),
+	}
+	for _, e := range g.Edges() {
+		doc.Edges = append(doc.Edges, [2]int{e.Client, e.Server})
+	}
+	return json.Marshal(doc)
+}
+
+// FromJSON decodes a graph previously encoded with MarshalJSON.
+func FromJSON(data []byte) (*Graph, error) {
+	var doc graphJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("bipartite: decoding graph JSON: %w", err)
+	}
+	b := NewBuilder(doc.NumClients, doc.NumServers)
+	for _, e := range doc.Edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build(KeepParallelEdges)
+}
+
+// WriteEdgeList writes the graph in a simple text format:
+//
+//	# header line: <numClients> <numServers> <numEdges>
+//	<client> <server>
+//	...
+//
+// The format is intended for interoperability with external plotting or
+// graph tools.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", g.numClients, g.numServers, g.NumEdges()); err != nil {
+		return err
+	}
+	for v := 0; v < g.numClients; v++ {
+		for _, u := range g.ClientNeighbors(v) {
+			if _, err := fmt.Fprintf(bw, "%d %d\n", v, u); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("bipartite: reading edge-list header: %w", err)
+		}
+		return nil, fmt.Errorf("bipartite: empty edge-list input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 3 {
+		return nil, fmt.Errorf("bipartite: malformed header %q", sc.Text())
+	}
+	nc, err := strconv.Atoi(header[0])
+	if err != nil {
+		return nil, fmt.Errorf("bipartite: malformed client count %q", header[0])
+	}
+	ns, err := strconv.Atoi(header[1])
+	if err != nil {
+		return nil, fmt.Errorf("bipartite: malformed server count %q", header[1])
+	}
+	ne, err := strconv.Atoi(header[2])
+	if err != nil {
+		return nil, fmt.Errorf("bipartite: malformed edge count %q", header[2])
+	}
+	b := NewBuilder(nc, ns)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bipartite: malformed edge line %q", line)
+		}
+		c, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bipartite: malformed client id %q", fields[0])
+		}
+		s, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("bipartite: malformed server id %q", fields[1])
+		}
+		b.AddEdge(c, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bipartite: reading edge list: %w", err)
+	}
+	if b.NumEdgesStaged() != ne {
+		return nil, fmt.Errorf("bipartite: header declares %d edges but %d were read", ne, b.NumEdgesStaged())
+	}
+	return b.Build(KeepParallelEdges)
+}

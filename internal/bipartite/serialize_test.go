@@ -1,0 +1,145 @@
+package bipartite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func sampleGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewBuilder(4, 3).
+		AddEdge(0, 0).AddEdge(0, 2).
+		AddEdge(1, 1).
+		AddEdge(2, 0).AddEdge(2, 1).AddEdge(2, 2).
+		AddEdge(3, 2).
+		Build(KeepParallelEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumClients() != b.NumClients() || a.NumServers() != b.NumServers() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := sampleGraph(t)
+	data, err := g.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Fatal("JSON round trip changed the graph")
+	}
+}
+
+func TestFromJSONRejectsGarbage(t *testing.T) {
+	if _, err := FromJSON([]byte("{not json")); err == nil {
+		t.Fatal("expected error for malformed JSON")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := sampleGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Fatal("edge-list round trip changed the graph")
+	}
+}
+
+func TestReadEdgeListSkipsCommentsAndBlanks(t *testing.T) {
+	input := "2 2 2\n# a comment\n0 0\n\n1 1\n"
+	g, err := ReadEdgeList(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 || !g.HasEdge(0, 0) || !g.HasEdge(1, 1) {
+		t.Fatalf("unexpected parse result: %v", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"empty", ""},
+		{"bad header", "2 2\n"},
+		{"bad client count", "x 2 1\n0 0\n"},
+		{"bad server count", "2 x 1\n0 0\n"},
+		{"bad edge count", "2 2 x\n0 0\n"},
+		{"bad edge line", "2 2 1\n0\n"},
+		{"bad client id", "2 2 1\nx 0\n"},
+		{"bad server id", "2 2 1\n0 x\n"},
+		{"edge count mismatch", "2 2 3\n0 0\n"},
+		{"endpoint out of range", "2 2 1\n0 5\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadEdgeList(strings.NewReader(tc.input)); err == nil {
+				t.Fatalf("expected error for %q", tc.input)
+			}
+		})
+	}
+}
+
+func TestQuickSerializationRoundTrip(t *testing.T) {
+	f := func(seed uint64, ncRaw, nsRaw, neRaw uint8) bool {
+		nc := int(ncRaw%10) + 1
+		ns := int(nsRaw%10) + 1
+		ne := int(neRaw % 60)
+		r := rng.New(seed)
+		b := NewBuilder(nc, ns)
+		for i := 0; i < ne; i++ {
+			b.AddEdge(r.Intn(nc), r.Intn(ns))
+		}
+		g, err := b.Build(KeepParallelEdges)
+		if err != nil {
+			return false
+		}
+
+		data, err := g.MarshalJSON()
+		if err != nil {
+			return false
+		}
+		fromJSON, err := FromJSON(data)
+		if err != nil || !graphsEqual(g, fromJSON) {
+			return false
+		}
+
+		var buf bytes.Buffer
+		if err := g.WriteEdgeList(&buf); err != nil {
+			return false
+		}
+		fromText, err := ReadEdgeList(&buf)
+		return err == nil && graphsEqual(g, fromText)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+// Package cli holds the small pieces shared by the command-line tools:
+// parsing a graph-family specification into a generated topology and
+// parsing protocol names. Keeping them here (rather than duplicated in
+// each main package) makes them unit-testable.
+package cli
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// GraphSpec describes a topology to generate from command-line flags.
+type GraphSpec struct {
+	// Kind is one of: regular, simple-regular, trust, erdos, almost,
+	// proximity, complete.
+	Kind string
+	// N is the number of clients and servers.
+	N int
+	// Delta is the client degree; zero selects ⌈log₂²(n)⌉ (capped at n).
+	Delta int
+	// ExpectedDegree is only used by proximity graphs: the expected number
+	// of servers within the connection radius. Zero falls back to Delta.
+	ExpectedDegree int
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// Kinds lists the accepted values of GraphSpec.Kind.
+func Kinds() []string {
+	return []string{"regular", "simple-regular", "trust", "erdos", "almost", "proximity", "complete"}
+}
+
+// DefaultDelta returns the Θ(log² n) degree used when no degree is given.
+func DefaultDelta(n int) int {
+	if n < 2 {
+		return 1
+	}
+	l := math.Log2(float64(n))
+	d := int(math.Ceil(l * l))
+	if d > n {
+		d = n
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Build generates the topology the spec describes.
+func (s GraphSpec) Build() (*bipartite.Graph, error) {
+	if s.N <= 0 {
+		return nil, fmt.Errorf("cli: graph size must be positive, got %d", s.N)
+	}
+	delta := s.Delta
+	if delta <= 0 {
+		delta = DefaultDelta(s.N)
+	}
+	src := rng.New(s.Seed)
+	switch strings.ToLower(strings.TrimSpace(s.Kind)) {
+	case "regular", "":
+		return gen.Regular(s.N, delta, src)
+	case "simple-regular":
+		return gen.RegularSimple(s.N, delta, src)
+	case "trust":
+		return gen.TrustSubset(s.N, s.N, delta, src)
+	case "erdos":
+		return gen.ErdosRenyi(s.N, s.N, float64(delta)/float64(s.N), true, src)
+	case "almost":
+		return gen.AlmostRegular(gen.DefaultAlmostRegularConfig(s.N), src)
+	case "complete":
+		return gen.Complete(s.N, s.N)
+	case "proximity":
+		deg := s.ExpectedDegree
+		if deg <= 0 {
+			deg = delta
+		}
+		gg, err := gen.Proximity(gen.ProximityConfig{
+			NumClients: s.N,
+			NumServers: s.N,
+			Radius:     gen.RadiusForExpectedDegree(s.N, deg),
+			MinDegree:  2,
+		}, src)
+		if err != nil {
+			return nil, err
+		}
+		return gg.Graph, nil
+	default:
+		return nil, fmt.Errorf("cli: unknown graph family %q (want one of %s)", s.Kind, strings.Join(Kinds(), ", "))
+	}
+}
+
+// ParseProtocol maps a protocol name to the core variant.
+func ParseProtocol(name string) (core.Variant, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "saer":
+		return core.SAER, nil
+	case "raes":
+		return core.RAES, nil
+	default:
+		return core.SAER, fmt.Errorf("cli: unknown protocol %q (want saer or raes)", name)
+	}
+}

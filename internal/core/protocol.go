@@ -1,0 +1,503 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/engine"
+	"repro/internal/rng"
+)
+
+// Run executes one full protocol run of the selected variant on g and
+// returns its Result. The run is deterministic in (g, variant, p.Seed) and
+// independent of p.Workers.
+func Run(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Result, error) {
+	r, err := NewRunner(g, variant, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(), nil
+}
+
+// Runner holds the mutable state of a protocol execution. It exists as a
+// separate type so that benchmarks and the experiment harness can reuse
+// the graph and reset cheaply between trials; most callers can simply use
+// Run.
+type Runner struct {
+	g       *bipartite.Graph
+	variant Variant
+	params  Params
+	opts    Options
+
+	pool     *engine.Pool
+	capacity int32
+	d        int
+
+	// Per-client state.
+	alive   []int32      // unassigned balls of client v
+	choices []int32      // this round's chosen servers, d slots per client
+	streams []rng.Source // private random stream of client v
+	// cumNbrReceived is Σ_{i≤t} r_i(N(v)) per client; allocated only when
+	// neighborhood tracking is on.
+	cumNbrReceived []int64
+	// assignments[v] collects the servers that accepted v's balls;
+	// allocated only when Options.TrackAssignments is set.
+	assignments [][]int32
+
+	// Per-server state.
+	tally         *engine.Tally // requests received this round
+	load          []int32       // accepted balls
+	receivedTotal []int32       // cumulative received since the start
+	burned        []bool        // SAER: burned; RAES: diagnostic "received > capacity"
+	acceptedRound []bool        // did the server accept this round's requests
+
+	// Per-worker partial accumulators, reused every round.
+	partialSent     []int64
+	partialAccepted []int64
+	partialAlive    []int64
+	partialBurned   []int64
+	partialSat      []int64
+}
+
+// NewRunner validates the inputs and allocates the run state.
+func NewRunner(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Runner, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidGraph, err)
+	}
+	if variant != SAER && variant != RAES {
+		return nil, fmt.Errorf("core: unknown protocol variant %d", int(variant))
+	}
+	n := g.NumClients()
+	m := g.NumServers()
+	if opts.InitialLoads != nil && len(opts.InitialLoads) != m {
+		return nil, fmt.Errorf("core: InitialLoads has %d entries for %d servers", len(opts.InitialLoads), m)
+	}
+	if opts.RequestCounts != nil {
+		if len(opts.RequestCounts) != n {
+			return nil, fmt.Errorf("core: RequestCounts has %d entries for %d clients", len(opts.RequestCounts), n)
+		}
+		for v, c := range opts.RequestCounts {
+			if c < 0 || c > p.D {
+				return nil, fmt.Errorf("core: RequestCounts[%d] = %d outside [0, D=%d]", v, c, p.D)
+			}
+		}
+	}
+	pool := engine.NewPool(p.Workers)
+	r := &Runner{
+		g:        g,
+		variant:  variant,
+		params:   p,
+		opts:     opts,
+		pool:     pool,
+		capacity: int32(p.Capacity()),
+		d:        p.D,
+
+		alive:   make([]int32, n),
+		choices: make([]int32, n*p.D),
+		streams: rng.NewStreams(p.Seed, n),
+
+		tally:         engine.NewTally(pool, m),
+		load:          make([]int32, m),
+		receivedTotal: make([]int32, m),
+		burned:        make([]bool, m),
+		acceptedRound: make([]bool, m),
+
+		partialSent:     make([]int64, pool.Workers()),
+		partialAccepted: make([]int64, pool.Workers()),
+		partialAlive:    make([]int64, pool.Workers()),
+		partialBurned:   make([]int64, pool.Workers()),
+		partialSat:      make([]int64, pool.Workers()),
+	}
+	if opts.TrackNeighborhoods {
+		r.cumNbrReceived = make([]int64, n)
+	}
+	if opts.TrackAssignments {
+		r.assignments = make([][]int32, n)
+	}
+	r.resetState()
+	return r, nil
+}
+
+// resetState reinitializes all mutable per-run state, allowing the Runner
+// to be reused for another trial with the same parameters.
+func (r *Runner) resetState() {
+	for i := range r.alive {
+		if r.opts.RequestCounts != nil {
+			r.alive[i] = int32(r.opts.RequestCounts[i])
+		} else {
+			r.alive[i] = int32(r.d)
+		}
+	}
+	for i := range r.assignments {
+		r.assignments[i] = r.assignments[i][:0]
+	}
+	for i := range r.load {
+		r.load[i] = 0
+		r.receivedTotal[i] = 0
+		r.burned[i] = false
+		r.acceptedRound[i] = false
+	}
+	if r.opts.InitialLoads != nil {
+		for i, l := range r.opts.InitialLoads {
+			if l < 0 {
+				l = 0
+			}
+			r.load[i] = int32(l)
+			r.receivedTotal[i] = int32(l)
+			if int32(l) >= r.capacity {
+				// A server already at (or beyond) capacity can never accept
+				// another ball: under SAER it is burned from the start and
+				// under RAES the acceptance test always fails; marking it
+				// burned keeps the diagnostic series consistent.
+				r.burned[i] = true
+			}
+		}
+	}
+	for i := range r.cumNbrReceived {
+		r.cumNbrReceived[i] = 0
+	}
+	r.streams = rng.NewStreams(r.params.Seed, r.g.NumClients())
+}
+
+// Reseed prepares the Runner for another independent trial with a new
+// protocol seed, resetting all protocol state.
+func (r *Runner) Reseed(seed uint64) {
+	r.params.Seed = seed
+	r.resetState()
+}
+
+// Run executes the protocol until completion or the round cap and returns
+// the Result. Run may be called again after Reseed.
+func (r *Runner) Run() *Result {
+	n := r.g.NumClients()
+	m := r.g.NumServers()
+	maxRounds := r.params.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds(n)
+	}
+	trackRounds := r.opts.TrackRounds || r.opts.TrackNeighborhoods
+
+	res := &Result{
+		Variant:    r.variant,
+		Params:     r.params,
+		NumClients: n,
+		NumServers: m,
+	}
+	if trackRounds {
+		res.PerRound = make([]RoundStats, 0, CompletionBound(n)+4)
+	}
+
+	aliveTotal := int64(0)
+	for _, a := range r.alive {
+		aliveTotal += int64(a)
+	}
+	res.TotalBalls = aliveTotal
+	burnedTotal := 0
+	round := 0
+	for aliveTotal > 0 && round < maxRounds {
+		round++
+		sent := r.phaseClients()
+		received := r.tally.Merge(r.pool)
+		newlyBurned, saturated := r.phaseServers(received)
+		accepted, stillAlive := r.phaseUpdateClients()
+
+		burnedTotal += newlyBurned
+		res.TotalRequests += sent
+		res.SaturationEvents += int64(saturated)
+
+		if trackRounds {
+			stats := RoundStats{
+				Round:              round,
+				AliveBalls:         int(aliveTotal),
+				RequestsSent:       int(sent),
+				RequestsAccepted:   int(accepted),
+				NewlyBurned:        newlyBurned,
+				BurnedTotal:        burnedTotal,
+				SaturatedThisRound: saturated,
+			}
+			if r.opts.TrackNeighborhoods {
+				stats.MaxNeighborhoodBurnedFrac, stats.MaxNeighborhoodReceived, stats.MaxKt =
+					r.neighborhoodStats(received)
+			}
+			res.PerRound = append(res.PerRound, stats)
+		}
+
+		aliveTotal = stillAlive
+		// If no ball was accepted this round and no server state changed,
+		// check whether some client's whole neighborhood is burned: such a
+		// client can never place its remaining balls and the run is
+		// hopeless (this can only happen when c is far below the paper's
+		// threshold).
+		if accepted == 0 && newlyBurned == 0 && aliveTotal > 0 && r.variant == SAER {
+			if r.hasStarvedClient() {
+				break
+			}
+		}
+		r.tally.Reset(r.pool)
+	}
+
+	res.Rounds = round
+	res.Work = 2 * res.TotalRequests
+	res.UnassignedBalls = int(aliveTotal)
+	res.Completed = aliveTotal == 0
+	res.BurnedServers = burnedTotal
+	r.fillLoadStats(res)
+	if r.opts.TrackAssignments {
+		res.Assignments = make([][]int32, len(r.assignments))
+		for v, a := range r.assignments {
+			res.Assignments[v] = append([]int32(nil), a...)
+		}
+	}
+	return res
+}
+
+// phaseClients is phase 1: every client with alive balls draws a uniform
+// destination in its neighborhood for each of them. Returns the number of
+// requests submitted.
+func (r *Runner) phaseClients() int64 {
+	for w := range r.partialSent {
+		r.partialSent[w] = 0
+	}
+	d := r.d
+	r.pool.ParallelRange(r.g.NumClients(), func(worker, lo, hi int) {
+		local := r.tally.Local(worker)
+		var sent int64
+		for v := lo; v < hi; v++ {
+			a := r.alive[v]
+			if a == 0 {
+				continue
+			}
+			nbrs := r.g.ClientNeighbors(v)
+			deg := len(nbrs)
+			src := &r.streams[v]
+			base := v * d
+			for i := int32(0); i < a; i++ {
+				u := nbrs[src.Intn(deg)]
+				r.choices[base+int(i)] = u
+				local[u]++
+			}
+			sent += int64(a)
+		}
+		r.partialSent[worker] = sent
+	})
+	var total int64
+	for _, v := range r.partialSent {
+		total += v
+	}
+	return total
+}
+
+// phaseServers is phase 2: every server applies the variant's threshold
+// rule to this round's requests. Returns how many servers became burned
+// and how many rejected the round while not burned.
+func (r *Runner) phaseServers(received []int32) (newlyBurned, saturated int) {
+	for w := range r.partialBurned {
+		r.partialBurned[w] = 0
+		r.partialSat[w] = 0
+	}
+	r.pool.ParallelRange(r.g.NumServers(), func(worker, lo, hi int) {
+		var nb, sat int64
+		for u := lo; u < hi; u++ {
+			recv := received[u]
+			r.acceptedRound[u] = false
+			if recv == 0 {
+				continue
+			}
+			r.receivedTotal[u] += recv
+			switch r.variant {
+			case SAER:
+				if r.burned[u] {
+					// A burned server rejects everything; not a new
+					// saturation event.
+					continue
+				}
+				if r.receivedTotal[u] > r.capacity {
+					r.burned[u] = true
+					nb++
+					sat++
+					continue
+				}
+				r.load[u] += recv
+				r.acceptedRound[u] = true
+			case RAES:
+				if !r.burned[u] && r.receivedTotal[u] > r.capacity {
+					// Diagnostic only: the server would be burned under
+					// SAER's stronger rule (used by the Corollary 2
+					// comparison); RAES itself keeps going.
+					r.burned[u] = true
+					nb++
+				}
+				if r.load[u]+recv > r.capacity {
+					sat++
+					continue
+				}
+				r.load[u] += recv
+				r.acceptedRound[u] = true
+			}
+		}
+		r.partialBurned[worker] = nb
+		r.partialSat[worker] = sat
+	})
+	for w := range r.partialBurned {
+		newlyBurned += int(r.partialBurned[w])
+		saturated += int(r.partialSat[w])
+	}
+	return newlyBurned, saturated
+}
+
+// phaseUpdateClients lets every client count which of its requests were
+// accepted and update its alive-ball count. Returns the number of accepted
+// requests and the total number of balls still alive.
+func (r *Runner) phaseUpdateClients() (accepted, alive int64) {
+	for w := range r.partialAccepted {
+		r.partialAccepted[w] = 0
+		r.partialAlive[w] = 0
+	}
+	d := r.d
+	r.pool.ParallelRange(r.g.NumClients(), func(worker, lo, hi int) {
+		var acc, still int64
+		for v := lo; v < hi; v++ {
+			a := r.alive[v]
+			if a == 0 {
+				continue
+			}
+			base := v * d
+			var got int32
+			for i := int32(0); i < a; i++ {
+				u := r.choices[base+int(i)]
+				if r.acceptedRound[u] {
+					got++
+					if r.assignments != nil {
+						r.assignments[v] = append(r.assignments[v], u)
+					}
+				}
+			}
+			r.alive[v] = a - got
+			acc += int64(got)
+			still += int64(a - got)
+		}
+		r.partialAccepted[worker] = acc
+		r.partialAlive[worker] = still
+	})
+	for w := range r.partialAccepted {
+		accepted += r.partialAccepted[w]
+		alive += r.partialAlive[w]
+	}
+	return accepted, alive
+}
+
+// neighborhoodStats computes S_t, r_t and K_t (Definitions 3, 5, 6) for
+// the current round. It costs O(|E|) and is only invoked when
+// Options.TrackNeighborhoods is set.
+func (r *Runner) neighborhoodStats(received []int32) (maxBurnedFrac float64, maxReceived int, maxKt float64) {
+	n := r.g.NumClients()
+	type partial struct {
+		frac float64
+		recv int64
+		kt   float64
+	}
+	partials := make([]partial, r.pool.Workers())
+	cd := float64(r.params.C) * float64(r.d)
+	r.pool.ParallelRange(n, func(worker, lo, hi int) {
+		p := partial{}
+		for v := lo; v < hi; v++ {
+			nbrs := r.g.ClientNeighbors(v)
+			if len(nbrs) == 0 {
+				continue
+			}
+			var burnedCnt int
+			var recvSum int64
+			for _, u := range nbrs {
+				if r.burned[u] {
+					burnedCnt++
+				}
+				recvSum += int64(received[u])
+			}
+			frac := float64(burnedCnt) / float64(len(nbrs))
+			if frac > p.frac {
+				p.frac = frac
+			}
+			if recvSum > p.recv {
+				p.recv = recvSum
+			}
+			r.cumNbrReceived[v] += recvSum
+			kt := float64(r.cumNbrReceived[v]) / (cd * float64(len(nbrs)))
+			if kt > p.kt {
+				p.kt = kt
+			}
+		}
+		partials[worker] = p
+	})
+	for _, p := range partials {
+		if p.frac > maxBurnedFrac {
+			maxBurnedFrac = p.frac
+		}
+		if int(p.recv) > maxReceived {
+			maxReceived = int(p.recv)
+		}
+		if p.kt > maxKt {
+			maxKt = p.kt
+		}
+	}
+	return maxBurnedFrac, maxReceived, maxKt
+}
+
+// hasStarvedClient reports whether some client still holding balls has a
+// fully burned neighborhood (it can never terminate). Only meaningful for
+// SAER.
+func (r *Runner) hasStarvedClient() bool {
+	n := r.g.NumClients()
+	starved := r.pool.ReduceInt64(n, func(_, lo, hi int) int64 {
+		for v := lo; v < hi; v++ {
+			if r.alive[v] == 0 {
+				continue
+			}
+			allBurned := true
+			for _, u := range r.g.ClientNeighbors(v) {
+				if !r.burned[u] {
+					allBurned = false
+					break
+				}
+			}
+			if allBurned {
+				return 1
+			}
+		}
+		return 0
+	})
+	return starved > 0
+}
+
+// fillLoadStats computes the final load summary (and optionally the full
+// load vector) into res.
+func (r *Runner) fillLoadStats(res *Result) {
+	m := r.g.NumServers()
+	maxLoad := 0
+	minLoad := int(^uint(0) >> 1)
+	var sum int64
+	for u := 0; u < m; u++ {
+		l := int(r.load[u])
+		if l > maxLoad {
+			maxLoad = l
+		}
+		if l < minLoad {
+			minLoad = l
+		}
+		sum += int64(l)
+	}
+	if m == 0 {
+		minLoad = 0
+	}
+	res.MaxLoad = maxLoad
+	res.MinLoad = minLoad
+	res.MeanLoad = float64(sum) / float64(m)
+	if r.opts.TrackLoads {
+		res.Loads = make([]int, m)
+		for u := 0; u < m; u++ {
+			res.Loads[u] = int(r.load[u])
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package engine provides the parallel execution substrate for the
+// synchronous round-based simulations.
+//
+// The paper's model is a lock-step synchronous network: in every round all
+// clients act (phase 1), then all servers act (phase 2). The engine maps
+// this onto goroutines with a data-parallel pattern: entity ranges are cut
+// into one contiguous shard per worker, each worker operates on its shard
+// with worker-local scratch buffers, and a barrier separates the phases.
+// Because shard boundaries depend only on (range length, worker count) and
+// every entity owns a private random stream, simulation results are
+// bit-for-bit identical for any worker count — a property the tests check
+// explicitly.
+package engine
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool executes data-parallel phases over a fixed number of workers.
+// A Pool is safe for use from a single goroutine at a time; concurrent
+// calls to ParallelRange on the same Pool must not overlap.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a Pool with the requested number of workers. A value of
+// zero (or negative) selects runtime.GOMAXPROCS(0).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers returns the worker count the pool was configured with.
+func (p *Pool) Workers() int { return p.workers }
+
+// shard returns the half-open range assigned to worker w out of p.workers
+// when splitting [0, n). Shards are contiguous and differ in size by at
+// most one, so the mapping is a pure function of (n, workers, w).
+func (p *Pool) shard(n, w int) (lo, hi int) {
+	per := n / p.workers
+	rem := n % p.workers
+	lo = w*per + min(w, rem)
+	size := per
+	if w < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// ParallelRange splits [0, n) into contiguous shards, one per worker, and
+// invokes fn(worker, lo, hi) for each shard from its own goroutine,
+// returning when all have completed. When the pool has a single worker or
+// the range is small, fn is called inline to avoid scheduling overhead.
+func (p *Pool) ParallelRange(n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if p.workers == 1 || n < 2*p.workers {
+		// Run every shard inline, preserving the exact shard boundaries so
+		// that worker-indexed scratch buffers behave identically.
+		for w := 0; w < p.workers; w++ {
+			lo, hi := p.shard(n, w)
+			if lo < hi {
+				fn(w, lo, hi)
+			}
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < p.workers; w++ {
+		lo, hi := p.shard(n, w)
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ReduceInt64 runs fn over the shards of [0, n) and returns the sum of the
+// per-shard results. It is the pattern used to count alive balls or sum
+// message totals without shared counters in the hot path.
+func (p *Pool) ReduceInt64(n int, fn func(worker, lo, hi int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	partial := make([]int64, p.workers)
+	p.ParallelRange(n, func(w, lo, hi int) {
+		partial[w] += fn(w, lo, hi)
+	})
+	var total int64
+	for _, v := range partial {
+		total += v
+	}
+	return total
+}
+
+// ReduceMaxFloat64 runs fn over the shards of [0, n) and returns the
+// maximum of the per-shard results, or def when n <= 0.
+func (p *Pool) ReduceMaxFloat64(n int, def float64, fn func(worker, lo, hi int) float64) float64 {
+	if n <= 0 {
+		return def
+	}
+	partial := make([]float64, p.workers)
+	for w := range partial {
+		partial[w] = def
+	}
+	p.ParallelRange(n, func(w, lo, hi int) {
+		v := fn(w, lo, hi)
+		if v > partial[w] {
+			partial[w] = v
+		}
+	})
+	out := def
+	for _, v := range partial {
+		if v > out {
+			out = v
+		}
+	}
+	return out
+}
+
+// Tally is a set of per-worker int32 accumulators of a common size plus a
+// merged view. It implements the "worker-local buffers merged after the
+// barrier" pattern: phase 1 workers bump their private counters without
+// any synchronization, then Merge folds them into the shared slice in a
+// second (also parallel) pass sharded by index rather than by worker.
+type Tally struct {
+	size   int
+	local  [][]int32
+	merged []int32
+}
+
+// NewTally returns a Tally with one local buffer per pool worker.
+func NewTally(p *Pool, size int) *Tally {
+	t := &Tally{
+		size:   size,
+		local:  make([][]int32, p.Workers()),
+		merged: make([]int32, size),
+	}
+	for w := range t.local {
+		t.local[w] = make([]int32, size)
+	}
+	return t
+}
+
+// Local returns worker w's private accumulator.
+func (t *Tally) Local(w int) []int32 { return t.local[w] }
+
+// Merged returns the merged view computed by the last Merge call.
+func (t *Tally) Merged() []int32 { return t.merged }
+
+// Merge folds every worker-local buffer into the merged slice. The fold is
+// parallelized over indices, so each merged cell is written by exactly one
+// worker and no atomics are needed.
+func (t *Tally) Merge(p *Pool) []int32 {
+	p.ParallelRange(t.size, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var sum int32
+			for w := range t.local {
+				sum += t.local[w][i]
+			}
+			t.merged[i] = sum
+		}
+	})
+	return t.merged
+}
+
+// Reset zeroes all local buffers and the merged view.
+func (t *Tally) Reset(p *Pool) {
+	p.ParallelRange(t.size, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t.merged[i] = 0
+			for w := range t.local {
+				t.local[w][i] = 0
+			}
+		}
+	})
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPoolDefaults(t *testing.T) {
+	if got := NewPool(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("NewPool(0).Workers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := NewPool(-3).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("NewPool(-3).Workers() = %d, want GOMAXPROCS", got)
+	}
+	if got := NewPool(5).Workers(); got != 5 {
+		t.Errorf("NewPool(5).Workers() = %d", got)
+	}
+}
+
+func TestShardsPartitionRange(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		p := NewPool(workers)
+		for _, n := range []int{0, 1, 2, 5, 16, 17, 100, 101} {
+			covered := make([]int, n)
+			for w := 0; w < workers; w++ {
+				lo, hi := p.shard(n, w)
+				if lo > hi {
+					t.Fatalf("workers=%d n=%d w=%d: lo %d > hi %d", workers, n, w, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					covered[i]++
+				}
+			}
+			for i, c := range covered {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelRangeCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := NewPool(workers)
+		const n = 10000
+		marks := make([]int32, n)
+		p.ParallelRange(n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&marks[i], 1)
+			}
+		})
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, m)
+			}
+		}
+	}
+}
+
+func TestParallelRangeEmptyAndTiny(t *testing.T) {
+	p := NewPool(8)
+	called := 0
+	p.ParallelRange(0, func(_, _, _ int) { called++ })
+	if called != 0 {
+		t.Error("ParallelRange(0) invoked the callback")
+	}
+	// A range smaller than the worker count must still cover every index
+	// exactly once (inline path).
+	visited := make([]int, 3)
+	p.ParallelRange(3, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			visited[i]++
+		}
+	})
+	for i, v := range visited {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestParallelRangeWorkerIDsDistinct(t *testing.T) {
+	p := NewPool(4)
+	const n = 4000
+	owner := make([]int32, n)
+	p.ParallelRange(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			owner[i] = int32(w)
+		}
+	})
+	// Contiguity: owners must be non-decreasing.
+	for i := 1; i < n; i++ {
+		if owner[i] < owner[i-1] {
+			t.Fatalf("shards are not contiguous at index %d", i)
+		}
+	}
+}
+
+func TestReduceInt64(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		p := NewPool(workers)
+		const n = 12345
+		// Sum of [0, n) computed shard-wise must equal n(n-1)/2.
+		got := p.ReduceInt64(n, func(_, lo, hi int) int64 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(i)
+			}
+			return s
+		})
+		want := int64(n) * int64(n-1) / 2
+		if got != want {
+			t.Errorf("workers=%d: ReduceInt64 = %d, want %d", workers, got, want)
+		}
+	}
+	if NewPool(2).ReduceInt64(0, func(_, _, _ int) int64 { return 99 }) != 0 {
+		t.Error("ReduceInt64 over empty range should be 0")
+	}
+}
+
+func TestReduceMaxFloat64(t *testing.T) {
+	p := NewPool(4)
+	vals := []float64{0.1, 0.7, 0.3, 0.9, 0.2, 0.05}
+	got := p.ReduceMaxFloat64(len(vals), -1, func(_, lo, hi int) float64 {
+		m := -1.0
+		for i := lo; i < hi; i++ {
+			if vals[i] > m {
+				m = vals[i]
+			}
+		}
+		return m
+	})
+	if got != 0.9 {
+		t.Errorf("ReduceMaxFloat64 = %v, want 0.9", got)
+	}
+	if p.ReduceMaxFloat64(0, -1, func(_, _, _ int) float64 { return 5 }) != -1 {
+		t.Error("empty range should return default")
+	}
+}
+
+func TestTallyMerge(t *testing.T) {
+	p := NewPool(3)
+	ta := NewTally(p, 10)
+	// Each worker bumps every slot by its own id+1.
+	p.ParallelRange(10, func(w, lo, hi int) {
+		local := ta.Local(w)
+		for i := 0; i < 10; i++ {
+			local[i] += int32(w + 1)
+		}
+	})
+	merged := ta.Merge(p)
+	// Slots were bumped once per *shard invocation*; with the inline path
+	// for small ranges each worker runs exactly once, so every slot should
+	// be 1+2+3 = 6.
+	for i, v := range merged {
+		if v != 6 {
+			t.Fatalf("merged[%d] = %d, want 6", i, v)
+		}
+	}
+	ta.Reset(p)
+	for w := 0; w < p.Workers(); w++ {
+		for i, v := range ta.Local(w) {
+			if v != 0 {
+				t.Fatalf("local[%d][%d] = %d after Reset", w, i, v)
+			}
+		}
+	}
+	for i, v := range ta.Merged() {
+		if v != 0 {
+			t.Fatalf("merged[%d] = %d after Reset", i, v)
+		}
+	}
+}
+
+func TestTallyMergeLargeParallel(t *testing.T) {
+	p := NewPool(4)
+	const size = 50000
+	ta := NewTally(p, size)
+	p.ParallelRange(size, func(w, lo, hi int) {
+		local := ta.Local(w)
+		for i := lo; i < hi; i++ {
+			local[i] = int32(i % 7)
+		}
+	})
+	merged := ta.Merge(p)
+	for i, v := range merged {
+		if v != int32(i%7) {
+			t.Fatalf("merged[%d] = %d, want %d", i, v, i%7)
+		}
+	}
+}
+
+// Property: ReduceInt64 is independent of the worker count.
+func TestQuickReduceWorkerInvariance(t *testing.T) {
+	f := func(nRaw uint16, w1Raw, w2Raw uint8) bool {
+		n := int(nRaw % 5000)
+		w1 := int(w1Raw%8) + 1
+		w2 := int(w2Raw%8) + 1
+		sum := func(workers int) int64 {
+			return NewPool(workers).ReduceInt64(n, func(_, lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i * i % 97)
+				}
+				return s
+			})
+		}
+		return sum(w1) == sum(w2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// ExperimentWorkScaling (E2) validates Theorem 1's work claim: the total
+// number of exchanged messages is Θ(n). The table reports, for each n, the
+// mean work and the work normalized per ball; the latter should stay a
+// small constant as n grows (linearity). The notes contain the fit of
+// total work against n — an R² close to 1 with near-zero intercept is the
+// Θ(n) signature.
+func ExperimentWorkScaling(cfg SuiteConfig) (*Table, error) {
+	table := NewTable("E2", "Total work vs n (SAER, ∆ = log² n, d = 2, Theorem 1)",
+		"n", "balls", "trials", "work_mean", "work_per_ball_mean", "work_per_ball_max", "rounds_mean")
+
+	d := 2
+	var ns, works []float64
+	for _, n := range cfg.sizes() {
+		delta := regularDelta(n)
+		g, err := buildRegular(n, delta, cfg.trialSeed(2, uint64(n)))
+		if err != nil {
+			return nil, err
+		}
+		results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
+			return core.Run(g, core.SAER, core.Params{
+				D: d, C: 4, Seed: cfg.trialSeed(2, uint64(n), uint64(trial)), Workers: 1,
+			}, core.Options{})
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg := metrics.Aggregate(results)
+		table.AddRowf(n, n*d, agg.Trials, agg.Work.Mean, agg.WorkPerBall.Mean, agg.WorkPerBall.Max, agg.Rounds.Mean)
+		ns = append(ns, float64(n))
+		works = append(works, agg.Work.Mean)
+	}
+	if fit, err := stats.FitLinear(ns, works); err == nil {
+		table.AddNote("least-squares fit: work ≈ %.1f + %.2f·n, R²=%.3f (linear work ⇒ slope ≈ 2d·(1+ε), intercept ≈ 0)",
+			fit.Intercept, fit.Slope, fit.R2)
+	}
+	table.AddNote("claim: total work is Θ(n) w.h.p. (Theorem 1, Section 3.2)")
+	return table, nil
+}

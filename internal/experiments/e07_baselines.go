@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+// ExperimentSequentialBaselines (E7) positions SAER against the prior
+// algorithms the related-work section discusses: the sequential one-choice
+// and best-of-k greedy (Azar et al. / Kenthapadi–Panigrahy), Godfrey's
+// full-neighborhood greedy, a one-shot parallel k-choice greedy and the
+// classic parallel threshold protocol. For each algorithm the table lists
+// the achieved maximum load, the number of sequential steps or parallel
+// rounds, the message work per ball and whether the algorithm requires
+// servers to reveal their loads (the privacy point the paper makes in the
+// introduction).
+func ExperimentSequentialBaselines(cfg SuiteConfig) (*Table, error) {
+	table := NewTable("E7", "SAER vs sequential and parallel baselines (same graph, d = 2)",
+		"algorithm", "parallel", "needs_load_info", "max_load_mean", "max_load_worst", "steps_or_rounds", "work_per_ball", "completed")
+
+	n := cfg.sizes()[len(cfg.sizes())-1]
+	if cfg.Quick {
+		n = 2048
+	}
+	d := 2
+	delta := regularDelta(n)
+	g, err := buildRegular(n, delta, cfg.trialSeed(7, uint64(n)))
+	if err != nil {
+		return nil, err
+	}
+	balls := float64(n * d)
+	trials := cfg.trials()
+
+	type row struct {
+		name, parallel, loadInfo     string
+		maxLoads, steps, workPerBall []float64
+		completedAll                 bool
+	}
+	addBaseline := func(name, parallel, loadInfo string, run func(seed uint64) (*baseline.Result, error)) (*row, error) {
+		r := &row{name: name, parallel: parallel, loadInfo: loadInfo, completedAll: true}
+		for trial := 0; trial < trials; trial++ {
+			res, err := run(cfg.trialSeed(7, uint64(len(name)), uint64(trial)))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: baseline %s: %w", name, err)
+			}
+			r.maxLoads = append(r.maxLoads, float64(res.MaxLoad))
+			r.steps = append(r.steps, float64(res.Steps))
+			r.workPerBall = append(r.workPerBall, float64(res.Work)/balls)
+			r.completedAll = r.completedAll && res.Completed
+		}
+		return r, nil
+	}
+
+	var rows []*row
+
+	// SAER and RAES through the core package.
+	for _, variant := range []core.Variant{core.SAER, core.RAES} {
+		results, err := runParallelTrials(cfg, trials, func(trial int) (*core.Result, error) {
+			return core.Run(g, variant, core.Params{
+				D: d, C: 4, Seed: cfg.trialSeed(7, uint64(variant), uint64(trial)), Workers: 1,
+			}, core.Options{})
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg := metrics.Aggregate(results)
+		r := &row{name: variant.String(), parallel: "yes", loadInfo: "no", completedAll: agg.SuccessRate == 1}
+		for _, res := range results {
+			r.maxLoads = append(r.maxLoads, float64(res.MaxLoad))
+			r.steps = append(r.steps, float64(res.Rounds))
+			r.workPerBall = append(r.workPerBall, res.WorkPerBall())
+		}
+		rows = append(rows, r)
+	}
+
+	specs := []struct {
+		name, parallel, loadInfo string
+		run                      func(seed uint64) (*baseline.Result, error)
+	}{
+		{"one-choice", "no", "no", func(seed uint64) (*baseline.Result, error) {
+			return baseline.OneChoice(g, d, seed)
+		}},
+		{"greedy-best-of-2", "no", "yes", func(seed uint64) (*baseline.Result, error) {
+			return baseline.GreedyBestOfK(g, d, 2, seed)
+		}},
+		{"greedy-best-of-4", "no", "yes", func(seed uint64) (*baseline.Result, error) {
+			return baseline.GreedyBestOfK(g, d, 4, seed)
+		}},
+		{"greedy-full-scan", "no", "yes", func(seed uint64) (*baseline.Result, error) {
+			return baseline.GreedyFullScan(g, d, seed)
+		}},
+		{"parallel-1shot-2-choice", "yes", "yes", func(seed uint64) (*baseline.Result, error) {
+			return baseline.ParallelOneShotKChoice(g, d, 2, seed)
+		}},
+		{"parallel-threshold-4", "yes", "no", func(seed uint64) (*baseline.Result, error) {
+			return baseline.ParallelThreshold(g, d, 4, 0, seed)
+		}},
+	}
+	for _, spec := range specs {
+		r, err := addBaseline(spec.name, spec.parallel, spec.loadInfo, spec.run)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, r)
+	}
+
+	for _, r := range rows {
+		ml := stats.MustSummarize(r.maxLoads)
+		st := stats.MustSummarize(r.steps)
+		wp := stats.MustSummarize(r.workPerBall)
+		table.AddRowf(r.name, r.parallel, r.loadInfo, ml.Mean, ml.Max, st.Mean, wp.Mean, fmtBool(r.completedAll))
+	}
+	table.AddNote("claim context: sequential greedy needs current server loads (privacy/communication cost); SAER achieves O(d) load with only accept/reject bits and O(log n) parallel rounds")
+	table.AddNote("expected shape: greedy variants reach smaller absolute max load; SAER/RAES trade a constant-factor larger (but still ≤ c·d) load for parallelism and 1-bit answers")
+	return table, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// ExperimentDenseRegime (E10) is the regression against the dense setting
+// of Becchetti et al.: when every client sees Ω(n) servers, the fraction
+// of non-burned servers in any neighborhood stays at least 1/2
+// *deterministically* (the counting argument the dense analysis relies
+// on), so the completion behaviour should be at least as good as on sparse
+// graphs. The table sweeps the density from the paper's sparse regime up
+// to the complete bipartite graph at a fixed n.
+func ExperimentDenseRegime(cfg SuiteConfig) (*Table, error) {
+	table := NewTable("E10", "From sparse (log² n) to dense (complete) graphs at fixed n (SAER vs RAES)",
+		"density", "delta", "protocol", "trials", "success", "rounds_mean", "rounds_max", "max_S_t", "burned_mean")
+
+	n := 1 << 12
+	if cfg.Quick {
+		n = 512
+	}
+	d := 2
+	densities := []struct {
+		name  string
+		delta int
+	}{
+		{"log²n", regularDelta(n)},
+		{"n/8", n / 8},
+		{"n/2", n / 2},
+		{"complete", n},
+	}
+	for _, dens := range densities {
+		var g *bipartite.Graph
+		var err error
+		if dens.delta >= n {
+			g, err = gen.Complete(n, n)
+		} else {
+			g, err = gen.Regular(n, dens.delta, rng.New(cfg.trialSeed(10, uint64(dens.delta))))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dense-regime graph %s: %w", dens.name, err)
+		}
+		for _, variant := range []core.Variant{core.SAER, core.RAES} {
+			results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
+				return core.Run(g, variant, core.Params{
+					D: d, C: 4, Seed: cfg.trialSeed(10, uint64(dens.delta), uint64(variant), uint64(trial)), Workers: 1,
+				}, core.Options{TrackNeighborhoods: true})
+			})
+			if err != nil {
+				return nil, err
+			}
+			agg := metrics.Aggregate(results)
+			maxSt := 0.0
+			for _, r := range results {
+				for _, round := range r.PerRound {
+					if round.MaxNeighborhoodBurnedFrac > maxSt {
+						maxSt = round.MaxNeighborhoodBurnedFrac
+					}
+				}
+			}
+			table.AddRowf(dens.name, dens.delta, variant.String(), agg.Trials, fmtRate(agg.SuccessRate),
+				agg.Rounds.Mean, agg.Rounds.Max, maxSt, agg.Burned.Mean)
+		}
+	}
+	table.AddNote("claim context: on ∆ = Ω(n) graphs the non-burned fraction of every neighborhood stays ≥ 1/2 deterministically (Becchetti et al.); the sparse regime is the paper's new contribution")
+	table.AddNote("expected shape: completion stays logarithmic across all densities; S_t decreases as the graph gets denser")
+	return table, nil
+}

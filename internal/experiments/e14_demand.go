@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// ExperimentHeterogeneousDemand (E14) exercises the paper's general case
+// (every client holds *at most* d balls, Section 2.2) and the
+// heavier-loaded regimes studied in the related work: demand vectors range
+// from the uniform base case through uniform-random, Zipf-skewed and
+// bursty workloads, and from light (d = 2) to heavy (d = 16) maximum
+// demand. The table reports, per workload, the completion time, work per
+// ball and maximum load next to the c·d cap.
+func ExperimentHeterogeneousDemand(cfg SuiteConfig) (*Table, error) {
+	table := NewTable("E14", "Heterogeneous and heavy demand (general ≤ d case, SAER, c = 4)",
+		"workload", "max_d", "mean_demand", "total_balls", "trials", "success", "rounds_mean", "rounds_max", "work_per_ball", "max_load", "cap")
+
+	n := 1 << 13
+	if cfg.Quick {
+		n = 1 << 10
+	}
+	delta := regularDelta(n)
+	g, err := buildRegular(n, delta, cfg.trialSeed(14, uint64(n)))
+	if err != nil {
+		return nil, err
+	}
+
+	type spec struct {
+		name string
+		gen  func(src *rng.Source) (workload.Demand, error)
+		d    int
+	}
+	specs := []spec{
+		{"uniform d=2", func(*rng.Source) (workload.Demand, error) { return workload.Uniform(n, 2) }, 2},
+		{"uniform d=8", func(*rng.Source) (workload.Demand, error) { return workload.Uniform(n, 8) }, 8},
+		{"uniform d=16", func(*rng.Source) (workload.Demand, error) { return workload.Uniform(n, 16) }, 16},
+		{"uniform-random ≤8", func(src *rng.Source) (workload.Demand, error) { return workload.UniformRandom(n, 8, src) }, 8},
+		{"zipf(1.1) ≤8", func(src *rng.Source) (workload.Demand, error) { return workload.Zipf(n, 8, 1.1, src) }, 8},
+		{"bursty 10% ≤8", func(src *rng.Source) (workload.Demand, error) { return workload.Bursty(n, 8, 1, 0.1, src) }, 8},
+	}
+
+	for si, sp := range specs {
+		demand, err := sp.gen(rng.New(cfg.trialSeed(14, uint64(si))))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: E14 workload %s: %w", sp.name, err)
+		}
+		if err := demand.Validate(); err != nil {
+			return nil, err
+		}
+		params := core.Params{D: sp.d, C: 4, Workers: 1}
+		results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
+			p := params
+			p.Seed = cfg.trialSeed(14, uint64(si), uint64(trial))
+			return core.Run(g, core.SAER, p, core.Options{RequestCounts: demand.Counts})
+		})
+		if err != nil {
+			return nil, err
+		}
+		agg := metrics.Aggregate(results)
+		table.AddRowf(sp.name, sp.d, demand.MeanDemand(), demand.Total, agg.Trials, fmtRate(agg.SuccessRate),
+			agg.Rounds.Mean, agg.Rounds.Max, agg.WorkPerBall.Mean, agg.MaxLoad.Max, params.Capacity())
+	}
+	table.AddNote("claim: the protocol and its analysis extend unchanged to the general 'at most d balls per client' case (Section 2.2)")
+	table.AddNote("expected shape: rounds stay logarithmic and work per ball stays a small constant regardless of demand skew; the cap scales as c·d with the configured maximum demand")
+	return table, nil
+}

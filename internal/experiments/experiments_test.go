@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// quickCfg is the reduced configuration all experiment tests run with; it
+// keeps the whole suite under a few seconds.
+func quickCfg() SuiteConfig {
+	cfg := QuickSuiteConfig()
+	cfg.Trials = 2
+	return cfg
+}
+
+func TestRegistryCompleteAndOrdered(t *testing.T) {
+	exps := All()
+	if len(exps) != 14 {
+		t.Fatalf("registry has %d experiments, want 14", len(exps))
+	}
+	for i, e := range exps {
+		want := "E" + strconv.Itoa(i+1)
+		if e.ID != want {
+			t.Errorf("experiment %d has ID %s, want %s", i, e.ID, want)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Errorf("experiment %s is missing metadata", e.ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("E3")
+	if err != nil || e.ID != "E3" {
+		t.Fatalf("ByID(E3) = %v, %v", e, err)
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestSuiteConfigDefaults(t *testing.T) {
+	def := DefaultSuiteConfig()
+	if def.Quick {
+		t.Error("default config should not be quick")
+	}
+	if def.trials() != 10 {
+		t.Errorf("default trials %d, want 10", def.trials())
+	}
+	q := QuickSuiteConfig()
+	if !q.Quick || q.trials() != 3 {
+		t.Errorf("quick config unexpected: %+v trials=%d", q, q.trials())
+	}
+	if len(q.sizes()) == 0 || len(def.sizes()) <= len(q.sizes()) {
+		t.Error("full sweep should be larger than quick sweep")
+	}
+	custom := SuiteConfig{Trials: 7}
+	if custom.trials() != 7 {
+		t.Error("explicit trial count ignored")
+	}
+	if custom.parallelism() <= 0 {
+		t.Error("parallelism must be positive")
+	}
+}
+
+func TestTrialSeedDeterministicAndDistinct(t *testing.T) {
+	cfg := quickCfg()
+	a := cfg.trialSeed(1, 2, 3)
+	b := cfg.trialSeed(1, 2, 3)
+	c := cfg.trialSeed(1, 2, 4)
+	if a != b {
+		t.Error("trialSeed not deterministic")
+	}
+	if a == c {
+		t.Error("different trial indices should give different seeds")
+	}
+}
+
+func TestRegularDelta(t *testing.T) {
+	if regularDelta(2) < 2 {
+		t.Error("tiny n should still give a usable degree")
+	}
+	if d := regularDelta(1024); d < 90 || d > 110 {
+		t.Errorf("regularDelta(1024) = %d, want about log²(1024) = 100", d)
+	}
+	if regularDelta(8) > 8 {
+		t.Error("degree must never exceed n")
+	}
+}
+
+// checkTable verifies the basic well-formedness every experiment table
+// must satisfy.
+func checkTable(t *testing.T, tb *Table, wantID string) {
+	t.Helper()
+	if tb == nil {
+		t.Fatal("nil table")
+	}
+	if tb.ID != wantID {
+		t.Errorf("table ID %s, want %s", tb.ID, wantID)
+	}
+	if len(tb.Columns) == 0 {
+		t.Error("table has no columns")
+	}
+	if len(tb.Rows) == 0 {
+		t.Error("table has no rows")
+	}
+	for i, row := range tb.Rows {
+		if len(row) != len(tb.Columns) {
+			t.Errorf("row %d has %d cells for %d columns", i, len(row), len(tb.Columns))
+		}
+	}
+	if tb.String() == "" {
+		t.Error("table renders to empty string")
+	}
+}
+
+func TestExperimentE1Completion(t *testing.T) {
+	tb, err := ExperimentCompletionScaling(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E1")
+	// Every row must report completion within the bound on these sizes.
+	col := indexOf(tb.Columns, "within_bound")
+	for _, row := range tb.Rows {
+		if row[col] != "yes" {
+			t.Errorf("row %v not within the completion bound", row)
+		}
+	}
+}
+
+func TestExperimentE2Work(t *testing.T) {
+	tb, err := ExperimentWorkScaling(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E2")
+	// Work per ball must stay bounded by a small constant across n.
+	col := indexOf(tb.Columns, "work_per_ball_mean")
+	for _, row := range tb.Rows {
+		v := parseFloat(t, row[col])
+		if v < 2 || v > 12 {
+			t.Errorf("work per ball %v outside the expected constant range", v)
+		}
+	}
+}
+
+func TestExperimentE3Burned(t *testing.T) {
+	tb, err := ExperimentBurnedFraction(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E3")
+	col := indexOf(tb.Columns, "below_bound")
+	for _, row := range tb.Rows {
+		if row[col] != "yes" {
+			t.Errorf("burned fraction exceeded 1/2 in row %v", row)
+		}
+	}
+}
+
+func TestExperimentE4SaerVsRaes(t *testing.T) {
+	tb, err := ExperimentSAERvsRAES(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E4")
+	// Rows alternate SAER/RAES per n.
+	if len(tb.Rows)%2 != 0 {
+		t.Error("expected an even number of rows (SAER and RAES per n)")
+	}
+}
+
+func TestExperimentE5MaxLoad(t *testing.T) {
+	tb, err := ExperimentMaxLoad(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E5")
+	col := indexOf(tb.Columns, "within_cap")
+	for _, row := range tb.Rows {
+		if row[col] != "yes" {
+			t.Errorf("load cap violated in row %v", row)
+		}
+	}
+}
+
+func TestExperimentE6DegreeSweep(t *testing.T) {
+	tb, err := ExperimentDegreeSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E6")
+}
+
+func TestExperimentE7Baselines(t *testing.T) {
+	tb, err := ExperimentSequentialBaselines(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E7")
+	// SAER, RAES and six baselines.
+	if len(tb.Rows) != 8 {
+		t.Errorf("expected 8 algorithm rows, got %d", len(tb.Rows))
+	}
+	algCol := indexOf(tb.Columns, "algorithm")
+	found := map[string]bool{}
+	for _, row := range tb.Rows {
+		found[row[algCol]] = true
+	}
+	for _, want := range []string{"SAER", "RAES", "one-choice", "greedy-best-of-2", "greedy-full-scan"} {
+		if !found[want] {
+			t.Errorf("missing algorithm row %q", want)
+		}
+	}
+}
+
+func TestExperimentE8AlmostRegular(t *testing.T) {
+	tb, err := ExperimentAlmostRegular(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E8")
+	col := indexOf(tb.Columns, "success")
+	for _, row := range tb.Rows {
+		if row[col] != "100%" {
+			t.Errorf("almost-regular run did not always complete: %v", row)
+		}
+	}
+}
+
+func TestExperimentE9Threshold(t *testing.T) {
+	tb, err := ExperimentThresholdSweep(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E9")
+	// The largest c (the paper's) must succeed in all trials.
+	col := indexOf(tb.Columns, "success")
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[col] != "100%" {
+		t.Errorf("the paper's c did not always complete: %v", last)
+	}
+}
+
+func TestExperimentE10Dense(t *testing.T) {
+	tb, err := ExperimentDenseRegime(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E10")
+}
+
+func TestExperimentE11Decay(t *testing.T) {
+	tb, err := ExperimentAliveDecay(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E11")
+}
+
+func TestExperimentE12Dynamic(t *testing.T) {
+	tb, err := ExperimentDynamic(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E12")
+	col := indexOf(tb.Columns, "completed")
+	for _, row := range tb.Rows {
+		if row[col] != "yes" {
+			t.Errorf("dynamic batch did not complete: %v", row)
+		}
+	}
+}
+
+func TestExperimentE13Expander(t *testing.T) {
+	tb, err := ExperimentExpanderExtraction(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E13")
+	col := indexOf(tb.Columns, "expander_like")
+	sigmaCol := indexOf(tb.Columns, "sigma2")
+	for _, row := range tb.Rows {
+		if row[col] != "yes" {
+			t.Errorf("assignment graph not expander-like: %v", row)
+		}
+		if parseFloat(t, row[sigmaCol]) >= 1 {
+			t.Errorf("sigma2 should be < 1: %v", row)
+		}
+	}
+}
+
+func TestExperimentE14Demand(t *testing.T) {
+	tb, err := ExperimentHeterogeneousDemand(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E14")
+	success := indexOf(tb.Columns, "success")
+	maxLoad := indexOf(tb.Columns, "max_load")
+	capCol := indexOf(tb.Columns, "cap")
+	for _, row := range tb.Rows {
+		if row[success] != "100%" {
+			t.Errorf("workload %q did not always complete", row[0])
+		}
+		if parseFloat(t, row[maxLoad]) > parseFloat(t, row[capCol]) {
+			t.Errorf("workload %q violates the load cap: %v", row[0], row)
+		}
+	}
+}
+
+func TestAssignmentDegreeCheckHelper(t *testing.T) {
+	cfg := quickCfg()
+	g, err := buildRegular(256, 20, cfg.trialSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{D: 2, C: 4, Seed: 5, Workers: 1}
+	res, err := core.Run(g, core.SAER, params, core.Options{TrackAssignments: true})
+	if err != nil || !res.Completed {
+		t.Fatalf("run failed: %v %v", err, res)
+	}
+	sub, err := res.AssignmentGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := assignmentDegreeCheck(sub, 2, params.Capacity()); err != nil {
+		t.Errorf("degree check failed: %v", err)
+	}
+	if err := assignmentDegreeCheck(sub, 3, params.Capacity()); err == nil {
+		t.Error("degree check should fail for the wrong d")
+	}
+}
+
+func TestRunDynamicScenarioValidation(t *testing.T) {
+	if _, err := RunDynamicScenario(DynamicConfig{}, 1); err == nil {
+		t.Error("empty dynamic config accepted")
+	}
+	dc := DefaultDynamicConfig(quickCfg())
+	outcomes, err := RunDynamicScenario(dc, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != dc.Batches {
+		t.Fatalf("got %d batch outcomes, want %d", len(outcomes), dc.Batches)
+	}
+	capacity := core.Params{D: dc.D, C: dc.C}.Capacity()
+	for _, o := range outcomes {
+		if o.MaxLoad > capacity {
+			t.Errorf("batch %d max load %d exceeds cap %d", o.Batch, o.MaxLoad, capacity)
+		}
+	}
+}
+
+func indexOf(cols []string, name string) int {
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a float: %v", s, err)
+	}
+	return v
+}

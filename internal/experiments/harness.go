@@ -1,0 +1,146 @@
+// Package experiments contains the reproduction's experiment harness: one
+// experiment per claim of the paper (see DESIGN.md for the index), each of
+// which builds its workloads, runs the protocols and baselines over
+// repeated seeded trials, and renders a Table with the measured series.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// SuiteConfig is the shared configuration of all experiments.
+type SuiteConfig struct {
+	// Quick selects reduced problem sizes and trial counts so the whole
+	// suite finishes in seconds (used by `go test` and smoke runs). The
+	// full-size configuration is intended for the saer-experiments CLI.
+	Quick bool
+	// Trials is the number of independent protocol runs per configuration
+	// point. Zero selects a per-mode default (3 quick / 10 full).
+	Trials int
+	// Seed derives all graph and protocol seeds.
+	Seed uint64
+	// TrialParallelism caps how many trials run concurrently (each trial
+	// itself runs single-threaded to avoid oversubscription). Zero selects
+	// GOMAXPROCS.
+	TrialParallelism int
+}
+
+// DefaultSuiteConfig returns the configuration used by the CLI when no
+// flags are given.
+func DefaultSuiteConfig() SuiteConfig {
+	return SuiteConfig{Quick: false, Seed: 0xC1E27A9E, Trials: 0}
+}
+
+// QuickSuiteConfig returns the reduced configuration used in tests.
+func QuickSuiteConfig() SuiteConfig {
+	return SuiteConfig{Quick: true, Seed: 0xC1E27A9E, Trials: 0}
+}
+
+func (c SuiteConfig) trials() int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Quick {
+		return 3
+	}
+	return 10
+}
+
+func (c SuiteConfig) parallelism() int {
+	if c.TrialParallelism > 0 {
+		return c.TrialParallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// sizes returns the n sweep used by the scaling experiments.
+func (c SuiteConfig) sizes() []int {
+	if c.Quick {
+		return []int{256, 512, 1024, 2048}
+	}
+	return []int{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15}
+}
+
+// trialSeed derives a deterministic seed for (experiment, point, trial).
+func (c SuiteConfig) trialSeed(parts ...uint64) uint64 {
+	h := c.Seed ^ 0x9e3779b97f4a7c15
+	for _, p := range parts {
+		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return h
+}
+
+// runParallelTrials executes fn(trial) for trial = 0..trials-1 with at
+// most cfg.parallelism() goroutines in flight and returns the results in
+// trial order. The first error, if any, is returned.
+func runParallelTrials(cfg SuiteConfig, trials int, fn func(trial int) (*core.Result, error)) ([]*core.Result, error) {
+	results := make([]*core.Result, trials)
+	errs := make([]error, trials)
+	sem := make(chan struct{}, cfg.parallelism())
+	var wg sync.WaitGroup
+	for i := 0; i < trials; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// regularDelta returns the Θ(log² n) degree used for the regular-graph
+// experiments.
+func regularDelta(n int) int {
+	if n < 4 {
+		return 2
+	}
+	l := math.Log2(float64(n))
+	d := int(l*l + 0.5)
+	if d < 4 {
+		d = 4
+	}
+	if d > n {
+		d = n
+	}
+	return d
+}
+
+// buildRegular builds the random ∆-regular graph for a scaling point.
+func buildRegular(n, delta int, seed uint64) (*bipartite.Graph, error) {
+	g, err := gen.Regular(n, delta, rng.New(seed))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building %d-regular graph on %d nodes: %w", delta, n, err)
+	}
+	return g, nil
+}
+
+// fmtBool renders a boolean as "yes"/"no" for table cells.
+func fmtBool(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// fmtRate renders a fraction as a percentage.
+func fmtRate(r float64) string {
+	return fmt.Sprintf("%.0f%%", 100*r)
+}

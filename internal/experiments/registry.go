@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment couples an identifier with the function that regenerates its
+// table.
+type Experiment struct {
+	ID    string
+	Title string
+	Claim string
+	Run   func(cfg SuiteConfig) (*Table, error)
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	exps := []Experiment{
+		{"E1", "Completion time vs n", "Theorem 1: O(log n) completion", ExperimentCompletionScaling},
+		{"E2", "Total work vs n", "Theorem 1: Θ(n) work", ExperimentWorkScaling},
+		{"E3", "Burned-server fraction", "Lemma 4: S_t ≤ 1/2 for t ≤ 3·log₂ n", ExperimentBurnedFraction},
+		{"E4", "SAER vs RAES", "Corollary 2: bounds carry over to RAES", ExperimentSAERvsRAES},
+		{"E5", "Maximum load invariant", "Section 2.2 remark (i): load ≤ c·d", ExperimentMaxLoad},
+		{"E6", "Degree sweep", "Theorem 1 hypothesis ∆ = Ω(log² n) and the o(log² n) open question", ExperimentDegreeSweep},
+		{"E7", "Baselines", "Positioning vs sequential greedy and parallel threshold protocols", ExperimentSequentialBaselines},
+		{"E8", "Almost-regular graphs", "Theorem 1 / Lemma 19 on heavy-client, light-server topologies", ExperimentAlmostRegular},
+		{"E9", "Threshold-constant sweep", "Role of c; the analysis constant is conservative", ExperimentThresholdSweep},
+		{"E10", "Dense regime regression", "Dense-case behaviour of Becchetti et al. recovered", ExperimentDenseRegime},
+		{"E11", "Alive-ball decay", "Section 3.2: geometric decay behind the Θ(n) work bound", ExperimentAliveDecay},
+		{"E12", "Dynamic arrivals", "Section 4 future work: metastable behaviour under churn", ExperimentDynamic},
+		{"E13", "Expander extraction", "Extension: the assignment subgraph is bounded-degree and expanding (Becchetti et al.)", ExperimentExpanderExtraction},
+		{"E14", "Heterogeneous demand", "Section 2.2 general ≤ d case and heavy/skewed demand regimes", ExperimentHeterogeneousDemand},
+	}
+	sort.Slice(exps, func(i, j int) bool { return lessID(exps[i].ID, exps[j].ID) })
+	return exps
+}
+
+// ByID returns the experiment with the given identifier (case-sensitive,
+// e.g. "E3").
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// lessID orders "E1" < "E2" < ... < "E10" < "E12" numerically.
+func lessID(a, b string) bool {
+	na, nb := idNumber(a), idNumber(b)
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func idNumber(id string) int {
+	n := 0
+	for _, r := range id {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+		}
+	}
+	return n
+}

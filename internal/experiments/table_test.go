@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestTableAddRowAndRender(t *testing.T) {
+	tb := NewTable("T1", "test table", "a", "b", "c")
+	tb.AddRow("1", "2", "3")
+	tb.AddRow("only-one")
+	tb.AddRow("x", "y", "z", "dropped")
+	tb.AddNote("a note with value %d", 42)
+
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows %d, want 3", len(tb.Rows))
+	}
+	if tb.Rows[1][1] != "" || tb.Rows[1][2] != "" {
+		t.Error("missing cells should be empty strings")
+	}
+	if len(tb.Rows[2]) != 3 {
+		t.Error("extra cells should be dropped")
+	}
+
+	out := tb.String()
+	if !strings.Contains(out, "T1 — test table") {
+		t.Error("render missing title")
+	}
+	if !strings.Contains(out, "note: a note with value 42") {
+		t.Error("render missing note")
+	}
+	if !strings.Contains(out, "only-one") {
+		t.Error("render missing row content")
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("T2", "formatted", "n", "x", "s")
+	tb.AddRowf(1024, 3.14159265, "hello")
+	if tb.Rows[0][0] != "1024" {
+		t.Errorf("int cell %q", tb.Rows[0][0])
+	}
+	if tb.Rows[0][1] != "3.142" {
+		t.Errorf("float cell %q, want 4 significant digits", tb.Rows[0][1])
+	}
+	if tb.Rows[0][2] != "hello" {
+		t.Errorf("string cell %q", tb.Rows[0][2])
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tb := NewTable("T3", "csv", "col1", "col2")
+	tb.AddRow("a", "b")
+	tb.AddRow("c", "d")
+	tb.AddNote("hello")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 { // header + 2 rows + note
+		t.Fatalf("CSV has %d records, want 4", len(records))
+	}
+	if records[0][0] != "col1" || records[3][0] != "#" {
+		t.Errorf("unexpected CSV layout: %v", records)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if fmtBool(true) != "yes" || fmtBool(false) != "no" {
+		t.Error("fmtBool")
+	}
+	if fmtRate(0.5) != "50%" || fmtRate(1) != "100%" {
+		t.Error("fmtRate")
+	}
+}

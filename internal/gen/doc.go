@@ -1,0 +1,31 @@
+// Package gen builds the bipartite client–server topologies used by the
+// experiments.
+//
+// The paper's main theorem holds for every almost-regular bipartite graph
+// with minimum client degree Ω(log² n); since such graphs are worst-case
+// (adversarial) objects, the reproduction exercises a spread of concrete
+// families:
+//
+//   - Regular: random Δ-regular bipartite graphs built from Δ independent
+//     random perfect matchings (the permutation model). This is the
+//     setting of the paper's Section 3.
+//   - BiRegular: (dC, dS)-biregular graphs built with the configuration
+//     model, allowing the two sides to have different (but uniform)
+//     degrees.
+//   - Complete: the complete bipartite graph, i.e. the classic
+//     balls-into-bins setting used by the dense-case baselines.
+//   - ErdosRenyi: each admissibility edge present independently with
+//     probability p.
+//   - TrustSubset: every client trusts k servers chosen uniformly at
+//     random without replacement (Godfrey's random-cluster input model and
+//     the paper's motivation (i)).
+//   - AlmostRegular: the paper's "non-extremal example" — most clients
+//     have degree Θ(log² n), a few heavy clients have degree Θ(√n), and a
+//     few servers have only constant degree.
+//   - Proximity: clients and servers are points on the unit torus and a
+//     client may only use servers within a given radius (the paper's
+//     motivation (ii)); positions are returned for visualization.
+//
+// All generators are deterministic functions of their explicit *rng.Source
+// argument.
+package gen

@@ -1,0 +1,201 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bipartite"
+	"repro/internal/rng"
+)
+
+// Point is a position on the unit torus [0,1)².
+type Point struct {
+	X, Y float64
+}
+
+// TorusDistance returns the distance between two points on the unit torus
+// (opposite edges identified), which keeps the proximity model free of
+// boundary effects.
+func TorusDistance(a, b Point) float64 {
+	dx := math.Abs(a.X - b.X)
+	if dx > 0.5 {
+		dx = 1 - dx
+	}
+	dy := math.Abs(a.Y - b.Y)
+	if dy > 0.5 {
+		dy = 1 - dy
+	}
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// GeometricGraph couples a bipartite admissibility graph with the client
+// and server positions it was derived from, so that examples and traces
+// can visualize the proximity structure.
+type GeometricGraph struct {
+	Graph     *bipartite.Graph
+	ClientPos []Point
+	ServerPos []Point
+	Radius    float64
+	// FallbackEdges counts clients that had no server within Radius and
+	// were connected to their nearest server instead.
+	FallbackEdges int
+}
+
+// ProximityConfig parameterizes the geometric generator.
+type ProximityConfig struct {
+	NumClients int
+	NumServers int
+	// Radius is the connection radius on the unit torus; a client is
+	// admissible for every server within this distance. The expected
+	// client degree is approximately NumServers·π·Radius².
+	Radius float64
+	// MinDegree, if positive, augments each client's neighborhood with its
+	// nearest servers until it has at least MinDegree admissible servers.
+	// This models a client that widens its search radius when too few
+	// nearby servers exist and guarantees the protocol can terminate.
+	MinDegree int
+}
+
+// RadiusForExpectedDegree returns the torus radius that yields the given
+// expected client degree with numServers uniformly placed servers.
+func RadiusForExpectedDegree(numServers, expectedDegree int) float64 {
+	if numServers <= 0 || expectedDegree <= 0 {
+		return 0
+	}
+	return math.Sqrt(float64(expectedDegree) / (math.Pi * float64(numServers)))
+}
+
+// Proximity places NumClients clients and NumServers servers uniformly at
+// random on the unit torus and connects every client to all servers within
+// cfg.Radius, using a uniform grid for neighbor search so generation costs
+// O(edges) rather than O(clients·servers).
+func Proximity(cfg ProximityConfig, src *rng.Source) (*GeometricGraph, error) {
+	if cfg.NumClients <= 0 || cfg.NumServers <= 0 {
+		return nil, fmt.Errorf("gen: Proximity requires positive sides, got %d clients %d servers", cfg.NumClients, cfg.NumServers)
+	}
+	if cfg.Radius <= 0 || cfg.Radius > 0.5 {
+		return nil, fmt.Errorf("gen: Proximity requires radius in (0, 0.5], got %v", cfg.Radius)
+	}
+	clientPos := make([]Point, cfg.NumClients)
+	for i := range clientPos {
+		clientPos[i] = Point{X: src.Float64(), Y: src.Float64()}
+	}
+	serverPos := make([]Point, cfg.NumServers)
+	for i := range serverPos {
+		serverPos[i] = Point{X: src.Float64(), Y: src.Float64()}
+	}
+
+	// Bucket servers into a grid with cells at least Radius wide so that a
+	// client only needs to inspect its 3×3 cell neighborhood.
+	cells := int(math.Floor(1 / cfg.Radius))
+	if cells < 1 {
+		cells = 1
+	}
+	if cells > 1024 {
+		cells = 1024
+	}
+	grid := make([][]int32, cells*cells)
+	cellOf := func(p Point) (int, int) {
+		cx := int(p.X * float64(cells))
+		cy := int(p.Y * float64(cells))
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	for u, p := range serverPos {
+		cx, cy := cellOf(p)
+		grid[cy*cells+cx] = append(grid[cy*cells+cx], int32(u))
+	}
+
+	b := bipartite.NewBuilder(cfg.NumClients, cfg.NumServers)
+	fallbacks := 0
+	for v, p := range clientPos {
+		cx, cy := cellOf(p)
+		inRadius := make(map[int]bool)
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				gx := (cx + dx + cells) % cells
+				gy := (cy + dy + cells) % cells
+				for _, u := range grid[gy*cells+gx] {
+					if TorusDistance(p, serverPos[u]) <= cfg.Radius {
+						if !inRadius[int(u)] {
+							inRadius[int(u)] = true
+							b.AddEdge(v, int(u))
+						}
+					}
+				}
+			}
+		}
+		need := 1
+		if cfg.MinDegree > need {
+			need = cfg.MinDegree
+		}
+		if len(inRadius) < need {
+			// Widen the search: brute-force the nearest servers. This is a
+			// rare path (isolated or sparse neighborhoods).
+			degree := len(inRadius)
+			for _, u := range nearestServers(p, serverPos, need) {
+				if degree >= need {
+					break
+				}
+				if !inRadius[u] {
+					inRadius[u] = true
+					b.AddEdge(v, u)
+					degree++
+					fallbacks++
+				}
+			}
+		}
+	}
+	g, err := b.Build(bipartite.DedupEdges)
+	if err != nil {
+		return nil, err
+	}
+	return &GeometricGraph{
+		Graph:         g,
+		ClientPos:     clientPos,
+		ServerPos:     serverPos,
+		Radius:        cfg.Radius,
+		FallbackEdges: fallbacks,
+	}, nil
+}
+
+// nearestServers returns the indices of the k servers closest to p,
+// by a simple selection over all servers (used only on the rare fallback
+// path).
+func nearestServers(p Point, serverPos []Point, k int) []int {
+	if k > len(serverPos) {
+		k = len(serverPos)
+	}
+	type cand struct {
+		u int
+		d float64
+	}
+	best := make([]cand, 0, k)
+	for u, sp := range serverPos {
+		d := TorusDistance(p, sp)
+		if len(best) < k {
+			best = append(best, cand{u, d})
+			// Bubble the new candidate into place (k is tiny).
+			for i := len(best) - 1; i > 0 && best[i].d < best[i-1].d; i-- {
+				best[i], best[i-1] = best[i-1], best[i]
+			}
+			continue
+		}
+		if d < best[k-1].d {
+			best[k-1] = cand{u, d}
+			for i := k - 1; i > 0 && best[i].d < best[i-1].d; i-- {
+				best[i], best[i-1] = best[i-1], best[i]
+			}
+		}
+	}
+	out := make([]int, len(best))
+	for i, c := range best {
+		out[i] = c.u
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestTorusDistance(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{0.3, 0}, 0.3},
+		{Point{0, 0}, Point{0.9, 0}, 0.1},                   // wraps around
+		{Point{0.1, 0.1}, Point{0.9, 0.9}, math.Sqrt(0.08)}, // wraps both axes
+		{Point{0.25, 0.5}, Point{0.75, 0.5}, 0.5},           // maximal axis distance
+	}
+	for i, tc := range cases {
+		if got := TorusDistance(tc.a, tc.b); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("case %d: distance %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestRadiusForExpectedDegree(t *testing.T) {
+	r := RadiusForExpectedDegree(1000, 30)
+	// Expected degree = numServers·π·r² should recover 30.
+	got := 1000 * math.Pi * r * r
+	if math.Abs(got-30) > 1e-9 {
+		t.Errorf("radius gives expected degree %v, want 30", got)
+	}
+	if RadiusForExpectedDegree(0, 5) != 0 || RadiusForExpectedDegree(5, 0) != 0 {
+		t.Error("degenerate inputs should yield radius 0")
+	}
+}
+
+func TestProximityDegreesNearExpectation(t *testing.T) {
+	const n = 2000
+	const wantDeg = 40
+	cfg := ProximityConfig{
+		NumClients: n,
+		NumServers: n,
+		Radius:     RadiusForExpectedDegree(n, wantDeg),
+	}
+	gg, err := Proximity(cfg, rng.New(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := gg.Graph.Stats()
+	if math.Abs(st.MeanClientDeg-wantDeg) > 0.2*wantDeg {
+		t.Errorf("mean client degree %v, want about %v", st.MeanClientDeg, wantDeg)
+	}
+	if err := gg.Graph.Validate(); err != nil {
+		t.Fatalf("proximity graph invalid: %v", err)
+	}
+	if len(gg.ClientPos) != n || len(gg.ServerPos) != n {
+		t.Error("positions not returned for all entities")
+	}
+}
+
+func TestProximityEdgesRespectRadius(t *testing.T) {
+	cfg := ProximityConfig{NumClients: 300, NumServers: 300, Radius: 0.08}
+	gg, err := Proximity(cfg, rng.New(33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gg.Graph
+	violations := 0
+	for v := 0; v < g.NumClients(); v++ {
+		for _, u := range g.ClientNeighbors(v) {
+			if TorusDistance(gg.ClientPos[v], gg.ServerPos[u]) > cfg.Radius+1e-12 {
+				violations++
+			}
+		}
+	}
+	// Only fallback edges (for otherwise-isolated clients) may exceed the
+	// radius.
+	if violations > gg.FallbackEdges {
+		t.Errorf("%d edges exceed the radius but only %d fallbacks were recorded", violations, gg.FallbackEdges)
+	}
+}
+
+func TestProximityMinDegree(t *testing.T) {
+	cfg := ProximityConfig{NumClients: 200, NumServers: 200, Radius: 0.02, MinDegree: 5}
+	gg, err := Proximity(cfg, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < gg.Graph.NumClients(); v++ {
+		if gg.Graph.ClientDegree(v) < 5 {
+			t.Fatalf("client %d degree %d below MinDegree", v, gg.Graph.ClientDegree(v))
+		}
+	}
+}
+
+func TestProximityRejectsBadParams(t *testing.T) {
+	if _, err := Proximity(ProximityConfig{NumClients: 0, NumServers: 10, Radius: 0.1}, rng.New(1)); err == nil {
+		t.Error("empty client side accepted")
+	}
+	if _, err := Proximity(ProximityConfig{NumClients: 10, NumServers: 10, Radius: 0}, rng.New(1)); err == nil {
+		t.Error("zero radius accepted")
+	}
+	if _, err := Proximity(ProximityConfig{NumClients: 10, NumServers: 10, Radius: 0.7}, rng.New(1)); err == nil {
+		t.Error("radius > 0.5 accepted")
+	}
+}
+
+func TestProximityDeterministic(t *testing.T) {
+	cfg := ProximityConfig{NumClients: 100, NumServers: 100, Radius: 0.1}
+	a, err := Proximity(cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Proximity(cfg, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("proximity generation not deterministic")
+	}
+	ae, be := a.Graph.Edges(), b.Graph.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs between identical-seed runs", i)
+		}
+	}
+}

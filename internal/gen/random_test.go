@@ -1,0 +1,189 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	const n, m = 300, 300
+	const p = 0.05
+	g, err := ErdosRenyi(n, m, p, false, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := float64(n) * float64(m) * p
+	got := float64(g.NumEdges())
+	if math.Abs(got-expected) > 0.2*expected {
+		t.Errorf("edge count %v far from expectation %v", got, expected)
+	}
+	if err := g.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErdosRenyiEnsureClients(t *testing.T) {
+	// With p=0 every client would be isolated; ensureClients must give each
+	// exactly one edge.
+	g, err := ErdosRenyi(50, 50, 0, true, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("ensured graph still has isolated clients: %v", err)
+	}
+	if g.NumEdges() != 50 {
+		t.Fatalf("expected exactly 50 fallback edges, got %d", g.NumEdges())
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	g, err := ErdosRenyi(10, 10, 1, false, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 100 {
+		t.Fatalf("p=1 should give the complete graph, got %d edges", g.NumEdges())
+	}
+	g, err = ErdosRenyi(10, 10, 0, false, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 0 {
+		t.Fatalf("p=0 should give no edges, got %d", g.NumEdges())
+	}
+	if _, err := ErdosRenyi(10, 10, 1.5, false, rng.New(1)); err == nil {
+		t.Error("p>1 accepted")
+	}
+	if _, err := ErdosRenyi(0, 10, 0.5, false, rng.New(1)); err == nil {
+		t.Error("empty side accepted")
+	}
+}
+
+func TestTrustSubsetDegrees(t *testing.T) {
+	g, err := TrustSubset(100, 80, 12, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 100; v++ {
+		if g.ClientDegree(v) != 12 {
+			t.Fatalf("client %d degree %d, want 12", v, g.ClientDegree(v))
+		}
+		seen := map[int32]bool{}
+		for _, u := range g.ClientNeighbors(v) {
+			if seen[u] {
+				t.Fatalf("client %d trusts server %d twice", v, u)
+			}
+			seen[u] = true
+		}
+	}
+}
+
+func TestTrustSubsetRejectsBadParams(t *testing.T) {
+	if _, err := TrustSubset(10, 5, 6, rng.New(1)); err == nil {
+		t.Error("k > numServers accepted")
+	}
+	if _, err := TrustSubset(10, 5, 0, rng.New(1)); err == nil {
+		t.Error("k = 0 accepted")
+	}
+	if _, err := TrustSubset(0, 5, 1, rng.New(1)); err == nil {
+		t.Error("empty side accepted")
+	}
+}
+
+func TestAlmostRegularStructure(t *testing.T) {
+	cfg := AlmostRegularConfig{
+		N:            400,
+		BaseDegree:   36,
+		HeavyClients: 5,
+		HeavyDegree:  80,
+		LightServers: 4,
+		LightDegree:  3,
+	}
+	g, err := AlmostRegular(cfg, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.MinClientDegree < cfg.BaseDegree {
+		t.Errorf("min client degree %d below base %d", st.MinClientDegree, cfg.BaseDegree)
+	}
+	// Heavy clients should have roughly HeavyDegree (plus possibly a few
+	// light-server attachments).
+	for v := 0; v < cfg.HeavyClients; v++ {
+		if g.ClientDegree(v) < cfg.HeavyDegree {
+			t.Errorf("heavy client %d degree %d below %d", v, g.ClientDegree(v), cfg.HeavyDegree)
+		}
+	}
+	// Light servers are the last LightServers ids and have exactly LightDegree.
+	for u := cfg.N - cfg.LightServers; u < cfg.N; u++ {
+		if g.ServerDegree(u) != cfg.LightDegree {
+			t.Errorf("light server %d degree %d, want %d", u, g.ServerDegree(u), cfg.LightDegree)
+		}
+	}
+	if math.IsInf(st.RegularityRatio, 1) {
+		t.Error("regularity ratio should be finite")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlmostRegularConfigValidation(t *testing.T) {
+	bad := []AlmostRegularConfig{
+		{N: 0, BaseDegree: 2},
+		{N: 10, BaseDegree: 0},
+		{N: 10, BaseDegree: 2, HeavyClients: 11},
+		{N: 10, BaseDegree: 4, HeavyClients: 1, HeavyDegree: 2},
+		{N: 10, BaseDegree: 2, LightServers: 10},
+		{N: 10, BaseDegree: 2, LightServers: 2, LightDegree: 0},
+		{N: 10, BaseDegree: 9, LightServers: 2, LightDegree: 1},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	good := AlmostRegularConfig{N: 100, BaseDegree: 10, HeavyClients: 2, HeavyDegree: 20, LightServers: 2, LightDegree: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestDefaultAlmostRegularConfig(t *testing.T) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		cfg := DefaultAlmostRegularConfig(n)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("default config for n=%d invalid: %v", n, err)
+		}
+		if _, err := AlmostRegular(cfg, rng.New(1)); err != nil {
+			t.Errorf("default config for n=%d failed to generate: %v", n, err)
+		}
+	}
+}
+
+func TestQuickTrustSubsetValid(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		k := int(kRaw%uint8(n)) + 1
+		g, err := TrustSubset(n, n, k, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil || g.CheckConsistency() != nil {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			if g.ClientDegree(v) != k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,160 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/rng"
+)
+
+// Regular returns a random Δ-regular bipartite graph with n clients and n
+// servers, built as the union of delta independent uniform perfect
+// matchings (the permutation model). Every client and every server has
+// degree exactly delta. Parallel edges may occur (with probability
+// O(delta²/n) per pair); the protocols treat a parallel edge as a doubled
+// selection weight, which matches the paper's "with replacement" choice
+// rule, so they are kept.
+func Regular(n, delta int, src *rng.Source) (*bipartite.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: Regular requires n > 0, got %d", n)
+	}
+	if delta <= 0 || delta > n {
+		return nil, fmt.Errorf("gen: Regular requires 0 < delta <= n, got delta=%d n=%d", delta, n)
+	}
+	b := bipartite.NewBuilder(n, n)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < delta; k++ {
+		src.Shuffle(perm)
+		for v := 0; v < n; v++ {
+			b.AddEdge(v, perm[v])
+		}
+	}
+	return b.Build(bipartite.KeepParallelEdges)
+}
+
+// RegularSimple is like Regular but retries each matching locally to avoid
+// parallel edges, producing a simple Δ-regular bipartite graph. It uses
+// edge swaps to repair collisions, so it always terminates. Use it when a
+// strictly simple graph is required (e.g. for comparisons against
+// generators that never produce parallel edges).
+func RegularSimple(n, delta int, src *rng.Source) (*bipartite.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: RegularSimple requires n > 0, got %d", n)
+	}
+	if delta <= 0 || delta > n {
+		return nil, fmt.Errorf("gen: RegularSimple requires 0 < delta <= n, got delta=%d n=%d", delta, n)
+	}
+	// adj[v] is the set of servers already matched to client v.
+	adj := make([]map[int]bool, n)
+	for v := range adj {
+		adj[v] = make(map[int]bool, delta)
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	b := bipartite.NewBuilder(n, n)
+	for k := 0; k < delta; k++ {
+		src.Shuffle(perm)
+		// Repair collisions: if client v is already adjacent to perm[v],
+		// swap perm[v] with the image of a uniformly random other client
+		// until the assignment is collision-free. Each swap strictly
+		// reduces the chance of conflict in expectation; cap iterations
+		// defensively and fall back to a linear scan for a valid partner.
+		for v := 0; v < n; v++ {
+			if !adj[v][perm[v]] {
+				continue
+			}
+			fixed := false
+			for attempt := 0; attempt < 4*n; attempt++ {
+				w := src.Intn(n)
+				if w == v {
+					continue
+				}
+				// Swapping must not create a collision at either endpoint.
+				if !adj[v][perm[w]] && !adj[w][perm[v]] {
+					perm[v], perm[w] = perm[w], perm[v]
+					fixed = true
+					break
+				}
+			}
+			if !fixed {
+				for w := 0; w < n; w++ {
+					if w != v && !adj[v][perm[w]] && !adj[w][perm[v]] {
+						perm[v], perm[w] = perm[w], perm[v]
+						fixed = true
+						break
+					}
+				}
+			}
+			if !fixed {
+				// Can only happen for delta close to n where simple regular
+				// graphs become rigid; fall back to accepting the parallel
+				// edge rather than failing the whole generation.
+				continue
+			}
+		}
+		for v := 0; v < n; v++ {
+			adj[v][perm[v]] = true
+			b.AddEdge(v, perm[v])
+		}
+	}
+	return b.Build(bipartite.KeepParallelEdges)
+}
+
+// BiRegular returns a random bipartite graph with numClients clients of
+// degree exactly clientDeg and numServers servers of degree exactly
+// serverDeg, built with the configuration (stub-matching) model. The
+// degree sequence must be feasible: numClients*clientDeg ==
+// numServers*serverDeg. Parallel edges may occur and are kept.
+func BiRegular(numClients, clientDeg, numServers, serverDeg int, src *rng.Source) (*bipartite.Graph, error) {
+	if numClients <= 0 || numServers <= 0 {
+		return nil, fmt.Errorf("gen: BiRegular requires positive sides, got %d clients %d servers", numClients, numServers)
+	}
+	if clientDeg <= 0 || serverDeg <= 0 {
+		return nil, fmt.Errorf("gen: BiRegular requires positive degrees, got %d and %d", clientDeg, serverDeg)
+	}
+	if numClients*clientDeg != numServers*serverDeg {
+		return nil, fmt.Errorf("gen: BiRegular infeasible degree sequence: %d*%d != %d*%d",
+			numClients, clientDeg, numServers, serverDeg)
+	}
+	stubs := numClients * clientDeg
+	// serverStubs[i] is the server owning the i-th server-side stub.
+	serverStubs := make([]int32, stubs)
+	idx := 0
+	for u := 0; u < numServers; u++ {
+		for k := 0; k < serverDeg; k++ {
+			serverStubs[idx] = int32(u)
+			idx++
+		}
+	}
+	src.ShuffleInt32(serverStubs)
+	b := bipartite.NewBuilder(numClients, numServers)
+	idx = 0
+	for v := 0; v < numClients; v++ {
+		for k := 0; k < clientDeg; k++ {
+			b.AddEdge(v, int(serverStubs[idx]))
+			idx++
+		}
+	}
+	return b.Build(bipartite.KeepParallelEdges)
+}
+
+// Complete returns the complete bipartite graph K_{numClients,numServers}.
+// This is the classic parallel balls-into-bins setting (the dense regime
+// in which RAES was originally analysed).
+func Complete(numClients, numServers int) (*bipartite.Graph, error) {
+	if numClients <= 0 || numServers <= 0 {
+		return nil, fmt.Errorf("gen: Complete requires positive sides, got %d clients %d servers", numClients, numServers)
+	}
+	b := bipartite.NewBuilder(numClients, numServers)
+	for v := 0; v < numClients; v++ {
+		for u := 0; u < numServers; u++ {
+			b.AddEdge(v, u)
+		}
+	}
+	return b.Build(bipartite.KeepParallelEdges)
+}

@@ -1,0 +1,185 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestRegularDegrees(t *testing.T) {
+	for _, tc := range []struct{ n, delta int }{{10, 3}, {64, 8}, {200, 16}, {5, 5}} {
+		g, err := Regular(tc.n, tc.delta, rng.New(1))
+		if err != nil {
+			t.Fatalf("Regular(%d,%d): %v", tc.n, tc.delta, err)
+		}
+		if g.NumClients() != tc.n || g.NumServers() != tc.n {
+			t.Fatalf("Regular(%d,%d) sizes %d/%d", tc.n, tc.delta, g.NumClients(), g.NumServers())
+		}
+		for v := 0; v < tc.n; v++ {
+			if g.ClientDegree(v) != tc.delta {
+				t.Fatalf("Regular(%d,%d): client %d degree %d", tc.n, tc.delta, v, g.ClientDegree(v))
+			}
+		}
+		for u := 0; u < tc.n; u++ {
+			if g.ServerDegree(u) != tc.delta {
+				t.Fatalf("Regular(%d,%d): server %d degree %d", tc.n, tc.delta, u, g.ServerDegree(u))
+			}
+		}
+		if err := g.CheckConsistency(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRegularDeterministic(t *testing.T) {
+	a, err := Regular(50, 6, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Regular(50, 6, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("Regular not deterministic at edge %d", i)
+		}
+	}
+}
+
+func TestRegularRejectsBadParams(t *testing.T) {
+	if _, err := Regular(0, 3, rng.New(1)); err == nil {
+		t.Error("Regular(0,3) should fail")
+	}
+	if _, err := Regular(10, 0, rng.New(1)); err == nil {
+		t.Error("Regular(10,0) should fail")
+	}
+	if _, err := Regular(10, 11, rng.New(1)); err == nil {
+		t.Error("Regular(10,11) should fail")
+	}
+}
+
+func TestRegularSimpleNoParallelEdges(t *testing.T) {
+	g, err := RegularSimple(100, 10, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumClients(); v++ {
+		seen := map[int32]bool{}
+		for _, u := range g.ClientNeighbors(v) {
+			if seen[u] {
+				t.Fatalf("client %d has parallel edge to server %d", v, u)
+			}
+			seen[u] = true
+		}
+		if g.ClientDegree(v) != 10 {
+			t.Fatalf("client %d degree %d, want 10", v, g.ClientDegree(v))
+		}
+	}
+	for u := 0; u < g.NumServers(); u++ {
+		if g.ServerDegree(u) != 10 {
+			t.Fatalf("server %d degree %d, want 10", u, g.ServerDegree(u))
+		}
+	}
+}
+
+func TestRegularSimpleRejectsBadParams(t *testing.T) {
+	if _, err := RegularSimple(0, 1, rng.New(1)); err == nil {
+		t.Error("RegularSimple(0,1) should fail")
+	}
+	if _, err := RegularSimple(5, 6, rng.New(1)); err == nil {
+		t.Error("RegularSimple(5,6) should fail")
+	}
+}
+
+func TestBiRegularDegrees(t *testing.T) {
+	g, err := BiRegular(60, 4, 40, 6, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 60; v++ {
+		if g.ClientDegree(v) != 4 {
+			t.Fatalf("client %d degree %d, want 4", v, g.ClientDegree(v))
+		}
+	}
+	for u := 0; u < 40; u++ {
+		if g.ServerDegree(u) != 6 {
+			t.Fatalf("server %d degree %d, want 6", u, g.ServerDegree(u))
+		}
+	}
+}
+
+func TestBiRegularInfeasible(t *testing.T) {
+	if _, err := BiRegular(10, 3, 7, 4, rng.New(1)); err == nil {
+		t.Error("infeasible degree sequence accepted")
+	}
+	if _, err := BiRegular(10, 0, 10, 0, rng.New(1)); err == nil {
+		t.Error("zero degrees accepted")
+	}
+	if _, err := BiRegular(-1, 2, 10, 2, rng.New(1)); err == nil {
+		t.Error("negative side accepted")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	g, err := Complete(5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 35 {
+		t.Fatalf("complete graph has %d edges, want 35", g.NumEdges())
+	}
+	for v := 0; v < 5; v++ {
+		if g.ClientDegree(v) != 7 {
+			t.Fatalf("client %d degree %d, want 7", v, g.ClientDegree(v))
+		}
+	}
+	if _, err := Complete(0, 1); err == nil {
+		t.Error("Complete(0,1) should fail")
+	}
+}
+
+func TestQuickRegularAlwaysRegular(t *testing.T) {
+	f := func(seed uint64, nRaw, dRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		delta := int(dRaw%uint8(n)) + 1
+		g, err := Regular(n, delta, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		return g.IsRegular(delta) && g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickBiRegularDegreeSums(t *testing.T) {
+	f := func(seed uint64, aRaw, bRaw uint8) bool {
+		// Construct feasible parameters: nc = a·k, dC = b, ns = b·k, dS = a.
+		a := int(aRaw%6) + 1
+		bdeg := int(bRaw%6) + 1
+		k := 5
+		nc, ns := a*k, bdeg*k
+		g, err := BiRegular(nc, bdeg, ns, a, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		for v := 0; v < nc; v++ {
+			if g.ClientDegree(v) != bdeg {
+				return false
+			}
+		}
+		for u := 0; u < ns; u++ {
+			if g.ServerDegree(u) != a {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

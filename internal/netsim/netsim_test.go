@@ -1,0 +1,210 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func testGraph(t testing.TB, n, delta int, seed uint64) *bipartite.Graph {
+	t.Helper()
+	g, err := gen.Regular(n, delta, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNetsimCompletes(t *testing.T) {
+	g := testGraph(t, 512, 30, 1)
+	res, err := Run(g, core.SAER, core.Params{D: 2, C: 4, Seed: 9}, core.Options{TrackLoads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("netsim run did not complete: %v", res)
+	}
+	if res.MaxLoad > res.LoadBound() {
+		t.Errorf("max load %d exceeds cap %d", res.MaxLoad, res.LoadBound())
+	}
+	total := 0
+	for _, l := range res.Loads {
+		total += l
+	}
+	if total != 512*2 {
+		t.Errorf("total load %d, want %d", total, 512*2)
+	}
+}
+
+// TestNetsimMatchesCoreExactly is the cross-validation test: the
+// channel-based engine and the array-based engine realize the same random
+// process, so with identical seeds every observable outcome must agree.
+func TestNetsimMatchesCoreExactly(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		delta   int
+		variant core.Variant
+		params  core.Params
+	}{
+		{"saer-easy", 512, 30, core.SAER, core.Params{D: 2, C: 4, Seed: 11}},
+		{"saer-tight", 512, 30, core.SAER, core.Params{D: 2, C: 2, Seed: 12}},
+		{"raes-easy", 512, 30, core.RAES, core.Params{D: 3, C: 4, Seed: 13}},
+		{"raes-tight", 256, 20, core.RAES, core.Params{D: 2, C: 1.75, Seed: 14}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := testGraph(t, tc.n, tc.delta, 100+uint64(tc.n))
+			opts := core.Options{TrackRounds: true, TrackLoads: true}
+			fast, err := core.Run(g, tc.variant, tc.params, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := Run(g, tc.variant, tc.params, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast.Completed != slow.Completed || fast.Rounds != slow.Rounds {
+				t.Fatalf("completion/rounds differ: core=%v netsim=%v", fast, slow)
+			}
+			if fast.TotalRequests != slow.TotalRequests || fast.Work != slow.Work {
+				t.Fatalf("work differs: core=%d netsim=%d", fast.Work, slow.Work)
+			}
+			if fast.MaxLoad != slow.MaxLoad || fast.MinLoad != slow.MinLoad || fast.BurnedServers != slow.BurnedServers {
+				t.Fatalf("load/burned stats differ: core=%v netsim=%v", fast, slow)
+			}
+			if fast.SaturationEvents != slow.SaturationEvents {
+				t.Fatalf("saturation events differ: core=%d netsim=%d", fast.SaturationEvents, slow.SaturationEvents)
+			}
+			for u := range fast.Loads {
+				if fast.Loads[u] != slow.Loads[u] {
+					t.Fatalf("server %d load differs: core=%d netsim=%d", u, fast.Loads[u], slow.Loads[u])
+				}
+			}
+			if len(fast.PerRound) != len(slow.PerRound) {
+				t.Fatalf("per-round series lengths differ")
+			}
+			for i := range fast.PerRound {
+				a, b := fast.PerRound[i], slow.PerRound[i]
+				if a.RequestsSent != b.RequestsSent || a.RequestsAccepted != b.RequestsAccepted ||
+					a.NewlyBurned != b.NewlyBurned || a.BurnedTotal != b.BurnedTotal {
+					t.Fatalf("round %d differs: core=%+v netsim=%+v", i+1, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestNetsimRequestCountsAndInitialLoads(t *testing.T) {
+	g := testGraph(t, 256, 24, 3)
+	counts := make([]int, 256)
+	src := rng.New(5)
+	for i := range counts {
+		counts[i] = src.Intn(3)
+	}
+	init := make([]int, 256)
+	for i := range init {
+		init[i] = 2
+	}
+	opts := core.Options{RequestCounts: counts, InitialLoads: init, TrackLoads: true}
+	params := core.Params{D: 2, C: 4, Seed: 77}
+	fast, err := core.Run(g, core.SAER, params, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(g, core.SAER, params, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Rounds != slow.Rounds || fast.MaxLoad != slow.MaxLoad || fast.Completed != slow.Completed {
+		t.Fatalf("engines disagree on the general case: core=%v netsim=%v", fast, slow)
+	}
+	for u := range fast.Loads {
+		if fast.Loads[u] != slow.Loads[u] {
+			t.Fatalf("server %d load differs", u)
+		}
+	}
+}
+
+func TestNetsimValidation(t *testing.T) {
+	g := testGraph(t, 64, 8, 4)
+	if _, err := Run(g, core.SAER, core.Params{D: 0, C: 4}, core.Options{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := Run(g, core.Variant(9), core.Params{D: 2, C: 4}, core.Options{}); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if _, err := Run(g, core.SAER, core.Params{D: 2, C: 4}, core.Options{InitialLoads: []int{1}}); err == nil {
+		t.Error("wrong-length InitialLoads accepted")
+	}
+	if _, err := Run(g, core.SAER, core.Params{D: 2, C: 4}, core.Options{RequestCounts: []int{1}}); err == nil {
+		t.Error("wrong-length RequestCounts accepted")
+	}
+	bad, err := bipartite.NewBuilder(2, 2).AddEdge(0, 0).Build(bipartite.KeepParallelEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(bad, core.SAER, core.Params{D: 2, C: 4}, core.Options{}); err == nil {
+		t.Error("isolated client accepted")
+	}
+}
+
+func TestNetsimRoundCap(t *testing.T) {
+	// Two clients forced onto one server with capacity 2 cannot place 4
+	// balls; RAES has no starvation exit so the run must stop at the cap.
+	b := bipartite.NewBuilder(2, 1)
+	b.AddEdge(0, 0).AddEdge(1, 0)
+	g, err := b.Build(bipartite.KeepParallelEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, core.RAES, core.Params{D: 2, C: 1, Seed: 1, MaxRounds: 7}, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed {
+		t.Error("impossible instance reported complete")
+	}
+	if res.Rounds != 7 {
+		t.Errorf("rounds %d, want the cap 7", res.Rounds)
+	}
+	// Both clients aim every ball at the single server, so each round sees
+	// 4 > 2 requests and RAES rejects them all: nothing is ever placed.
+	if res.UnassignedBalls != 4 {
+		t.Errorf("unassigned %d, want 4", res.UnassignedBalls)
+	}
+}
+
+// Property: on random instances the two engines always agree on the
+// summary outcome.
+func TestQuickEnginesAgree(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, tight bool) bool {
+		n := 64 + int(nRaw%64)
+		g, err := gen.Regular(n, 12, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		c := 4.0
+		if tight {
+			c = 2.0
+		}
+		params := core.Params{D: 2, C: c, Seed: seed ^ 0xbeef}
+		fast, err := core.Run(g, core.RAES, params, core.Options{})
+		if err != nil {
+			return false
+		}
+		slow, err := Run(g, core.RAES, params, core.Options{})
+		if err != nil {
+			return false
+		}
+		return fast.Rounds == slow.Rounds && fast.MaxLoad == slow.MaxLoad &&
+			fast.TotalRequests == slow.TotalRequests && fast.BurnedServers == slow.BurnedServers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

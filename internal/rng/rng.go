@@ -1,0 +1,259 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for the simulator.
+//
+// Every stochastic component of the reproduction (graph generation, the
+// SAER/RAES protocols, the baselines, the experiment harness) draws its
+// randomness from this package rather than from math/rand so that:
+//
+//   - a run is fully determined by a single 64-bit seed,
+//   - independent entities (clients, trials, workers) receive independent
+//     streams that do not interact, which makes parallel execution
+//     bit-for-bit reproducible regardless of scheduling, and
+//   - the generators are allocation-free in the hot path.
+//
+// The core generator is xoshiro256**, seeded through SplitMix64 as
+// recommended by its authors. Both are tiny, fast, and comfortably good
+// enough for Monte-Carlo simulation (they are not cryptographic).
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used to expand a single seed into the four xoshiro words and to
+// derive independent per-stream seeds.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Source is a xoshiro256** pseudo-random generator. The zero value is not
+// usable; construct one with New or derive one with Split.
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from seed. Distinct seeds yield streams that
+// are, for simulation purposes, independent.
+func New(seed uint64) *Source {
+	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed reinitializes the source in place from seed.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	r.s0 = splitMix64(&sm)
+	r.s1 = splitMix64(&sm)
+	r.s2 = splitMix64(&sm)
+	r.s3 = splitMix64(&sm)
+	// xoshiro must not be seeded with the all-zero state. SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Split derives a new Source whose stream is independent of the receiver's
+// future output. It consumes one value from the receiver. Splitting is the
+// mechanism used to hand each client, trial and worker its own stream.
+func (r *Source) Split() *Source {
+	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+// SplitN derives n independent sources in one call.
+func (r *Source) SplitN(n int) []*Source {
+	out := make([]*Source, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
+// NewStreams returns n independent value Sources derived from seed, laid
+// out contiguously. It is the allocation-friendly form used to give every
+// client of a simulation its own stream: the i-th stream depends only on
+// (seed, i), never on how many workers consume the slice, which keeps
+// parallel simulations deterministic.
+func NewStreams(seed uint64, n int) []Source {
+	out := make([]Source, n)
+	sm := seed ^ 0xa0761d6478bd642f
+	for i := range out {
+		out[i].Reseed(splitMix64(&sm))
+	}
+	return out
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Lemire's multiply-shift rejection method keeps the result unbiased
+// without a modulo in the common case.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	un := uint64(n)
+	v := r.Uint64()
+	hi, lo := bits.Mul64(v, un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			v = r.Uint64()
+			hi, lo = bits.Mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// Int63 returns a non-negative pseudo-random 63-bit integer.
+func (r *Source) Int63() int64 {
+	return int64(r.Uint64() >> 1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability 1/2.
+func (r *Source) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniform random permutation of [0, n) as a slice.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes the elements of p uniformly at random in place
+// (Fisher–Yates).
+func (r *Source) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// ShuffleInt32 permutes the elements of p uniformly at random in place.
+// Graph generators keep adjacency as int32 to halve memory traffic.
+func (r *Source) ShuffleInt32(p []int32) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Sample returns k distinct integers drawn uniformly at random from [0, n)
+// without replacement. It panics if k > n or k < 0.
+// For small k relative to n it uses rejection from a set; otherwise it
+// uses a partial Fisher–Yates over a fresh index slice.
+func (r *Source) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample called with k out of range")
+	}
+	if k == 0 {
+		return nil
+	}
+	if k*4 <= n {
+		seen := make(map[int]struct{}, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			x := r.Intn(n)
+			if _, dup := seen[x]; dup {
+				continue
+			}
+			seen[x] = struct{}{}
+			out = append(out, x)
+		}
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// Binomial returns a sample from Binomial(n, p) by direct simulation.
+// It is intended for the moderate n used in tests and workload generation,
+// not as a high-performance sampler.
+func (r *Source) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		if r.Float64() < p {
+			count++
+		}
+	}
+	return count
+}
+
+// Geometric returns the number of Bernoulli(p) failures before the first
+// success (support {0, 1, 2, ...}). It panics if p <= 0 or p > 1.
+func (r *Source) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric requires 0 < p <= 1")
+	}
+	count := 0
+	for !r.Bernoulli(p) {
+		count++
+	}
+	return count
+}
+
+// NormFloat64 returns a standard normal sample using the polar
+// (Marsaglia) method. Used only for workload jitter in examples.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}

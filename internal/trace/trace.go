@@ -1,0 +1,149 @@
+// Package trace exports protocol executions as CSV and JSON so that
+// external tools (spreadsheets, gnuplot, pandas) can plot the per-round
+// series and load distributions produced by the experiments.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// WriteRoundsCSV writes one CSV row per round of a tracked execution.
+// Columns: round, alive_balls, requests_sent, requests_accepted,
+// newly_burned, burned_total, saturated, max_burned_fraction,
+// max_neighborhood_received, max_kt.
+func WriteRoundsCSV(w io.Writer, res *core.Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"round", "alive_balls", "requests_sent", "requests_accepted",
+		"newly_burned", "burned_total", "saturated",
+		"max_burned_fraction", "max_neighborhood_received", "max_kt",
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for _, st := range res.PerRound {
+		row := []string{
+			strconv.Itoa(st.Round),
+			strconv.Itoa(st.AliveBalls),
+			strconv.Itoa(st.RequestsSent),
+			strconv.Itoa(st.RequestsAccepted),
+			strconv.Itoa(st.NewlyBurned),
+			strconv.Itoa(st.BurnedTotal),
+			strconv.Itoa(st.SaturatedThisRound),
+			strconv.FormatFloat(st.MaxNeighborhoodBurnedFrac, 'g', -1, 64),
+			strconv.Itoa(st.MaxNeighborhoodReceived),
+			strconv.FormatFloat(st.MaxKt, 'g', -1, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing CSV row %d: %w", st.Round, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteLoadsCSV writes the final per-server load vector as CSV with
+// columns server, load.
+func WriteLoadsCSV(w io.Writer, loads []int) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"server", "load"}); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	for u, l := range loads {
+		if err := cw.Write([]string{strconv.Itoa(u), strconv.Itoa(l)}); err != nil {
+			return fmt.Errorf("trace: writing CSV row %d: %w", u, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// resultJSON is the exported JSON shape of a protocol result. It flattens
+// the parameters so downstream tooling does not need to know the Go types.
+type resultJSON struct {
+	Protocol        string            `json:"protocol"`
+	NumClients      int               `json:"num_clients"`
+	NumServers      int               `json:"num_servers"`
+	D               int               `json:"d"`
+	C               float64           `json:"c"`
+	Seed            uint64            `json:"seed"`
+	Completed       bool              `json:"completed"`
+	Rounds          int               `json:"rounds"`
+	TotalRequests   int64             `json:"total_requests"`
+	Work            int64             `json:"work"`
+	MaxLoad         int               `json:"max_load"`
+	MinLoad         int               `json:"min_load"`
+	MeanLoad        float64           `json:"mean_load"`
+	BurnedServers   int               `json:"burned_servers"`
+	Saturation      int64             `json:"saturation_events"`
+	UnassignedBalls int               `json:"unassigned_balls"`
+	PerRound        []core.RoundStats `json:"per_round,omitempty"`
+	Loads           []int             `json:"loads,omitempty"`
+}
+
+// WriteResultJSON writes the result as an indented JSON document.
+func WriteResultJSON(w io.Writer, res *core.Result) error {
+	doc := resultJSON{
+		Protocol:        res.Variant.String(),
+		NumClients:      res.NumClients,
+		NumServers:      res.NumServers,
+		D:               res.Params.D,
+		C:               res.Params.C,
+		Seed:            res.Params.Seed,
+		Completed:       res.Completed,
+		Rounds:          res.Rounds,
+		TotalRequests:   res.TotalRequests,
+		Work:            res.Work,
+		MaxLoad:         res.MaxLoad,
+		MinLoad:         res.MinLoad,
+		MeanLoad:        res.MeanLoad,
+		BurnedServers:   res.BurnedServers,
+		Saturation:      res.SaturationEvents,
+		UnassignedBalls: res.UnassignedBalls,
+		PerRound:        res.PerRound,
+		Loads:           res.Loads,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("trace: encoding result JSON: %w", err)
+	}
+	return nil
+}
+
+// ReadResultJSON parses a document written by WriteResultJSON back into a
+// core.Result (the graph itself is not part of the trace).
+func ReadResultJSON(r io.Reader) (*core.Result, error) {
+	var doc resultJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trace: decoding result JSON: %w", err)
+	}
+	variant := core.SAER
+	if doc.Protocol == core.RAES.String() {
+		variant = core.RAES
+	}
+	return &core.Result{
+		Variant:          variant,
+		Params:           core.Params{D: doc.D, C: doc.C, Seed: doc.Seed},
+		NumClients:       doc.NumClients,
+		NumServers:       doc.NumServers,
+		Completed:        doc.Completed,
+		Rounds:           doc.Rounds,
+		TotalRequests:    doc.TotalRequests,
+		Work:             doc.Work,
+		MaxLoad:          doc.MaxLoad,
+		MinLoad:          doc.MinLoad,
+		MeanLoad:         doc.MeanLoad,
+		BurnedServers:    doc.BurnedServers,
+		SaturationEvents: doc.Saturation,
+		UnassignedBalls:  doc.UnassignedBalls,
+		PerRound:         doc.PerRound,
+		Loads:            doc.Loads,
+	}, nil
+}

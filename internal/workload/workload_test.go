@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestUniform(t *testing.T) {
+	d, err := Uniform(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Total != 300 || d.MeanDemand() != 3 {
+		t.Errorf("unexpected totals: %+v", d)
+	}
+	for _, c := range d.Counts {
+		if c != 3 {
+			t.Fatal("uniform demand not uniform")
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+	if _, err := Uniform(0, 3); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if _, err := Uniform(10, 0); err == nil {
+		t.Error("zero demand accepted")
+	}
+}
+
+func TestUniformRandom(t *testing.T) {
+	d, err := UniformRandom(10000, 4, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mean of Uniform{0..4} is 2.
+	if math.Abs(d.MeanDemand()-2) > 0.1 {
+		t.Errorf("mean demand %v, want about 2", d.MeanDemand())
+	}
+	for _, c := range d.Counts {
+		if c < 0 || c > 4 {
+			t.Fatal("demand outside range")
+		}
+	}
+}
+
+func TestZipf(t *testing.T) {
+	d, err := Zipf(5000, 8, 1.1, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every client holds at least one request; the maximum is reached.
+	minC, maxC := 8, 0
+	for _, c := range d.Counts {
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if minC < 1 {
+		t.Errorf("minimum demand %d, want >= 1", minC)
+	}
+	if maxC != 8 {
+		t.Errorf("maximum demand %d, want 8", maxC)
+	}
+	// Skew: the mean must be far below the max (most clients are cold).
+	if d.MeanDemand() > 3 {
+		t.Errorf("mean demand %v, expected a skewed (low) mean", d.MeanDemand())
+	}
+	if _, err := Zipf(100, 4, 0, rng.New(1)); err == nil {
+		t.Error("non-positive exponent accepted")
+	}
+}
+
+func TestBursty(t *testing.T) {
+	d, err := Bursty(1000, 6, 1, 0.1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	hot, cold := 0, 0
+	for _, c := range d.Counts {
+		switch c {
+		case 6:
+			hot++
+		case 1:
+			cold++
+		default:
+			t.Fatalf("unexpected demand %d", c)
+		}
+	}
+	if hot != 100 {
+		t.Errorf("hot clients %d, want 100", hot)
+	}
+	if cold != 900 {
+		t.Errorf("cold clients %d, want 900", cold)
+	}
+	if _, err := Bursty(100, 4, 5, 0.1, rng.New(1)); err == nil {
+		t.Error("baseline above d accepted")
+	}
+	if _, err := Bursty(100, 4, 1, 1.5, rng.New(1)); err == nil {
+		t.Error("hot fraction above 1 accepted")
+	}
+}
+
+func TestDemandValidateCatchesCorruption(t *testing.T) {
+	d, err := Uniform(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Counts[3] = 7 // exceeds MaxPerClient
+	if err := d.Validate(); err == nil {
+		t.Error("corrupted demand vector validated")
+	}
+	d2, _ := Uniform(10, 2)
+	d2.Total = 5 // inconsistent total
+	if err := d2.Validate(); err == nil {
+		t.Error("inconsistent total validated")
+	}
+	var empty Demand
+	if err := empty.Validate(); err == nil {
+		t.Error("empty demand validated")
+	}
+	if empty.MeanDemand() != 0 {
+		t.Error("empty demand mean should be 0")
+	}
+}
+
+// Property: every generator produces vectors valid for the protocol and
+// consistent totals.
+func TestQuickGeneratorsValid(t *testing.T) {
+	f := func(seed uint64, nRaw, dRaw uint8, kind uint8) bool {
+		n := 10 + int(nRaw%200)
+		d := 1 + int(dRaw%8)
+		src := rng.New(seed)
+		var dem Demand
+		var err error
+		switch kind % 4 {
+		case 0:
+			dem, err = Uniform(n, d)
+		case 1:
+			dem, err = UniformRandom(n, d, src)
+		case 2:
+			dem, err = Zipf(n, d, 1.2, src)
+		case 3:
+			dem, err = Bursty(n, d, 0, 0.25, src)
+		}
+		if err != nil {
+			return false
+		}
+		return dem.Validate() == nil && len(dem.Counts) == n && dem.MaxPerClient == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
