@@ -96,6 +96,69 @@ func BenchmarkSAERRun(b *testing.B) {
 	}
 }
 
+// BenchmarkSparseVsDense contrasts the three engine modes on the standard
+// instance. All modes compute the identical random process (enforced by
+// TestDenseSparseEquivalence), so the ratio is pure engine overhead: the
+// dense mode streams over all n clients and m servers every round, the
+// sparse mode walks the active frontier and the touched-server list, and
+// auto switches from the first to the second when the paper's geometric
+// alive-ball decay has emptied 3/4 of the frontier.
+func BenchmarkSparseVsDense(b *testing.B) {
+	modes := []struct {
+		name string
+		mode core.EngineMode
+	}{
+		{"dense", core.EngineDense},
+		{"sparse", core.EngineSparse},
+		{"auto", core.EngineAuto},
+	}
+	for _, n := range []int{1 << 14, 1 << 16} {
+		g := benchGraph(b, n, 100)
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("n=%d/%s", n, m.name), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := core.Run(g, core.SAER,
+						core.Params{D: 2, C: 4, Seed: uint64(i)}, core.Options{Engine: m.mode})
+					if err != nil || !res.Completed {
+						b.Fatalf("run failed: %v %v", err, res)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkLateRoundTail measures the workload the sparse engine is built
+// for: a near-threshold c forces heavy burning, so the run spends most of
+// its rounds on a long tail with a tiny alive frontier while the dense
+// engine keeps paying O(n + m·workers) per round for it.
+func BenchmarkLateRoundTail(b *testing.B) {
+	n := 1 << 16
+	g := benchGraph(b, n, 100)
+	for _, mode := range []struct {
+		name string
+		mode core.EngineMode
+	}{
+		{"dense", core.EngineDense},
+		{"auto", core.EngineAuto},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, core.SAER,
+					core.Params{D: 2, C: 2, Seed: uint64(i)}, core.Options{Engine: mode.mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Rounds < 5 {
+					b.Fatalf("workload too easy to exercise the tail: %v", res)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationWorkers quantifies the parallel-engine design choice:
 // identical runs with 1, 2, 4 and GOMAXPROCS workers (results are
 // identical by construction; only wall-clock changes).

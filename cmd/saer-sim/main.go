@@ -31,6 +31,7 @@ func main() {
 		protocol    = flag.String("protocol", "saer", "protocol: saer or raes")
 		seed        = flag.Uint64("seed", 1, "random seed (graph seed = seed, protocol seed = seed+1)")
 		workers     = flag.Int("workers", 0, "worker goroutines per phase (0 = GOMAXPROCS)")
+		engineMode  = flag.String("engine", "auto", "round-loop engine: auto, dense or sparse (identical results, different wall-clock)")
 		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
 		trackFlag   = flag.Bool("track", false, "track per-round S_t / r_t / K_t series (costs O(edges) per round)")
 		roundsCSV   = flag.String("rounds-csv", "", "write the per-round series to this CSV file (implies -track)")
@@ -39,14 +40,14 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *seed, *workers, *maxRounds,
+	if err := run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *seed, *workers, *maxRounds,
 		*trackFlag, *roundsCSV, *loadsCSV, *resultJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "saer-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol string, seed uint64,
+func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode string, seed uint64,
 	workers, maxRounds int, track bool, roundsCSV, loadsCSV, resultJSON string) error {
 
 	g, err := cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, ExpectedDegree: expectedDeg, Seed: seed}.Build()
@@ -66,7 +67,12 @@ func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol str
 		c = core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d)
 	}
 
+	engine, err := cli.ParseEngineMode(engineMode)
+	if err != nil {
+		return err
+	}
 	opts := core.Options{
+		Engine:             engine,
 		TrackRounds:        track || roundsCSV != "",
 		TrackNeighborhoods: track || roundsCSV != "",
 		TrackLoads:         loadsCSV != "" || resultJSON != "",

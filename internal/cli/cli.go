@@ -106,3 +106,20 @@ func ParseProtocol(name string) (core.Variant, error) {
 		return core.SAER, fmt.Errorf("cli: unknown protocol %q (want saer or raes)", name)
 	}
 }
+
+// ParseEngineMode maps an engine-mode name to the core engine selector.
+// All modes compute the identical random process; the knob only trades
+// dense streaming scans against sparse active-frontier walks (see
+// core.EngineMode and PERFORMANCE.md).
+func ParseEngineMode(name string) (core.EngineMode, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "auto", "":
+		return core.EngineAuto, nil
+	case "dense":
+		return core.EngineDense, nil
+	case "sparse":
+		return core.EngineSparse, nil
+	default:
+		return core.EngineAuto, fmt.Errorf("cli: unknown engine mode %q (want auto, dense or sparse)", name)
+	}
+}

@@ -96,3 +96,20 @@ func TestParseProtocol(t *testing.T) {
 		t.Error("unknown protocol accepted")
 	}
 }
+
+func TestParseEngineMode(t *testing.T) {
+	cases := map[string]core.EngineMode{
+		"auto": core.EngineAuto, "AUTO": core.EngineAuto, "": core.EngineAuto,
+		"dense": core.EngineDense, " Dense ": core.EngineDense,
+		"sparse": core.EngineSparse, "SPARSE": core.EngineSparse,
+	}
+	for in, want := range cases {
+		got, err := ParseEngineMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseEngineMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseEngineMode("turbo"); err == nil {
+		t.Error("unknown engine mode accepted")
+	}
+}

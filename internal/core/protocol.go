@@ -8,9 +8,41 @@ import (
 	"repro/internal/rng"
 )
 
+// EngineMode selects how the round loop iterates over entities.
+//
+// The paper proves (Lemma 4 / Theorem 1) that the number of alive balls
+// decays geometrically, so after the first few rounds almost every client
+// is finished and almost every server receives nothing. The sparse engine
+// exploits exactly that: it walks a compacted frontier of still-active
+// clients and an epoch-stamped list of servers actually touched this
+// round, making late rounds O(active) instead of O(n + m·workers).
+// Both engines compute the identical random process — results are
+// bit-for-bit equal — so the mode is a pure performance knob, exposed
+// mainly for benchmarks and the equivalence tests.
+type EngineMode int
+
+const (
+	// EngineAuto (the default) starts on the dense streaming path and
+	// switches to the sparse frontier path once the active-client fraction
+	// drops below 1/sparseSwitchDivisor. Active clients never come back
+	// (alive counts are non-increasing), so the switch happens at most
+	// once per run.
+	EngineAuto EngineMode = iota
+	// EngineDense forces the dense path for the whole run.
+	EngineDense
+	// EngineSparse forces the frontier path from round one.
+	EngineSparse
+)
+
+// sparseSwitchDivisor is the density threshold of EngineAuto: the run
+// switches to the sparse path when active clients ≤ n/sparseSwitchDivisor.
+// Below that point the dense pass wastes most of its bandwidth streaming
+// over finished entities; above it, the contiguous dense layout wins.
+const sparseSwitchDivisor = 4
+
 // Run executes one full protocol run of the selected variant on g and
 // returns its Result. The run is deterministic in (g, variant, p.Seed) and
-// independent of p.Workers.
+// independent of p.Workers and Options.Engine.
 func Run(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Result, error) {
 	r, err := NewRunner(g, variant, p, opts)
 	if err != nil {
@@ -36,7 +68,7 @@ type Runner struct {
 	// Per-client state.
 	alive   []int32      // unassigned balls of client v
 	choices []int32      // this round's chosen servers, d slots per client
-	streams []rng.Source // private random stream of client v
+	streams []rng.Stream // private random stream of client v
 	// cumNbrReceived is Σ_{i≤t} r_i(N(v)) per client; allocated only when
 	// neighborhood tracking is on.
 	cumNbrReceived []int64
@@ -49,7 +81,30 @@ type Runner struct {
 	load          []int32       // accepted balls
 	receivedTotal []int32       // cumulative received since the start
 	burned        []bool        // SAER: burned; RAES: diagnostic "received > capacity"
-	acceptedRound []bool        // did the server accept this round's requests
+	// acceptedEpoch[u] == roundEpoch ⇔ server u accepted this round's
+	// requests. The epoch encoding means no per-round clearing pass over
+	// the m servers is ever needed, in either engine mode; a single byte
+	// per server keeps the randomly-accessed working set small (the array
+	// is cleared on the uint8 wraparound, once every 255 rounds).
+	acceptedEpoch []uint8
+	roundEpoch    uint8
+
+	// Sparse-engine state. frontier is the sorted list of clients that
+	// still hold alive balls; it is rebuilt in place every sparse round
+	// from the per-worker survivor buffers (frontBuf), whose concatenation
+	// in worker order preserves the sorted order for every worker count.
+	// Dense update phases also collect survivors into frontBuf
+	// (frontierCollected), so the auto-mode switch needs no extra scan.
+	sparse            bool
+	frontier          []int32
+	frontBuf          [][]int32
+	frontierCollected bool
+	activeClients     int
+
+	// initialized distinguishes the first resetState call (on freshly
+	// zeroed allocations) from later Reseed calls that must undo a
+	// previous run's state.
+	initialized bool
 
 	// Per-worker partial accumulators, reused every round.
 	partialSent     []int64
@@ -69,6 +124,9 @@ func NewRunner(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Ru
 	}
 	if variant != SAER && variant != RAES {
 		return nil, fmt.Errorf("core: unknown protocol variant %d", int(variant))
+	}
+	if opts.Engine != EngineAuto && opts.Engine != EngineDense && opts.Engine != EngineSparse {
+		return nil, fmt.Errorf("core: unknown engine mode %d", int(opts.Engine))
 	}
 	n := g.NumClients()
 	m := g.NumServers()
@@ -97,13 +155,15 @@ func NewRunner(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Ru
 
 		alive:   make([]int32, n),
 		choices: make([]int32, n*p.D),
-		streams: rng.NewStreams(p.Seed, n),
+		streams: make([]rng.Stream, n),
 
 		tally:         engine.NewTally(pool, m),
 		load:          make([]int32, m),
 		receivedTotal: make([]int32, m),
 		burned:        make([]bool, m),
-		acceptedRound: make([]bool, m),
+		acceptedEpoch: make([]uint8, m),
+
+		frontBuf: make([][]int32, pool.Workers()),
 
 		partialSent:     make([]int64, pool.Workers()),
 		partialAccepted: make([]int64, pool.Workers()),
@@ -122,23 +182,46 @@ func NewRunner(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Ru
 }
 
 // resetState reinitializes all mutable per-run state, allowing the Runner
-// to be reused for another trial with the same parameters.
+// to be reused for another trial with the same parameters. It must leave
+// the Runner in exactly the state NewRunner produces — including the
+// tally, which a starved-client early exit can leave dirty. On the very
+// first call (from NewRunner) the per-server buffers are freshly
+// allocated and already zero, so their clearing passes are skipped.
 func (r *Runner) resetState() {
+	dirty := r.initialized
+	r.initialized = true
+	active := 0
 	for i := range r.alive {
 		if r.opts.RequestCounts != nil {
 			r.alive[i] = int32(r.opts.RequestCounts[i])
 		} else {
 			r.alive[i] = int32(r.d)
 		}
+		if r.alive[i] > 0 {
+			active++
+		}
 	}
-	for i := range r.assignments {
-		r.assignments[i] = r.assignments[i][:0]
-	}
-	for i := range r.load {
-		r.load[i] = 0
-		r.receivedTotal[i] = 0
-		r.burned[i] = false
-		r.acceptedRound[i] = false
+	r.activeClients = active
+	r.sparse = false
+	r.frontier = r.frontier[:0]
+	r.frontierCollected = false
+	if dirty {
+		for i := range r.assignments {
+			r.assignments[i] = r.assignments[i][:0]
+		}
+		for i := range r.load {
+			r.load[i] = 0
+			r.receivedTotal[i] = 0
+			r.burned[i] = false
+		}
+		for i := range r.cumNbrReceived {
+			r.cumNbrReceived[i] = 0
+		}
+		// The tally is reused across trials; a run that exited through the
+		// starved-client break leaves the current round's counts in it, so
+		// it must be cleared here rather than trusting the round loop's
+		// resets.
+		r.tally.FullReset(r.pool)
 	}
 	if r.opts.InitialLoads != nil {
 		for i, l := range r.opts.InitialLoads {
@@ -156,10 +239,7 @@ func (r *Runner) resetState() {
 			}
 		}
 	}
-	for i := range r.cumNbrReceived {
-		r.cumNbrReceived[i] = 0
-	}
-	r.streams = rng.NewStreams(r.params.Seed, r.g.NumClients())
+	rng.ReseedStreamSlice(r.streams, r.params.Seed)
 }
 
 // Reseed prepares the Runner for another independent trial with a new
@@ -167,6 +247,61 @@ func (r *Runner) resetState() {
 func (r *Runner) Reseed(seed uint64) {
 	r.params.Seed = seed
 	r.resetState()
+}
+
+// beginRound advances the accept-epoch and, in auto mode, switches to the
+// sparse engine once the active-client density has dropped below the
+// threshold. The switch is monotone: alive counts never increase, so a
+// run crosses the threshold at most once.
+func (r *Runner) beginRound() {
+	r.roundEpoch++
+	if r.roundEpoch == 0 {
+		// uint8 wraparound: every 255 rounds the stamps are cleared so a
+		// stale epoch cannot collide with a recycled value. The clearing
+		// pass is a single small memclr amortized over 255 rounds.
+		clear(r.acceptedEpoch)
+		r.roundEpoch = 1
+	}
+	if r.sparse || r.opts.Engine == EngineDense {
+		return
+	}
+	if r.opts.Engine == EngineSparse || r.activeClients*sparseSwitchDivisor <= r.g.NumClients() {
+		r.buildFrontier()
+		r.sparse = true
+		// The previous round's dense Reset (or resetState) left the local
+		// buffers clean, which is the precondition of BeginSparse.
+		r.tally.BeginSparse()
+	}
+}
+
+// buildFrontier compacts the indices of clients with alive balls into
+// r.frontier, sorted ascending. When the previous dense update phase has
+// already collected the survivors into the per-worker buffers, they are
+// just concatenated; otherwise (first round of an EngineSparse run, or a
+// sparse start due to mostly-zero RequestCounts) the clients are scanned.
+// In both cases workers cover contiguous ascending shards, so the
+// concatenation in worker order yields the same sorted list for every
+// worker count.
+func (r *Runner) buildFrontier() {
+	if !r.frontierCollected {
+		for w := range r.frontBuf {
+			r.frontBuf[w] = r.frontBuf[w][:0]
+		}
+		r.pool.ParallelRange(r.g.NumClients(), func(worker, lo, hi int) {
+			buf := r.frontBuf[worker]
+			for v := lo; v < hi; v++ {
+				if r.alive[v] > 0 {
+					buf = append(buf, int32(v))
+				}
+			}
+			r.frontBuf[worker] = buf
+		})
+	}
+	r.frontier = r.frontier[:0]
+	for w := range r.frontBuf {
+		r.frontier = append(r.frontier, r.frontBuf[w]...)
+	}
+	r.activeClients = len(r.frontier)
 }
 
 // Run executes the protocol until completion or the round cap and returns
@@ -199,9 +334,15 @@ func (r *Runner) Run() *Result {
 	round := 0
 	for aliveTotal > 0 && round < maxRounds {
 		round++
+		r.beginRound()
 		sent := r.phaseClients()
-		received := r.tally.Merge(r.pool)
-		newlyBurned, saturated := r.phaseServers(received)
+		var touched []int32
+		if r.sparse {
+			touched = r.tally.SparseMerge()
+		} else {
+			r.tally.Merge(r.pool)
+		}
+		newlyBurned, saturated := r.phaseServers(touched)
 		accepted, stillAlive := r.phaseUpdateClients()
 
 		burnedTotal += newlyBurned
@@ -220,7 +361,7 @@ func (r *Runner) Run() *Result {
 			}
 			if r.opts.TrackNeighborhoods {
 				stats.MaxNeighborhoodBurnedFrac, stats.MaxNeighborhoodReceived, stats.MaxKt =
-					r.neighborhoodStats(received)
+					r.neighborhoodStats()
 			}
 			res.PerRound = append(res.PerRound, stats)
 		}
@@ -236,7 +377,11 @@ func (r *Runner) Run() *Result {
 				break
 			}
 		}
-		r.tally.Reset(r.pool)
+		if r.sparse {
+			r.tally.SparseReset()
+		} else {
+			r.tally.Reset(r.pool)
+		}
 	}
 
 	res.Rounds = round
@@ -254,35 +399,61 @@ func (r *Runner) Run() *Result {
 	return res
 }
 
+// clientStep draws this round's destinations for client v's alive balls
+// into the choices buffer and counts them into the worker's tally. It is
+// the shared inner loop of the dense and sparse client phases; the only
+// difference between the paths is how v is enumerated.
+func (r *Runner) clientStep(worker, v int, denseLocal []int32) int64 {
+	a := r.alive[v]
+	nbrs := r.g.ClientNeighbors(v)
+	deg := len(nbrs)
+	src := &r.streams[v]
+	base := v * r.d
+	if denseLocal != nil {
+		for i := int32(0); i < a; i++ {
+			u := nbrs[src.Intn(deg)]
+			r.choices[base+int(i)] = u
+			denseLocal[u]++
+		}
+	} else {
+		for i := int32(0); i < a; i++ {
+			u := nbrs[src.Intn(deg)]
+			r.choices[base+int(i)] = u
+			r.tally.SparseAdd(worker, u)
+		}
+	}
+	return int64(a)
+}
+
 // phaseClients is phase 1: every client with alive balls draws a uniform
 // destination in its neighborhood for each of them. Returns the number of
-// requests submitted.
+// requests submitted. The dense path scans all n clients; the sparse path
+// walks only the active frontier.
 func (r *Runner) phaseClients() int64 {
 	for w := range r.partialSent {
 		r.partialSent[w] = 0
 	}
-	d := r.d
-	r.pool.ParallelRange(r.g.NumClients(), func(worker, lo, hi int) {
-		local := r.tally.Local(worker)
-		var sent int64
-		for v := lo; v < hi; v++ {
-			a := r.alive[v]
-			if a == 0 {
-				continue
+	if r.sparse {
+		r.pool.ParallelRange(len(r.frontier), func(worker, lo, hi int) {
+			var sent int64
+			for idx := lo; idx < hi; idx++ {
+				sent += r.clientStep(worker, int(r.frontier[idx]), nil)
 			}
-			nbrs := r.g.ClientNeighbors(v)
-			deg := len(nbrs)
-			src := &r.streams[v]
-			base := v * d
-			for i := int32(0); i < a; i++ {
-				u := nbrs[src.Intn(deg)]
-				r.choices[base+int(i)] = u
-				local[u]++
+			r.partialSent[worker] = sent
+		})
+	} else {
+		r.pool.ParallelRange(r.g.NumClients(), func(worker, lo, hi int) {
+			local := r.tally.Local(worker)
+			var sent int64
+			for v := lo; v < hi; v++ {
+				if r.alive[v] == 0 {
+					continue
+				}
+				sent += r.clientStep(worker, v, local)
 			}
-			sent += int64(a)
-		}
-		r.partialSent[worker] = sent
-	})
+			r.partialSent[worker] = sent
+		})
+	}
 	var total int64
 	for _, v := range r.partialSent {
 		total += v
@@ -290,57 +461,91 @@ func (r *Runner) phaseClients() int64 {
 	return total
 }
 
-// phaseServers is phase 2: every server applies the variant's threshold
-// rule to this round's requests. Returns how many servers became burned
-// and how many rejected the round while not burned.
-func (r *Runner) phaseServers(received []int32) (newlyBurned, saturated int) {
+// serverStep applies the variant's threshold rule to server u for this
+// round's recv > 0 requests, updating burned/load/accept state. It
+// reports whether the server newly burned and whether it saturated
+// (rejected the round while not burned).
+func (r *Runner) serverStep(u, recv int32) (newlyBurned, saturated bool) {
+	r.receivedTotal[u] += recv
+	switch r.variant {
+	case SAER:
+		if r.burned[u] {
+			// A burned server rejects everything; not a new saturation
+			// event.
+			return false, false
+		}
+		if r.receivedTotal[u] > r.capacity {
+			r.burned[u] = true
+			return true, true
+		}
+		r.load[u] += recv
+		r.acceptedEpoch[u] = r.roundEpoch
+		return false, false
+	default: // RAES
+		if !r.burned[u] && r.receivedTotal[u] > r.capacity {
+			// Diagnostic only: the server would be burned under SAER's
+			// stronger rule (used by the Corollary 2 comparison); RAES
+			// itself keeps going.
+			r.burned[u] = true
+			newlyBurned = true
+		}
+		if r.load[u]+recv > r.capacity {
+			return newlyBurned, true
+		}
+		r.load[u] += recv
+		r.acceptedEpoch[u] = r.roundEpoch
+		return newlyBurned, false
+	}
+}
+
+// phaseServers is phase 2: every server that received requests applies the
+// variant's threshold rule. Returns how many servers became burned and how
+// many rejected the round while not burned. The dense path scans all m
+// servers; the sparse path visits only the touched-server list produced by
+// the sparse tally merge (order across the list is irrelevant: each
+// server's update depends only on its own state).
+func (r *Runner) phaseServers(touched []int32) (newlyBurned, saturated int) {
 	for w := range r.partialBurned {
 		r.partialBurned[w] = 0
 		r.partialSat[w] = 0
 	}
-	r.pool.ParallelRange(r.g.NumServers(), func(worker, lo, hi int) {
-		var nb, sat int64
-		for u := lo; u < hi; u++ {
-			recv := received[u]
-			r.acceptedRound[u] = false
-			if recv == 0 {
-				continue
-			}
-			r.receivedTotal[u] += recv
-			switch r.variant {
-			case SAER:
-				if r.burned[u] {
-					// A burned server rejects everything; not a new
-					// saturation event.
-					continue
-				}
-				if r.receivedTotal[u] > r.capacity {
-					r.burned[u] = true
-					nb++
-					sat++
-					continue
-				}
-				r.load[u] += recv
-				r.acceptedRound[u] = true
-			case RAES:
-				if !r.burned[u] && r.receivedTotal[u] > r.capacity {
-					// Diagnostic only: the server would be burned under
-					// SAER's stronger rule (used by the Corollary 2
-					// comparison); RAES itself keeps going.
-					r.burned[u] = true
+	if r.sparse {
+		r.pool.ParallelRange(len(touched), func(worker, lo, hi int) {
+			var nb, sat int64
+			for idx := lo; idx < hi; idx++ {
+				u := touched[idx]
+				b, s := r.serverStep(u, r.tally.ReceivedAt(u))
+				if b {
 					nb++
 				}
-				if r.load[u]+recv > r.capacity {
+				if s {
 					sat++
+				}
+			}
+			r.partialBurned[worker] = nb
+			r.partialSat[worker] = sat
+		})
+	} else {
+		received := r.tally.Merged()
+		r.pool.ParallelRange(r.g.NumServers(), func(worker, lo, hi int) {
+			var nb, sat int64
+			for u := lo; u < hi; u++ {
+				recv := received[u]
+				if recv == 0 {
 					continue
 				}
-				r.load[u] += recv
-				r.acceptedRound[u] = true
+				b, s := r.serverStep(int32(u), recv)
+				if b {
+					nb++
+				}
+				if s {
+					sat++
+				}
 			}
-		}
-		r.partialBurned[worker] = nb
-		r.partialSat[worker] = sat
-	})
+			r.partialBurned[worker] = nb
+			r.partialSat[worker] = sat
+		})
+	}
 	for w := range r.partialBurned {
 		newlyBurned += int(r.partialBurned[w])
 		saturated += int(r.partialSat[w])
@@ -348,40 +553,98 @@ func (r *Runner) phaseServers(received []int32) (newlyBurned, saturated int) {
 	return newlyBurned, saturated
 }
 
+// updateClientStep counts which of client v's requests were accepted this
+// round and updates its alive-ball count, returning (accepted, remaining).
+func (r *Runner) updateClientStep(v int) (got, rem int32) {
+	a := r.alive[v]
+	base := v * r.d
+	for i := int32(0); i < a; i++ {
+		u := r.choices[base+int(i)]
+		if r.acceptedEpoch[u] == r.roundEpoch {
+			got++
+			if r.assignments != nil {
+				r.assignments[v] = append(r.assignments[v], u)
+			}
+		}
+	}
+	rem = a - got
+	r.alive[v] = rem
+	return got, rem
+}
+
 // phaseUpdateClients lets every client count which of its requests were
 // accepted and update its alive-ball count. Returns the number of accepted
-// requests and the total number of balls still alive.
+// requests and the total number of balls still alive. The sparse path
+// additionally rebuilds the frontier in place from the per-worker survivor
+// buffers; the dense path counts the remaining active clients so that
+// beginRound can decide when to switch.
 func (r *Runner) phaseUpdateClients() (accepted, alive int64) {
 	for w := range r.partialAccepted {
 		r.partialAccepted[w] = 0
 		r.partialAlive[w] = 0
 	}
-	d := r.d
-	r.pool.ParallelRange(r.g.NumClients(), func(worker, lo, hi int) {
-		var acc, still int64
-		for v := lo; v < hi; v++ {
-			a := r.alive[v]
-			if a == 0 {
-				continue
-			}
-			base := v * d
-			var got int32
-			for i := int32(0); i < a; i++ {
-				u := r.choices[base+int(i)]
-				if r.acceptedRound[u] {
-					got++
-					if r.assignments != nil {
-						r.assignments[v] = append(r.assignments[v], u)
-					}
-				}
-			}
-			r.alive[v] = a - got
-			acc += int64(got)
-			still += int64(a - got)
+	if r.sparse {
+		for w := range r.frontBuf {
+			r.frontBuf[w] = r.frontBuf[w][:0]
 		}
-		r.partialAccepted[worker] = acc
-		r.partialAlive[worker] = still
-	})
+		r.pool.ParallelRange(len(r.frontier), func(worker, lo, hi int) {
+			buf := r.frontBuf[worker]
+			var acc, still int64
+			for idx := lo; idx < hi; idx++ {
+				v := r.frontier[idx]
+				got, rem := r.updateClientStep(int(v))
+				if rem > 0 {
+					buf = append(buf, v)
+				}
+				acc += int64(got)
+				still += int64(rem)
+			}
+			r.frontBuf[worker] = buf
+			r.partialAccepted[worker] = acc
+			r.partialAlive[worker] = still
+		})
+		r.frontier = r.frontier[:0]
+		for w := range r.frontBuf {
+			r.frontier = append(r.frontier, r.frontBuf[w]...)
+		}
+		r.activeClients = len(r.frontier)
+	} else {
+		// The survivors double as next round's frontier if beginRound
+		// decides to switch to the sparse engine; a forced-dense run can
+		// never switch, so it skips the collection entirely.
+		collect := r.opts.Engine != EngineDense
+		if collect {
+			for w := range r.frontBuf {
+				r.frontBuf[w] = r.frontBuf[w][:0]
+			}
+		}
+		r.pool.ParallelRange(r.g.NumClients(), func(worker, lo, hi int) {
+			buf := r.frontBuf[worker]
+			var acc, still int64
+			for v := lo; v < hi; v++ {
+				if r.alive[v] == 0 {
+					continue
+				}
+				got, rem := r.updateClientStep(v)
+				if rem > 0 && collect {
+					buf = append(buf, int32(v))
+				}
+				acc += int64(got)
+				still += int64(rem)
+			}
+			r.frontBuf[worker] = buf
+			r.partialAccepted[worker] = acc
+			r.partialAlive[worker] = still
+		})
+		if collect {
+			r.frontierCollected = true
+			active := 0
+			for _, buf := range r.frontBuf {
+				active += len(buf)
+			}
+			r.activeClients = active
+		}
+	}
 	for w := range r.partialAccepted {
 		accepted += r.partialAccepted[w]
 		alive += r.partialAlive[w]
@@ -391,8 +654,9 @@ func (r *Runner) phaseUpdateClients() (accepted, alive int64) {
 
 // neighborhoodStats computes S_t, r_t and K_t (Definitions 3, 5, 6) for
 // the current round. It costs O(|E|) and is only invoked when
-// Options.TrackNeighborhoods is set.
-func (r *Runner) neighborhoodStats(received []int32) (maxBurnedFrac float64, maxReceived int, maxKt float64) {
+// Options.TrackNeighborhoods is set. Per-server received counts are read
+// through the tally, which resolves them correctly in both engine modes.
+func (r *Runner) neighborhoodStats() (maxBurnedFrac float64, maxReceived int, maxKt float64) {
 	n := r.g.NumClients()
 	type partial struct {
 		frac float64
@@ -414,7 +678,7 @@ func (r *Runner) neighborhoodStats(received []int32) (maxBurnedFrac float64, max
 				if r.burned[u] {
 					burnedCnt++
 				}
-				recvSum += int64(received[u])
+				recvSum += int64(r.tally.ReceivedAt(u))
 			}
 			frac := float64(burnedCnt) / float64(len(nbrs))
 			if frac > p.frac {
@@ -447,28 +711,38 @@ func (r *Runner) neighborhoodStats(received []int32) (maxBurnedFrac float64, max
 
 // hasStarvedClient reports whether some client still holding balls has a
 // fully burned neighborhood (it can never terminate). Only meaningful for
-// SAER.
+// SAER. The sparse path checks only the frontier — exactly the clients
+// that can be starved.
 func (r *Runner) hasStarvedClient() bool {
-	n := r.g.NumClients()
-	starved := r.pool.ReduceInt64(n, func(_, lo, hi int) int64 {
+	starvedAt := func(v int) int64 {
+		for _, u := range r.g.ClientNeighbors(v) {
+			if !r.burned[u] {
+				return 0
+			}
+		}
+		return 1
+	}
+	if r.sparse {
+		return r.pool.ReduceInt64(len(r.frontier), func(_, lo, hi int) int64 {
+			for idx := lo; idx < hi; idx++ {
+				if starvedAt(int(r.frontier[idx])) != 0 {
+					return 1
+				}
+			}
+			return 0
+		}) > 0
+	}
+	return r.pool.ReduceInt64(r.g.NumClients(), func(_, lo, hi int) int64 {
 		for v := lo; v < hi; v++ {
 			if r.alive[v] == 0 {
 				continue
 			}
-			allBurned := true
-			for _, u := range r.g.ClientNeighbors(v) {
-				if !r.burned[u] {
-					allBurned = false
-					break
-				}
-			}
-			if allBurned {
+			if starvedAt(v) != 0 {
 				return 1
 			}
 		}
 		return 0
-	})
-	return starved > 0
+	}) > 0
 }
 
 // fillLoadStats computes the final load summary (and optionally the full

@@ -106,6 +106,11 @@ type Result struct {
 // is off by default because the neighborhood statistics cost O(|E|) per
 // round.
 type Options struct {
+	// Engine selects the round-loop iteration strategy (dense streaming
+	// scan, sparse active-frontier walk, or the automatic switch between
+	// them). All modes compute the identical random process; the result is
+	// bit-for-bit independent of this knob. See EngineMode.
+	Engine EngineMode
 	// TrackRounds records a RoundStats entry per round.
 	TrackRounds bool
 	// TrackNeighborhoods additionally computes S_t, r_t and K_t per round

@@ -132,13 +132,41 @@ func (p *Pool) ReduceMaxFloat64(n int, def float64, fn func(worker, lo, hi int) 
 // barrier" pattern: phase 1 workers bump their private counters without
 // any synchronization, then Merge folds them into the shared slice in a
 // second (also parallel) pass sharded by index rather than by worker.
+//
+// The Tally has two operating modes:
+//
+//   - Dense (the default): workers write through Local(w) and the
+//     Merge/Reset pair costs O(size × workers) per round. This layout is
+//     streaming-friendly and wins while a large fraction of the cells is
+//     touched every round.
+//
+//   - Sparse: after BeginSparse, workers accumulate with SparseAdd, which
+//     epoch-stamps each cell on first touch and records it in a per-worker
+//     touched list. SparseMerge and SparseReset then cost O(touched)
+//     instead of O(size × workers): untouched cells are never read,
+//     written, or zeroed — advancing the epoch invalidates every stamp in
+//     O(1).
+//
+// Both modes produce identical merged counts for identical adds, so a
+// caller may switch from dense to sparse mid-run (after a dense Reset)
+// without observable effect. Switching back requires FullReset.
 type Tally struct {
 	size   int
 	local  [][]int32
 	merged []int32
+
+	// Sparse-mode state, allocated lazily by BeginSparse.
+	sparse      bool
+	epoch       uint32
+	stamps      [][]uint32 // stamps[w][i] == epoch ⇔ local[w][i] is current
+	touched     [][]int32  // per-worker list of cells stamped this epoch
+	mergedStamp []uint32   // mergedStamp[i] == epoch ⇔ merged[i] is current
+	mergedTouch []int32    // deduped union of the touched lists
 }
 
-// NewTally returns a Tally with one local buffer per pool worker.
+// NewTally returns a Tally with one local buffer per pool worker. With a
+// single worker the merged view aliases the one local buffer: there is
+// nothing to fold, so Merge becomes a no-op and Reset a single pass.
 func NewTally(p *Pool, size int) *Tally {
 	t := &Tally{
 		size:   size,
@@ -148,8 +176,15 @@ func NewTally(p *Pool, size int) *Tally {
 	for w := range t.local {
 		t.local[w] = make([]int32, size)
 	}
+	if len(t.local) == 1 {
+		t.merged = t.local[0]
+	}
 	return t
 }
+
+// aliased reports whether merged shares storage with the single local
+// buffer (the one-worker fast path).
+func (t *Tally) aliased() bool { return len(t.local) == 1 }
 
 // Local returns worker w's private accumulator.
 func (t *Tally) Local(w int) []int32 { return t.local[w] }
@@ -161,6 +196,9 @@ func (t *Tally) Merged() []int32 { return t.merged }
 // parallelized over indices, so each merged cell is written by exactly one
 // worker and no atomics are needed.
 func (t *Tally) Merge(p *Pool) []int32 {
+	if t.aliased() {
+		return t.merged
+	}
 	p.ParallelRange(t.size, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var sum int32
@@ -173,8 +211,12 @@ func (t *Tally) Merge(p *Pool) []int32 {
 	return t.merged
 }
 
-// Reset zeroes all local buffers and the merged view.
+// Reset zeroes all local buffers and the merged view (dense mode).
 func (t *Tally) Reset(p *Pool) {
+	if t.aliased() {
+		clear(t.local[0])
+		return
+	}
 	p.ParallelRange(t.size, func(_, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			t.merged[i] = 0
@@ -185,9 +227,106 @@ func (t *Tally) Reset(p *Pool) {
 	})
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// IsSparse reports whether the tally is currently in sparse mode.
+func (t *Tally) IsSparse() bool { return t.sparse }
+
+// BeginSparse switches the tally into sparse mode. The local buffers must
+// be clean (i.e. a dense Reset, FullReset, or NewTally must precede it),
+// which the protocol guarantees by switching only at a round boundary.
+func (t *Tally) BeginSparse() {
+	if t.stamps == nil {
+		t.stamps = make([][]uint32, len(t.local))
+		for w := range t.stamps {
+			t.stamps[w] = make([]uint32, t.size)
+		}
+		t.touched = make([][]int32, len(t.local))
+		t.mergedStamp = make([]uint32, t.size)
 	}
-	return b
+	t.sparse = true
+	t.advanceEpoch()
+}
+
+// SparseAdd counts one event for cell i on behalf of worker w. On the
+// first touch of a cell in the current epoch the stale count is replaced
+// rather than cleared in advance, which is what makes reset O(1).
+func (t *Tally) SparseAdd(w int, i int32) {
+	if t.stamps[w][i] == t.epoch {
+		t.local[w][i]++
+		return
+	}
+	t.stamps[w][i] = t.epoch
+	t.local[w][i] = 1
+	t.touched[w] = append(t.touched[w], i)
+}
+
+// SparseMerge folds the per-worker touched cells into the merged view and
+// returns the deduplicated list of touched cells. The list is ordered by
+// (first-touching worker, touch order), which is deterministic for a fixed
+// worker count but — unlike the merged counts themselves — may differ
+// across worker counts; callers must not let iteration order leak into
+// results (the protocol phases don't: per-cell state is independent).
+// The walk is sequential: by construction it runs only when the touched
+// set is small, where a parallel pass would cost more than it saves.
+func (t *Tally) SparseMerge() []int32 {
+	t.mergedTouch = t.mergedTouch[:0]
+	for w := range t.touched {
+		for _, i := range t.touched[w] {
+			if t.mergedStamp[i] != t.epoch {
+				t.mergedStamp[i] = t.epoch
+				t.merged[i] = t.local[w][i]
+				t.mergedTouch = append(t.mergedTouch, i)
+			} else {
+				t.merged[i] += t.local[w][i]
+			}
+		}
+	}
+	return t.mergedTouch
+}
+
+// ReceivedAt returns the merged count of cell i as of the last merge. It
+// is valid in both modes: in sparse mode a cell not touched this epoch
+// reads as zero without having been zeroed.
+func (t *Tally) ReceivedAt(i int32) int32 {
+	if t.sparse {
+		if t.mergedStamp[i] != t.epoch {
+			return 0
+		}
+		return t.merged[i]
+	}
+	return t.merged[i]
+}
+
+// SparseReset invalidates all counts by advancing the epoch and truncating
+// the touched lists. Cost: O(workers), independent of size.
+func (t *Tally) SparseReset() {
+	for w := range t.touched {
+		t.touched[w] = t.touched[w][:0]
+	}
+	t.advanceEpoch()
+}
+
+// advanceEpoch bumps the epoch stamp, handling the (practically
+// unreachable) uint32 wraparound by clearing every stamp array so that no
+// stale stamp can collide with a recycled epoch value.
+func (t *Tally) advanceEpoch() {
+	t.epoch++
+	if t.epoch == 0 {
+		for w := range t.stamps {
+			clear(t.stamps[w])
+		}
+		clear(t.mergedStamp)
+		t.epoch = 1
+	}
+}
+
+// FullReset restores the tally to its post-NewTally dense state: all
+// counts zeroed, sparse mode off, touched lists truncated. The epoch is
+// not rewound, so stamps from earlier sparse use stay invalid. It is the
+// reset to use between independent runs that reuse the same Tally.
+func (t *Tally) FullReset(p *Pool) {
+	t.Reset(p)
+	t.sparse = false
+	for w := range t.touched {
+		t.touched[w] = t.touched[w][:0]
+	}
 }

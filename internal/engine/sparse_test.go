@@ -1,0 +1,164 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// denseReference accumulates the same add sequence into a plain slice.
+func denseReference(size int, adds []int32) []int32 {
+	ref := make([]int32, size)
+	for _, i := range adds {
+		ref[i]++
+	}
+	return ref
+}
+
+func TestSparseTallyMatchesDense(t *testing.T) {
+	const size = 1000
+	p := NewPool(4)
+	ta := NewTally(p, size)
+	ta.BeginSparse()
+
+	src := rng.New(42)
+	for round := 0; round < 5; round++ {
+		// Touch a small random subset, with repeats, spread over workers.
+		adds := make([]int32, 0, 64)
+		for k := 0; k < 64; k++ {
+			adds = append(adds, int32(src.Intn(size/10)))
+		}
+		for k, i := range adds {
+			ta.SparseAdd(k%p.Workers(), i)
+		}
+		touched := ta.SparseMerge()
+		ref := denseReference(size, adds)
+
+		// Every touched cell must carry its reference count and every
+		// untouched cell must read zero.
+		seen := make(map[int32]bool, len(touched))
+		for _, i := range touched {
+			if seen[i] {
+				t.Fatalf("round %d: cell %d appears twice in the touched list", round, i)
+			}
+			seen[i] = true
+		}
+		for i := int32(0); i < size; i++ {
+			if got := ta.ReceivedAt(i); got != ref[i] {
+				t.Fatalf("round %d: ReceivedAt(%d) = %d, want %d", round, i, got, ref[i])
+			}
+			if ref[i] > 0 && !seen[i] {
+				t.Fatalf("round %d: cell %d has count %d but is missing from touched", round, i, ref[i])
+			}
+			if ref[i] == 0 && seen[i] {
+				t.Fatalf("round %d: untouched cell %d is in the touched list", round, i)
+			}
+		}
+		ta.SparseReset()
+	}
+}
+
+func TestSparseTallyResetIsCheapAndComplete(t *testing.T) {
+	p := NewPool(2)
+	ta := NewTally(p, 100)
+	ta.BeginSparse()
+	ta.SparseAdd(0, 7)
+	ta.SparseAdd(1, 7)
+	ta.SparseAdd(0, 9)
+	touched := ta.SparseMerge()
+	if len(touched) != 2 {
+		t.Fatalf("touched = %v, want 2 distinct cells", touched)
+	}
+	if ta.ReceivedAt(7) != 2 || ta.ReceivedAt(9) != 1 {
+		t.Fatalf("merged counts wrong: %d, %d", ta.ReceivedAt(7), ta.ReceivedAt(9))
+	}
+	ta.SparseReset()
+	// After reset every cell must read zero without any buffer having been
+	// zeroed (the stale values are invalidated by the epoch).
+	for i := int32(0); i < 100; i++ {
+		if ta.ReceivedAt(i) != 0 {
+			t.Fatalf("ReceivedAt(%d) = %d after SparseReset", i, ta.ReceivedAt(i))
+		}
+	}
+	if got := ta.SparseMerge(); len(got) != 0 {
+		t.Fatalf("SparseMerge after reset returned %v", got)
+	}
+}
+
+func TestTallyFullResetRestoresDenseMode(t *testing.T) {
+	p := NewPool(3)
+	ta := NewTally(p, 50)
+	ta.BeginSparse()
+	ta.SparseAdd(0, 3)
+	ta.SparseAdd(2, 3)
+	ta.SparseMerge()
+	ta.FullReset(p)
+	if ta.IsSparse() {
+		t.Fatal("tally still sparse after FullReset")
+	}
+	// Dense adds on the freshly reset tally must see clean buffers even at
+	// cells the sparse phase dirtied.
+	ta.Local(1)[3] += 5
+	merged := ta.Merge(p)
+	if merged[3] != 5 {
+		t.Fatalf("merged[3] = %d after FullReset + dense add, want 5", merged[3])
+	}
+	for i, v := range merged {
+		if i != 3 && v != 0 {
+			t.Fatalf("merged[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestTallyDenseToSparseHandoff(t *testing.T) {
+	// A dense round followed by Reset, then sparse rounds: the pattern the
+	// protocol uses when crossing the density threshold mid-run.
+	p := NewPool(2)
+	ta := NewTally(p, 20)
+	ta.Local(0)[4]++
+	ta.Local(1)[4]++
+	if got := ta.Merge(p)[4]; got != 2 {
+		t.Fatalf("dense merged[4] = %d, want 2", got)
+	}
+	ta.Reset(p)
+	ta.BeginSparse()
+	ta.SparseAdd(0, 4)
+	ta.SparseMerge()
+	if got := ta.ReceivedAt(4); got != 1 {
+		t.Fatalf("sparse ReceivedAt(4) = %d, want 1", got)
+	}
+}
+
+// Property: for random add sequences and worker counts, the sparse path's
+// merged counts equal the dense reference.
+func TestQuickSparseTallyEquivalence(t *testing.T) {
+	f := func(seed uint64, wRaw, sizeRaw uint8) bool {
+		workers := 1 + int(wRaw%8)
+		size := 16 + int(sizeRaw)
+		p := NewPool(workers)
+		ta := NewTally(p, size)
+		ta.BeginSparse()
+		src := rng.New(seed)
+		for round := 0; round < 3; round++ {
+			count := src.Intn(3 * size)
+			adds := make([]int32, count)
+			for k := range adds {
+				adds[k] = int32(src.Intn(size))
+				ta.SparseAdd(src.Intn(workers), adds[k])
+			}
+			ta.SparseMerge()
+			ref := denseReference(size, adds)
+			for i := int32(0); i < int32(size); i++ {
+				if ta.ReceivedAt(i) != ref[i] {
+					return false
+				}
+			}
+			ta.SparseReset()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -31,11 +31,9 @@ func ExperimentCompletionScaling(cfg SuiteConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
-			return core.Run(g, core.SAER, core.Params{
-				D: d, C: cconst, Seed: cfg.trialSeed(1, uint64(n), uint64(trial)), Workers: 1,
-			}, core.Options{})
-		})
+		results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER,
+			core.Params{D: d, C: cconst}, core.Options{},
+			func(trial int) uint64 { return cfg.trialSeed(1, uint64(n), uint64(trial)) })
 		if err != nil {
 			return nil, err
 		}

@@ -24,11 +24,9 @@ func ExperimentWorkScaling(cfg SuiteConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
-			return core.Run(g, core.SAER, core.Params{
-				D: d, C: 4, Seed: cfg.trialSeed(2, uint64(n), uint64(trial)), Workers: 1,
-			}, core.Options{})
-		})
+		results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER,
+			core.Params{D: d, C: 4}, core.Options{},
+			func(trial int) uint64 { return cfg.trialSeed(2, uint64(n), uint64(trial)) })
 		if err != nil {
 			return nil, err
 		}

@@ -25,11 +25,9 @@ func ExperimentBurnedFraction(cfg SuiteConfig) (*Table, error) {
 		}
 		st := g.Stats()
 		c := core.MinCRegular(st.Eta, d)
-		results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
-			return core.Run(g, core.SAER, core.Params{
-				D: d, C: c, Seed: cfg.trialSeed(3, uint64(n), uint64(trial)), Workers: 1,
-			}, core.Options{TrackNeighborhoods: true})
-		})
+		results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER,
+			core.Params{D: d, C: c}, core.Options{TrackNeighborhoods: true},
+			func(trial int) uint64 { return cfg.trialSeed(3, uint64(n), uint64(trial)) })
 		if err != nil {
 			return nil, err
 		}

@@ -25,11 +25,9 @@ func ExperimentSAERvsRAES(cfg SuiteConfig) (*Table, error) {
 			return nil, err
 		}
 		for _, variant := range []core.Variant{core.SAER, core.RAES} {
-			results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
-				return core.Run(g, variant, core.Params{
-					D: d, C: cconst, Seed: cfg.trialSeed(4, uint64(n), uint64(trial)), Workers: 1,
-				}, core.Options{})
-			})
+			results, err := runPooledTrials(cfg, cfg.trials(), g, variant,
+				core.Params{D: d, C: cconst}, core.Options{},
+				func(trial int) uint64 { return cfg.trialSeed(4, uint64(n), uint64(trial)) })
 			if err != nil {
 				return nil, err
 			}

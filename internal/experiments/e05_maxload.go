@@ -55,12 +55,9 @@ func ExperimentMaxLoad(cfg SuiteConfig) (*Table, error) {
 			return nil, fmt.Errorf("experiments: building %s graph: %w", fam.name, err)
 		}
 		for _, pc := range paramGrid {
-			params := core.Params{D: pc.d, C: pc.c, Workers: 1}
-			results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
-				p := params
-				p.Seed = cfg.trialSeed(5, uint64(famIdx), uint64(pc.d), uint64(trial))
-				return core.Run(g, core.SAER, p, core.Options{})
-			})
+			params := core.Params{D: pc.d, C: pc.c}
+			results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER, params, core.Options{},
+				func(trial int) uint64 { return cfg.trialSeed(5, uint64(famIdx), uint64(pc.d), uint64(trial)) })
 			if err != nil {
 				return nil, err
 			}

@@ -28,9 +28,9 @@ func ExperimentDegreeSweep(cfg SuiteConfig) (*Table, error) {
 		delta  int
 		regime string
 	}{
-		{maxInt(2, log2n/2), "log(n)/2"},
+		{max(2, log2n/2), "log(n)/2"},
 		{log2n, "log(n)"},
-		{maxInt(2, int(logn*logn/4)), "log²(n)/4"},
+		{max(2, int(logn*logn/4)), "log²(n)/4"},
 		{int(logn * logn), "log²(n)"},
 		{int(2 * logn * logn), "2·log²(n)"},
 		{int(math.Pow(float64(n), 0.6)), "n^0.6"},
@@ -46,11 +46,9 @@ func ExperimentDegreeSweep(cfg SuiteConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
-			return core.Run(g, core.SAER, core.Params{
-				D: d, C: 4, Seed: cfg.trialSeed(6, uint64(delta), uint64(trial)), Workers: 1,
-			}, core.Options{TrackNeighborhoods: true})
-		})
+		results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER,
+			core.Params{D: d, C: 4}, core.Options{TrackNeighborhoods: true},
+			func(trial int) uint64 { return cfg.trialSeed(6, uint64(delta), uint64(trial)) })
 		if err != nil {
 			return nil, err
 		}
@@ -68,11 +66,4 @@ func ExperimentDegreeSweep(cfg SuiteConfig) (*Table, error) {
 	}
 	table.AddNote("claim: Theorem 1 requires ∆ = Ω(log² n); rows below that regime explore the paper's open question (Section 4)")
 	return table, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -41,12 +41,22 @@ func ExperimentSequentialBaselines(cfg SuiteConfig) (*Table, error) {
 		completedAll                 bool
 	}
 	addBaseline := func(name, parallel, loadInfo string, run func(seed uint64) (*baseline.Result, error)) (*row, error) {
-		r := &row{name: name, parallel: parallel, loadInfo: loadInfo, completedAll: true}
-		for trial := 0; trial < trials; trial++ {
+		// Baseline trials are independent; run them on the same bounded
+		// trial pool as the protocol runs.
+		trialResults := make([]*baseline.Result, trials)
+		err := forEachTrial(cfg, trials, func(_, trial int) error {
 			res, err := run(cfg.trialSeed(7, uint64(len(name)), uint64(trial)))
 			if err != nil {
-				return nil, fmt.Errorf("experiments: baseline %s: %w", name, err)
+				return fmt.Errorf("experiments: baseline %s: %w", name, err)
 			}
+			trialResults[trial] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		r := &row{name: name, parallel: parallel, loadInfo: loadInfo, completedAll: true}
+		for _, res := range trialResults {
 			r.maxLoads = append(r.maxLoads, float64(res.MaxLoad))
 			r.steps = append(r.steps, float64(res.Steps))
 			r.workPerBall = append(r.workPerBall, float64(res.Work)/balls)
@@ -59,11 +69,9 @@ func ExperimentSequentialBaselines(cfg SuiteConfig) (*Table, error) {
 
 	// SAER and RAES through the core package.
 	for _, variant := range []core.Variant{core.SAER, core.RAES} {
-		results, err := runParallelTrials(cfg, trials, func(trial int) (*core.Result, error) {
-			return core.Run(g, variant, core.Params{
-				D: d, C: 4, Seed: cfg.trialSeed(7, uint64(variant), uint64(trial)), Workers: 1,
-			}, core.Options{})
-		})
+		results, err := runPooledTrials(cfg, trials, g, variant,
+			core.Params{D: d, C: 4}, core.Options{},
+			func(trial int) uint64 { return cfg.trialSeed(7, uint64(variant), uint64(trial)) })
 		if err != nil {
 			return nil, err
 		}

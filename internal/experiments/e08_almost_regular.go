@@ -33,12 +33,9 @@ func ExperimentAlmostRegular(cfg SuiteConfig) (*Table, error) {
 		if cRun > 64 {
 			cRun = 64
 		}
-		params := core.Params{D: d, C: cRun, Workers: 1}
-		results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
-			p := params
-			p.Seed = cfg.trialSeed(8, uint64(n), uint64(trial))
-			return core.Run(g, core.SAER, p, core.Options{})
-		})
+		params := core.Params{D: d, C: cRun}
+		results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER, params, core.Options{},
+			func(trial int) uint64 { return cfg.trialSeed(8, uint64(n), uint64(trial)) })
 		if err != nil {
 			return nil, err
 		}

@@ -31,12 +31,10 @@ func ExperimentThresholdSweep(cfg SuiteConfig) (*Table, error) {
 
 	cs := []float64{1, 1.25, 1.5, 2, 3, 4, 8, 16, 32, core.MinCRegular(st.Eta, d)}
 	for _, c := range cs {
-		params := core.Params{D: d, C: c, Workers: 1}
-		results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
-			p := params
-			p.Seed = cfg.trialSeed(9, uint64(c*1000), uint64(trial))
-			return core.Run(g, core.SAER, p, core.Options{TrackNeighborhoods: true})
-		})
+		params := core.Params{D: d, C: c}
+		results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER, params,
+			core.Options{TrackNeighborhoods: true},
+			func(trial int) uint64 { return cfg.trialSeed(9, uint64(c*1000), uint64(trial)) })
 		if err != nil {
 			return nil, err
 		}

@@ -47,11 +47,9 @@ func ExperimentDenseRegime(cfg SuiteConfig) (*Table, error) {
 			return nil, fmt.Errorf("experiments: dense-regime graph %s: %w", dens.name, err)
 		}
 		for _, variant := range []core.Variant{core.SAER, core.RAES} {
-			results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
-				return core.Run(g, variant, core.Params{
-					D: d, C: 4, Seed: cfg.trialSeed(10, uint64(dens.delta), uint64(variant), uint64(trial)), Workers: 1,
-				}, core.Options{TrackNeighborhoods: true})
-			})
+			results, err := runPooledTrials(cfg, cfg.trials(), g, variant,
+				core.Params{D: d, C: 4}, core.Options{TrackNeighborhoods: true},
+				func(trial int) uint64 { return cfg.trialSeed(10, uint64(dens.delta), uint64(variant), uint64(trial)) })
 			if err != nil {
 				return nil, err
 			}

@@ -32,11 +32,9 @@ func ExperimentAliveDecay(cfg SuiteConfig) (*Table, error) {
 	// c = 2 keeps enough servers at the threshold that the decay spans
 	// several rounds (with a large c almost every ball lands in round 1 and
 	// there is nothing to plot).
-	results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
-		return core.Run(g, core.SAER, core.Params{
-			D: d, C: 2, Seed: cfg.trialSeed(11, uint64(n), uint64(trial)), Workers: 1,
-		}, core.Options{TrackRounds: true})
-	})
+	results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER,
+		core.Params{D: d, C: 2}, core.Options{TrackRounds: true},
+		func(trial int) uint64 { return cfg.trialSeed(11, uint64(n), uint64(trial)) })
 	if err != nil {
 		return nil, err
 	}

@@ -52,12 +52,10 @@ func ExperimentHeterogeneousDemand(cfg SuiteConfig) (*Table, error) {
 		if err := demand.Validate(); err != nil {
 			return nil, err
 		}
-		params := core.Params{D: sp.d, C: 4, Workers: 1}
-		results, err := runParallelTrials(cfg, cfg.trials(), func(trial int) (*core.Result, error) {
-			p := params
-			p.Seed = cfg.trialSeed(14, uint64(si), uint64(trial))
-			return core.Run(g, core.SAER, p, core.Options{RequestCounts: demand.Counts})
-		})
+		params := core.Params{D: sp.d, C: 4}
+		results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER, params,
+			core.Options{RequestCounts: demand.Counts},
+			func(trial int) uint64 { return cfg.trialSeed(14, uint64(si), uint64(trial)) })
 		if err != nil {
 			return nil, err
 		}

@@ -9,6 +9,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
@@ -80,28 +81,78 @@ func (c SuiteConfig) trialSeed(parts ...uint64) uint64 {
 	return h
 }
 
-// runParallelTrials executes fn(trial) for trial = 0..trials-1 with at
-// most cfg.parallelism() goroutines in flight and returns the results in
-// trial order. The first error, if any, is returned.
-func runParallelTrials(cfg SuiteConfig, trials int, fn func(trial int) (*core.Result, error)) ([]*core.Result, error) {
-	results := make([]*core.Result, trials)
-	errs := make([]error, trials)
-	sem := make(chan struct{}, cfg.parallelism())
-	var wg sync.WaitGroup
-	for i := 0; i < trials; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = fn(i)
-		}(i)
+// forEachTrial executes fn(trial) for trial = 0..trials-1 on a bounded
+// worker pool of at most cfg.parallelism() goroutines, handing each worker
+// a stable worker index. Work is distributed by an atomic counter, so no
+// goroutine is ever spawned per trial. The first error (in trial order) is
+// returned.
+func forEachTrial(cfg SuiteConfig, trials int, fn func(worker, trial int) error) error {
+	if trials <= 0 {
+		return nil
 	}
-	wg.Wait()
+	errs := make([]error, trials)
+	workers := min(cfg.parallelism(), trials)
+	if workers <= 1 {
+		for i := 0; i < trials; i++ {
+			errs[i] = fn(0, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= trials {
+						return
+					}
+					errs[i] = fn(w, i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
+	}
+	return nil
+}
+
+// runPooledTrials runs independent Monte-Carlo trials of the same
+// (graph, variant, params, options) configuration concurrently on a
+// shared pool of reusable Runners: each pool worker lazily builds one
+// Runner and drives it through successive trials via Reseed, so graph
+// validation and state allocation happen once per worker instead of once
+// per trial. Every trial runs single-threaded (params.Workers is forced
+// to 1): at experiment sizes, trial-level parallelism beats intra-run
+// parallelism, which cannot amortize its barriers on quick instances.
+// Results are returned in trial order and are bit-for-bit identical to
+// fresh single-threaded runs (the determinism contract of core.Runner).
+func runPooledTrials(cfg SuiteConfig, trials int, g *bipartite.Graph, variant core.Variant,
+	params core.Params, opts core.Options, seed func(trial int) uint64) ([]*core.Result, error) {
+	params.Workers = 1
+	results := make([]*core.Result, trials)
+	runners := make([]*core.Runner, min(cfg.parallelism(), max(trials, 1)))
+	err := forEachTrial(cfg, trials, func(worker, i int) error {
+		r := runners[worker]
+		if r == nil {
+			var e error
+			r, e = core.NewRunner(g, variant, params, opts)
+			if e != nil {
+				return e
+			}
+			runners[worker] = r
+		}
+		r.Reseed(seed(i))
+		results[i] = r.Run()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }

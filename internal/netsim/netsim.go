@@ -91,7 +91,7 @@ func Run(g *bipartite.Graph, variant core.Variant, p core.Params, opts core.Opti
 		maxRounds = core.DefaultMaxRounds(n)
 	}
 	capacity := int32(p.Capacity())
-	streams := rng.NewStreams(p.Seed, n)
+	streams := rng.NewStreamSlice(p.Seed, n)
 
 	// Per-server inbox channels (buffered; servers drain them actively
 	// during phase 1) and per-client reply channels (buffered to the

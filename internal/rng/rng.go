@@ -103,9 +103,74 @@ func NewStreams(seed uint64, n int) []Source {
 	return out
 }
 
+// Stream is a compact per-entity pseudo-random generator: a SplitMix64
+// sequence whose 8-byte state is the whole generator. Simulations that
+// keep one private stream per client use Stream instead of Source because
+// initialization is a single multiply-free assignment (Source needs five
+// SplitMix64 expansions to fill the xoshiro state) and a million streams
+// occupy 8 MB instead of 32 MB — both matter when a Runner is reseeded
+// once per Monte-Carlo trial. SplitMix64 is a bijective scramble of a
+// 64-bit counter with full period 2⁶⁴; its statistical quality is ample
+// for Monte-Carlo choice-drawing (it is the generator recommended to seed
+// xoshiro itself).
+type Stream struct {
+	state uint64
+}
+
+// Uint64 returns the next 64 pseudo-random bits of the stream.
+func (s *Stream) Uint64() uint64 {
+	return splitMix64(&s.state)
+}
+
+// Intn returns a uniform integer in [0, n) drawn from the stream. It
+// panics if n <= 0.
+//
+// The body deliberately duplicates Source.Intn's Lemire multiply-shift
+// rejection rather than sharing it through a function value or generic:
+// this is the simulator's innermost loop and must stay inlinable against
+// the concrete receiver. Any change to the rejection logic must be
+// applied to both copies.
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	un := uint64(n)
+	v := s.Uint64()
+	hi, lo := bits.Mul64(v, un)
+	if lo < un {
+		threshold := (-un) % un
+		for lo < threshold {
+			v = s.Uint64()
+			hi, lo = bits.Mul64(v, un)
+		}
+	}
+	return int(hi)
+}
+
+// ReseedStreamSlice reinitializes n per-entity Streams in place from seed.
+// The i-th stream depends only on (seed, i) — never on the worker count
+// consuming the slice — which is what keeps parallel simulations
+// deterministic. Distinct entities receive starting states one SplitMix64
+// scramble apart, i.e. distant, well-mixed points of the full-period
+// sequence.
+func ReseedStreamSlice(streams []Stream, seed uint64) {
+	sm := seed ^ 0xa0761d6478bd642f
+	for i := range streams {
+		streams[i].state = splitMix64(&sm)
+	}
+}
+
+// NewStreamSlice allocates and seeds n per-entity Streams.
+func NewStreamSlice(seed uint64, n int) []Stream {
+	out := make([]Stream, n)
+	ReseedStreamSlice(out, seed)
+	return out
+}
+
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
 // Lemire's multiply-shift rejection method keeps the result unbiased
-// without a modulo in the common case.
+// without a modulo in the common case. Stream.Intn carries a copy of
+// this body (see its comment for why); keep the two in sync.
 func (r *Source) Intn(n int) int {
 	if n <= 0 {
 		panic("rng: Intn called with non-positive n")

@@ -372,3 +372,64 @@ func BenchmarkIntn(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestStreamSliceDeterministicAndDistinct(t *testing.T) {
+	a := NewStreamSlice(42, 64)
+	b := NewStreamSlice(42, 64)
+	for i := range a {
+		x, y := a[i].Uint64(), b[i].Uint64()
+		if x != y {
+			t.Fatalf("stream %d diverges for identical seeds: %x vs %x", i, x, y)
+		}
+	}
+	// Distinct entities must produce distinct early output.
+	c := NewStreamSlice(42, 64)
+	seen := map[uint64]int{}
+	for i := range c {
+		v := c[i].Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("streams %d and %d emit the same first value", j, i)
+		}
+		seen[v] = i
+	}
+	// Reseeding in place must reproduce the fresh slice exactly.
+	ReseedStreamSlice(c, 42)
+	d := NewStreamSlice(42, 64)
+	for i := range c {
+		if c[i].Uint64() != d[i].Uint64() {
+			t.Fatalf("ReseedStreamSlice diverges from NewStreamSlice at %d", i)
+		}
+	}
+}
+
+func TestStreamIntnRangeAndUniformity(t *testing.T) {
+	var s Stream
+	streams := NewStreamSlice(7, 1)
+	s = streams[0]
+	const n = 10
+	counts := make([]int, n)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := s.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) = %d out of range", n, v)
+		}
+		counts[v]++
+	}
+	want := draws / n
+	for v, got := range counts {
+		if got < want*8/10 || got > want*12/10 {
+			t.Errorf("value %d drawn %d times, want about %d", v, got, want)
+		}
+	}
+}
+
+func TestStreamIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Stream.Intn(0) did not panic")
+		}
+	}()
+	var s Stream
+	s.Intn(0)
+}

@@ -1,0 +1,58 @@
+#!/bin/sh
+# bench.sh — run the repository benchmark suite and emit a machine-readable
+# BENCH_<date>.json next to the raw go test output, so the performance
+# trajectory can be tracked PR over PR (see PERFORMANCE.md).
+#
+# Usage:
+#   ./scripts/bench.sh         # full run: -benchtime default, -count 3
+#   ./scripts/bench.sh smoke   # CI smoke: one iteration per benchmark
+#
+# The JSON is an array of objects:
+#   {"name": ..., "iterations": N, "ns_per_op": ..., "bytes_per_op": ...,
+#    "allocs_per_op": ...}
+# parsed from the standard `go test -bench` text output with awk (no
+# external dependencies).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+mode="${1:-full}"
+case "$mode" in
+smoke) benchflags="-benchtime=1x -count=1" ;;
+full) benchflags="-count=3" ;;
+*)
+    echo "usage: $0 [smoke|full]" >&2
+    exit 2
+    ;;
+esac
+
+date="$(date +%Y-%m-%d)"
+txt="BENCH_${date}.txt"
+json="BENCH_${date}.json"
+
+# shellcheck disable=SC2086 # benchflags is intentionally word-split
+go test -run '^$' -bench . -benchmem $benchflags . | tee "$txt"
+
+awk '
+BEGIN { print "[" }
+/^Benchmark/ {
+    name = $1
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i + 1) == "ns/op") ns = $i
+        if ($(i + 1) == "B/op") bytes = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (found) printf ",\n"
+    found = 1
+    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
+    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+    printf "}"
+}
+END { if (found) printf "\n"; print "]" }
+' "$txt" >"$json"
+
+echo "wrote $txt and $json" >&2
