@@ -1,0 +1,191 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// normalizeName strips the trailing -GOMAXPROCS suffix the testing
+// package appends to benchmark names (BenchmarkX/n=65536-4 → …-4), so
+// snapshots recorded on machines with different CPU counts compare by
+// the same key. Sub-benchmark names containing dashes are unaffected:
+// only an all-digit final segment is removed.
+func normalizeName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// bestNs reduces entries to the minimum ns/op per raw benchmark name
+// (repeats from -count > 1 share the raw name). The minimum is the
+// standard noise-tolerant statistic for benchmark comparison: scheduling
+// hiccups only ever make a measurement slower, so the fastest repeat is
+// the closest to the true cost.
+func bestNs(entries []Entry) map[string]float64 {
+	best := make(map[string]float64, len(entries))
+	for _, e := range entries {
+		if cur, ok := best[e.Name]; !ok || e.NsPerOp < cur {
+			best[e.Name] = e.NsPerOp
+		}
+	}
+	return best
+}
+
+// snapshotIndex resolves benchmark names across snapshots recorded with
+// different GOMAXPROCS. Raw names are authoritative; the normalized
+// (suffix-stripped) view is a fallback, because a snapshot from a
+// GOMAXPROCS=1 machine carries no suffix at all while a multi-core one
+// does — and a sub-benchmark legitimately named "…/best-of-2" must not
+// lose its "-2" when the other side recorded it as "…/best-of-2-4".
+type snapshotIndex struct {
+	raw  map[string]float64  // min ns/op by raw name
+	norm map[string]float64  // min ns/op by normalized name
+	back map[string][]string // normalized name -> raw names mapping to it
+}
+
+func indexSnapshot(entries []Entry) *snapshotIndex {
+	idx := &snapshotIndex{
+		raw:  bestNs(entries),
+		norm: make(map[string]float64),
+		back: make(map[string][]string),
+	}
+	for name, ns := range idx.raw {
+		n := normalizeName(name)
+		if cur, ok := idx.norm[n]; !ok || ns < cur {
+			idx.norm[n] = ns
+		}
+		idx.back[n] = append(idx.back[n], name)
+	}
+	return idx
+}
+
+// lookup finds the baseline measurement for a candidate raw name, trying
+// exact raw match, then the candidate's normalized form against raw
+// baseline names (multi-core candidate vs 1-core baseline), then the
+// normalized views of both sides. It returns the matched ns/op and the
+// baseline raw names the match consumed.
+func (idx *snapshotIndex) lookup(name string) (float64, []string, bool) {
+	if ns, ok := idx.raw[name]; ok {
+		return ns, []string{name}, true
+	}
+	if ns, ok := idx.raw[normalizeName(name)]; ok {
+		return ns, []string{normalizeName(name)}, true
+	}
+	if ns, ok := idx.norm[name]; ok {
+		return ns, idx.back[name], true
+	}
+	if ns, ok := idx.norm[normalizeName(name)]; ok {
+		return ns, idx.back[normalizeName(name)], true
+	}
+	return 0, nil, false
+}
+
+// diffResult is the outcome of comparing one benchmark across snapshots.
+type diffResult struct {
+	Name    string
+	BaseNs  float64
+	NewNs   float64
+	Ratio   float64 // NewNs / BaseNs
+	Regress bool
+}
+
+// diffSnapshots compares the per-name minima of two snapshots, pairing
+// names through snapshotIndex.lookup so snapshots recorded with
+// different GOMAXPROCS still line up. A benchmark regresses when its
+// ns/op grew by more than maxRegress (0.25 = +25%). Benchmarks present
+// in only one snapshot are skipped — they have nothing to compare
+// against — and reported via the skipped list so the log shows what was
+// not covered.
+func diffSnapshots(base, next []Entry, maxRegress float64) (results []diffResult, skipped []string) {
+	idx := indexSnapshot(base)
+	claimed := make(map[string]bool)
+	for name, newNs := range bestNs(next) {
+		baseNs, consumed, ok := idx.lookup(name)
+		if !ok {
+			skipped = append(skipped, name+" (only in new)")
+			continue
+		}
+		for _, c := range consumed {
+			claimed[c] = true
+		}
+		ratio := 0.0
+		if baseNs > 0 {
+			ratio = newNs / baseNs
+		}
+		results = append(results, diffResult{
+			Name:    name,
+			BaseNs:  baseNs,
+			NewNs:   newNs,
+			Ratio:   ratio,
+			Regress: baseNs > 0 && ratio > 1+maxRegress,
+		})
+	}
+	for name := range idx.raw {
+		if !claimed[name] {
+			skipped = append(skipped, name+" (only in base)")
+		}
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	sort.Strings(skipped)
+	return results, skipped
+}
+
+// runDiff is the `benchjson diff` subcommand. It prints a comparison
+// table and returns an error (non-zero exit) when any benchmark
+// regressed beyond the threshold.
+func runDiff(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	basePath := fs.String("base", "", "baseline snapshot JSON (required)")
+	newPath := fs.String("new", "", "candidate snapshot JSON (required)")
+	maxRegress := fs.Float64("max-regress", 0.25, "allowed fractional ns/op growth before failing (0.25 = +25%)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *basePath == "" || *newPath == "" {
+		return fmt.Errorf("diff requires -base and -new")
+	}
+	base, err := readJSON(*basePath)
+	if err != nil {
+		return err
+	}
+	next, err := readJSON(*newPath)
+	if err != nil {
+		return err
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("baseline %s contains no benchmarks", *basePath)
+	}
+	results, skipped := diffSnapshots(base, next, *maxRegress)
+	regressions := 0
+	for _, r := range results {
+		status := "ok"
+		if r.Regress {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(w, "%-60s %14.0f -> %14.0f ns/op  %+6.1f%%  %s\n",
+			r.Name, r.BaseNs, r.NewNs, 100*(r.Ratio-1), status)
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(w, "skipped: %s\n", s)
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark names in common between %s and %s", *basePath, *newPath)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed by more than %.0f%%",
+			regressions, len(results), *maxRegress*100)
+	}
+	fmt.Fprintf(w, "all %d common benchmarks within +%.0f%% of baseline\n", len(results), *maxRegress*100)
+	return nil
+}

@@ -1,0 +1,58 @@
+// Command benchjson converts `go test -bench` text output into the
+// repository's BENCH_<date>.json snapshot format and compares two such
+// snapshots for performance regressions. It replaces the awk pipeline
+// that used to live in scripts/bench.sh with a small, tested tool that
+// both the script and the CI bench-diff job share.
+//
+// Usage:
+//
+//	benchjson parse [-in bench.txt] [-out bench.json]
+//	benchjson diff -base old.json -new new.json [-max-regress 0.25]
+//
+// parse reads benchmark text (stdin by default) and writes a JSON array
+// of {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} objects,
+// one per benchmark line, preserving repeats from -count > 1.
+//
+// diff compares the fastest (minimum) ns/op per benchmark name — the
+// repeat- and noise-tolerant statistic — after stripping the trailing
+// -GOMAXPROCS suffix, so snapshots taken with different CPU counts still
+// line up. It exits non-zero when any benchmark present in both
+// snapshots regressed by more than max-regress (a 0.25 default: +25%
+// ns/op).
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "parse":
+		err = runParse(os.Args[2:])
+	case "diff":
+		err = runDiff(os.Args[2:], os.Stdout)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "benchjson: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  benchjson parse [-in bench.txt] [-out bench.json]
+  benchjson diff -base old.json -new new.json [-max-regress 0.25]`)
+}

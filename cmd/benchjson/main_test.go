@@ -1,0 +1,219 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBenchText = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkSAERRun/n=16384-1         	     765	   1558490 ns/op	  786529 B/op	      55 allocs/op
+BenchmarkSAERRun/n=65536-1         	     270	   4110217 ns/op	 3021982 B/op	      56 allocs/op
+BenchmarkSAERRun/n=65536-1         	     272	   4090000 ns/op	 3021990 B/op	      56 allocs/op
+BenchmarkGraphGen/regular-1        	      31	  36228766 ns/op
+PASS
+ok  	repro	92.269s
+`
+
+func TestParseBench(t *testing.T) {
+	entries, err := parseBench(strings.NewReader(sampleBenchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("parsed %d entries, want 4", len(entries))
+	}
+	first := entries[0]
+	if first.Name != "BenchmarkSAERRun/n=16384-1" || first.Iterations != 765 || first.NsPerOp != 1558490 {
+		t.Errorf("first entry wrong: %+v", first)
+	}
+	if first.BytesPerOp == nil || *first.BytesPerOp != 786529 {
+		t.Errorf("first entry bytes/op wrong: %+v", first.BytesPerOp)
+	}
+	if first.AllocsPerOp == nil || *first.AllocsPerOp != 55 {
+		t.Errorf("first entry allocs/op wrong: %+v", first.AllocsPerOp)
+	}
+	last := entries[3]
+	if last.Name != "BenchmarkGraphGen/regular-1" || last.BytesPerOp != nil {
+		t.Errorf("entry without -benchmem fields parsed wrong: %+v", last)
+	}
+}
+
+func TestParseBenchSkipsNonBenchmarkLines(t *testing.T) {
+	entries, err := parseBench(strings.NewReader("PASS\nok repro 1.0s\nBenchmarkBroken abc\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("parsed %d entries from garbage, want 0", len(entries))
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkSAERRun/n=65536-1":  "BenchmarkSAERRun/n=65536",
+		"BenchmarkSAERRun/n=65536-16": "BenchmarkSAERRun/n=65536",
+		"BenchmarkFoo":                "BenchmarkFoo",
+		"BenchmarkFoo/sub-case":       "BenchmarkFoo/sub-case",
+		"BenchmarkFoo/sub-case-4":     "BenchmarkFoo/sub-case",
+		"BenchmarkFoo-":               "BenchmarkFoo-",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestBestNsTakesMinimumAcrossRepeats(t *testing.T) {
+	entries := []Entry{
+		{Name: "BenchmarkX-1", NsPerOp: 120},
+		{Name: "BenchmarkX-1", NsPerOp: 100},
+	}
+	best := bestNs(entries)
+	if len(best) != 1 || best["BenchmarkX-1"] != 100 {
+		t.Fatalf("bestNs = %v, want map[BenchmarkX-1:100]", best)
+	}
+}
+
+func TestDiffSnapshotsFlagsRegression(t *testing.T) {
+	base := []Entry{
+		{Name: "BenchmarkA-1", NsPerOp: 1000},
+		{Name: "BenchmarkB-1", NsPerOp: 2000},
+		{Name: "BenchmarkGone-1", NsPerOp: 10},
+	}
+	next := []Entry{
+		{Name: "BenchmarkA-4", NsPerOp: 1200}, // +20%: within a 25% budget
+		{Name: "BenchmarkB-4", NsPerOp: 4100}, // +105%: regression
+		{Name: "BenchmarkNew-4", NsPerOp: 5},
+	}
+	results, skipped := diffSnapshots(base, next, 0.25)
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+	byName := map[string]diffResult{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	if byName["BenchmarkA-4"].Regress {
+		t.Error("BenchmarkA (+20%) flagged as regression at 25% threshold")
+	}
+	if !byName["BenchmarkB-4"].Regress {
+		t.Error("BenchmarkB (+105%) not flagged as regression")
+	}
+	if len(skipped) != 2 {
+		t.Errorf("skipped = %v, want the two unmatched benchmarks", skipped)
+	}
+}
+
+// TestDiffSnapshotsOneCoreVsMultiCore pins the cross-GOMAXPROCS matching
+// rules: a GOMAXPROCS=1 snapshot carries no -N suffix at all (so a
+// sub-benchmark legitimately named "…-2" must not lose its digits), and
+// a multi-core snapshot of the same suite must still pair with it.
+func TestDiffSnapshotsOneCoreVsMultiCore(t *testing.T) {
+	base := []Entry{ // recorded on a 1-core box: no GOMAXPROCS suffix
+		{Name: "BenchmarkBaselines/greedy-best-of-2", NsPerOp: 1000},
+		{Name: "BenchmarkBaselines/one-choice", NsPerOp: 500},
+	}
+	next := []Entry{ // recorded on a 4-core runner
+		{Name: "BenchmarkBaselines/greedy-best-of-2-4", NsPerOp: 3000}, // 3x: must be caught
+		{Name: "BenchmarkBaselines/one-choice-4", NsPerOp: 510},
+	}
+	results, skipped := diffSnapshots(base, next, 0.25)
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v, want every benchmark paired", skipped)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2: %+v", len(results), results)
+	}
+	regressed := 0
+	for _, r := range results {
+		if r.Regress {
+			regressed++
+			if r.BaseNs != 1000 || r.NewNs != 3000 {
+				t.Errorf("regression paired wrong measurements: %+v", r)
+			}
+		}
+	}
+	if regressed != 1 {
+		t.Errorf("%d regressions flagged, want exactly the 3x greedy-best-of-2", regressed)
+	}
+	// And the reverse direction: multi-core baseline, 1-core candidate.
+	revResults, revSkipped := diffSnapshots(next, base, 0.25)
+	if len(revSkipped) != 0 || len(revResults) != 2 {
+		t.Errorf("reverse pairing failed: results=%+v skipped=%v", revResults, revSkipped)
+	}
+}
+
+// TestRunDiffEndToEnd verifies the CI contract: a 2x slowdown must make
+// the diff subcommand return an error, and an unchanged snapshot must
+// pass. This is the locally-verified stand-in for the injected-slowdown
+// check the bench-diff job performs.
+func TestRunDiffEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, entries []Entry) string {
+		path := filepath.Join(dir, name)
+		var buf bytes.Buffer
+		if err := writeJSON(&buf, entries); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", []Entry{
+		{Name: "BenchmarkSAERRun/n=65536-1", Iterations: 270, NsPerOp: 4110217},
+	})
+	same := write("same.json", []Entry{
+		{Name: "BenchmarkSAERRun/n=65536-4", Iterations: 270, NsPerOp: 4200000},
+	})
+	slow := write("slow.json", []Entry{
+		{Name: "BenchmarkSAERRun/n=65536-4", Iterations: 135, NsPerOp: 8220434}, // injected 2x slowdown
+	})
+
+	var out bytes.Buffer
+	if err := runDiff([]string{"-base", base, "-new", same}, &out); err != nil {
+		t.Fatalf("unchanged snapshot failed the diff: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	err := runDiff([]string{"-base", base, "-new", slow}, &out)
+	if err == nil {
+		t.Fatalf("2x slowdown passed the diff:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("diff output does not mark the regression:\n%s", out.String())
+	}
+}
+
+// TestRunDiffRoundTripsRealSnapshot guards compatibility with the
+// committed awk-era snapshot format: parse text, write JSON, read it
+// back, diff against itself.
+func TestRunDiffRoundTripsRealSnapshot(t *testing.T) {
+	entries, err := parseBench(strings.NewReader(sampleBenchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSON(f, entries); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := runDiff([]string{"-base", path, "-new", path}, &out); err != nil {
+		t.Fatalf("self-diff failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "within +25%") {
+		t.Errorf("self-diff summary missing:\n%s", out.String())
+	}
+}

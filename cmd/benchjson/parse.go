@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement, in the BENCH_<date>.json schema
+// that scripts/bench.sh has committed since PR 1.
+type Entry struct {
+	Name        string   `json:"name"`
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+}
+
+// parseBench extracts the benchmark lines from `go test -bench` text
+// output. Lines without an ns/op measurement (headers, PASS, ok) are
+// skipped; repeated measurements of the same benchmark (-count > 1) are
+// kept as separate entries.
+func parseBench(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Name: fields[0], Iterations: iters, NsPerOp: -1}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				e.NsPerOp = val
+			case "B/op":
+				v := val
+				e.BytesPerOp = &v
+			case "allocs/op":
+				v := val
+				e.AllocsPerOp = &v
+			}
+		}
+		if e.NsPerOp < 0 {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
+// writeJSON renders entries in the snapshot format (a JSON array, two-
+// space indented, trailing newline).
+func writeJSON(w io.Writer, entries []Entry) error {
+	if entries == nil {
+		entries = []Entry{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}
+
+// readJSON loads a snapshot written by writeJSON (or by the pre-benchjson
+// awk pipeline, which used the same schema).
+func readJSON(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// runParse is the `benchjson parse` subcommand.
+func runParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ContinueOnError)
+	in := fs.String("in", "", "benchmark text input (default stdin)")
+	out := fs.String("out", "", "JSON output (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	entries, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return writeJSON(w, entries)
+}

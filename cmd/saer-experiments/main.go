@@ -27,6 +27,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "use reduced problem sizes and trial counts")
 		trials   = flag.Int("trials", 0, "trials per configuration point (0 = default)")
 		seed     = flag.Uint64("seed", 0, "suite seed (0 = built-in default)")
+		topology = flag.String("topology", "", "scaling-experiment graph storage: csr, implicit, or empty for auto (implicit from n=65536 up)")
 		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E4); empty = all")
 		csvDir   = flag.String("csv-dir", "", "directory to write one CSV file per experiment table")
 		listOnly = flag.Bool("list", false, "list the available experiments and exit")
@@ -49,6 +50,13 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	switch *topology {
+	case "", "csr", "implicit":
+		cfg.Topology = *topology
+	default:
+		fmt.Fprintf(os.Stderr, "saer-experiments: unknown -topology %q (want csr, implicit, or empty)\n", *topology)
+		os.Exit(1)
 	}
 
 	selected, err := selectExperiments(*only)

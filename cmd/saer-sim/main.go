@@ -7,6 +7,7 @@
 //	saer-sim -n 8192 -d 2 -c 4
 //	saer-sim -graph trust -n 4096 -delta 64 -protocol raes -track
 //	saer-sim -graph proximity -n 4096 -expected-degree 48 -rounds-csv rounds.csv
+//	saer-sim -n 1048576 -topology implicit   # million clients in O(n) memory
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/bipartite"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/trace"
@@ -32,6 +34,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed (graph seed = seed, protocol seed = seed+1)")
 		workers     = flag.Int("workers", 0, "worker goroutines per phase (0 = GOMAXPROCS)")
 		engineMode  = flag.String("engine", "auto", "round-loop engine: auto, dense or sparse (identical results, different wall-clock)")
+		topoMode    = flag.String("topology", "csr", "graph storage: csr (materialized), implicit (O(n)-memory regenerative; families regular/erdos/almost), or implicit-csr (the implicit sampler materialized — bit-for-bit identical runs to implicit)")
 		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
 		trackFlag   = flag.Bool("track", false, "track per-round S_t / r_t / K_t series (costs O(edges) per round)")
 		roundsCSV   = flag.String("rounds-csv", "", "write the per-round series to this CSV file (implies -track)")
@@ -40,31 +43,45 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *seed, *workers, *maxRounds,
+	if err := run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *topoMode, *seed, *workers, *maxRounds,
 		*trackFlag, *roundsCSV, *loadsCSV, *resultJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "saer-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode string, seed uint64,
+func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode, topoMode string, seed uint64,
 	workers, maxRounds int, track bool, roundsCSV, loadsCSV, resultJSON string) error {
 
-	g, err := cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, ExpectedDegree: expectedDeg, Seed: seed}.Build()
+	topology, err := cli.ParseTopologyMode(topoMode)
 	if err != nil {
 		return err
 	}
-	st := g.Stats()
-	fmt.Printf("graph: %s\n", g)
-	fmt.Printf("  eta=%.3f rho=%.3f (paper's prescribed c for this graph: %.1f)\n",
-		st.Eta, st.RegularityRatio, core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d))
+	g, err := cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, ExpectedDegree: expectedDeg, Seed: seed}.BuildTopology(topology)
+	if err != nil {
+		return err
+	}
+	if csr, ok := g.(*bipartite.Graph); ok {
+		st := csr.Stats()
+		fmt.Printf("graph: %s\n", csr)
+		fmt.Printf("  eta=%.3f rho=%.3f (paper's prescribed c for this graph: %.1f)\n",
+			st.Eta, st.RegularityRatio, core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d))
+		if c <= 0 {
+			c = core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d)
+		}
+	} else {
+		// Implicit topologies expose no server-side degree statistics
+		// without an O(n·Δ) materialization pass, so the prescribed-c
+		// shortcut is unavailable.
+		fmt.Printf("graph: %v\n", g)
+		if c <= 0 {
+			return fmt.Errorf("-c 0 (prescribed threshold) needs server degree statistics; pass an explicit -c with -topology implicit")
+		}
+	}
 
 	variant, err := cli.ParseProtocol(protocol)
 	if err != nil {
 		return err
-	}
-	if c <= 0 {
-		c = core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d)
 	}
 
 	engine, err := cli.ParseEngineMode(engineMode)

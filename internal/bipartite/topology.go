@@ -1,0 +1,123 @@
+package bipartite
+
+import "fmt"
+
+// Topology is the read-only client-side view of a bipartite client–server
+// graph that the protocol engines require. It abstracts over *how* the
+// adjacency is stored: the materialized CSR Graph implements it by
+// returning slices of its edge arrays, while implicit topologies (see
+// internal/gen) recompute a client's neighborhood on demand from a
+// per-client random seed, storing O(n) state instead of O(n·Δ) edges —
+// the representation that makes million-client simulations fit in memory.
+//
+// Implementations must be safe for concurrent use by multiple readers:
+// the simulation engines call AppendClientNeighbors from several worker
+// goroutines at once (with distinct buffers).
+type Topology interface {
+	// NumClients returns the number of clients (|C|).
+	NumClients() int
+	// NumServers returns the number of servers (|S|).
+	NumServers() int
+	// ClientDegree returns |N(v)| for client v (parallel edges counted
+	// with multiplicity). Implicit implementations may take O(Δ) to
+	// answer; hot paths should use AppendClientNeighbors and len().
+	ClientDegree(v int) int
+	// MaxClientDegree returns max_v |N(v)|. It is used to size
+	// neighborhood scratch buffers once per run, so an O(n) computation
+	// is acceptable.
+	MaxClientDegree() int
+	// AppendClientNeighbors appends the servers adjacent to client v to
+	// buf and returns the extended slice. Implementations backed by
+	// materialized storage may instead return an internal aliasing slice
+	// when buf is empty; in every case the caller must treat the result
+	// as read-only and valid only until the next call that reuses buf.
+	// The neighbor order is a fixed property of the topology: repeated
+	// calls for the same v yield the same sequence.
+	AppendClientNeighbors(v int, buf []int32) []int32
+	// Validate checks the structural requirements the protocols rely on
+	// (non-empty sides, no isolated clients). Implicit implementations
+	// may answer from construction-time guarantees in O(1).
+	Validate() error
+}
+
+// Graph implements Topology.
+var _ Topology = (*Graph)(nil)
+
+// MaxClientDegree returns the largest client degree; it scans the offset
+// array once.
+func (g *Graph) MaxClientDegree() int {
+	maxDeg := 0
+	for v := 0; v < g.numClients; v++ {
+		if d := g.ClientDegree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// AppendClientNeighbors appends client v's neighbors to buf. When buf is
+// empty the internal CSR slice is returned directly (zero copy), matching
+// the aliasing contract of ClientNeighbors.
+func (g *Graph) AppendClientNeighbors(v int, buf []int32) []int32 {
+	nbrs := g.ClientNeighbors(v)
+	if len(buf) == 0 {
+		return nbrs
+	}
+	return append(buf, nbrs...)
+}
+
+// Materialize builds the CSR Graph holding exactly the edges t describes,
+// with every client row in t's neighbor order. If t already is a *Graph it
+// is returned unchanged. The construction allocates the final CSR arrays
+// directly (two passes over the rows) rather than staging an edge list, so
+// peak memory is the graph's own 8 bytes/edge.
+func Materialize(t Topology) (*Graph, error) {
+	if g, ok := t.(*Graph); ok {
+		return g, nil
+	}
+	n := t.NumClients()
+	m := t.NumServers()
+	if n <= 0 || m <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	g := &Graph{
+		numClients: n,
+		numServers: m,
+		clientOff:  make([]int32, n+1),
+		serverOff:  make([]int32, m+1),
+	}
+	scratch := make([]int32, 0, t.MaxClientDegree())
+	for v := 0; v < n; v++ {
+		scratch = t.AppendClientNeighbors(v, scratch[:0])
+		g.clientOff[v+1] = g.clientOff[v] + int32(len(scratch))
+	}
+	edges := int(g.clientOff[n])
+	g.clientNbr = make([]int32, edges)
+	g.serverNbr = make([]int32, edges)
+	for v := 0; v < n; v++ {
+		scratch = t.AppendClientNeighbors(v, scratch[:0])
+		row := g.clientNbr[g.clientOff[v]:g.clientOff[v+1]]
+		if len(scratch) != len(row) {
+			return nil, fmt.Errorf("bipartite: topology row %d changed length between passes (%d vs %d)",
+				v, len(row), len(scratch))
+		}
+		copy(row, scratch)
+		for _, u := range scratch {
+			if u < 0 || int(u) >= m {
+				return nil, fmt.Errorf("%w: client %d lists server %d of %d", ErrVertexOutOfSide, v, u, m)
+			}
+			g.serverOff[u+1]++
+		}
+	}
+	for u := 0; u < m; u++ {
+		g.serverOff[u+1] += g.serverOff[u]
+	}
+	pos := make([]int32, m)
+	for v := 0; v < n; v++ {
+		for _, u := range g.clientNbr[g.clientOff[v]:g.clientOff[v+1]] {
+			g.serverNbr[g.serverOff[u]+pos[u]] = int32(v)
+			pos[u]++
+		}
+	}
+	return g, nil
+}

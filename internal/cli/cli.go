@@ -107,6 +107,86 @@ func ParseProtocol(name string) (core.Variant, error) {
 	}
 }
 
+// TopologyMode selects the storage representation of a generated
+// topology.
+type TopologyMode int
+
+const (
+	// TopologyCSR materializes the graph with the classic generators
+	// (double-CSR adjacency, O(n·Δ) memory).
+	TopologyCSR TopologyMode = iota
+	// TopologyImplicit builds the regenerative topology: neighborhoods
+	// are recomputed on demand from per-client seeds, O(n) memory. Only
+	// the regular, erdos and almost families have implicit samplers.
+	TopologyImplicit
+	// TopologyImplicitCSR materializes the implicit sampler's edge set
+	// into a CSR graph: the memory cost of TopologyCSR with the exact
+	// edge multiset of TopologyImplicit, so a run on either is
+	// bit-for-bit identical — the knob that demonstrates the equivalence
+	// from the command line.
+	TopologyImplicitCSR
+)
+
+// TopologyModes lists the accepted -topology values.
+func TopologyModes() []string { return []string{"csr", "implicit", "implicit-csr"} }
+
+// ParseTopologyMode maps a -topology flag value to its mode.
+func ParseTopologyMode(name string) (TopologyMode, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "csr", "":
+		return TopologyCSR, nil
+	case "implicit":
+		return TopologyImplicit, nil
+	case "implicit-csr":
+		return TopologyImplicitCSR, nil
+	default:
+		return TopologyCSR, fmt.Errorf("cli: unknown topology mode %q (want one of %s)", name, strings.Join(TopologyModes(), ", "))
+	}
+}
+
+// buildImplicit generates the regenerative topology for the families that
+// have an implicit sampler.
+func (s GraphSpec) buildImplicit() (*gen.Implicit, error) {
+	if s.N <= 0 {
+		return nil, fmt.Errorf("cli: graph size must be positive, got %d", s.N)
+	}
+	delta := s.Delta
+	if delta <= 0 {
+		delta = DefaultDelta(s.N)
+	}
+	switch strings.ToLower(strings.TrimSpace(s.Kind)) {
+	case "regular", "":
+		return gen.RegularImplicit(s.N, delta, s.Seed)
+	case "erdos":
+		return gen.ErdosRenyiImplicit(s.N, s.N, float64(delta)/float64(s.N), true, s.Seed)
+	case "almost":
+		return gen.AlmostRegularImplicit(gen.DefaultAlmostRegularConfig(s.N), s.Seed)
+	default:
+		return nil, fmt.Errorf("%w: %q (implicit families: regular, erdos, almost)", gen.ErrNoImplicit, s.Kind)
+	}
+}
+
+// BuildTopology generates the topology the spec describes in the
+// requested representation. TopologyCSR uses the classic materialized
+// generators; TopologyImplicit and TopologyImplicitCSR share the
+// regenerative samplers, differing only in storage.
+func (s GraphSpec) BuildTopology(mode TopologyMode) (bipartite.Topology, error) {
+	switch mode {
+	case TopologyCSR:
+		return s.Build()
+	case TopologyImplicit:
+		return s.buildImplicit()
+	case TopologyImplicitCSR:
+		t, err := s.buildImplicit()
+		if err != nil {
+			return nil, err
+		}
+		return t.Materialize()
+	default:
+		return nil, fmt.Errorf("cli: unknown topology mode %d", int(mode))
+	}
+}
+
 // ParseEngineMode maps an engine-mode name to the core engine selector.
 // All modes compute the identical random process; the knob only trades
 // dense streaming scans against sparse active-frontier walks (see

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bipartite"
 	"repro/internal/core"
 )
 
@@ -111,5 +112,82 @@ func TestParseEngineMode(t *testing.T) {
 	}
 	if _, err := ParseEngineMode("turbo"); err == nil {
 		t.Error("unknown engine mode accepted")
+	}
+}
+
+func TestParseTopologyMode(t *testing.T) {
+	cases := map[string]TopologyMode{
+		"csr": TopologyCSR, "CSR": TopologyCSR, "": TopologyCSR,
+		"implicit": TopologyImplicit, " Implicit ": TopologyImplicit,
+		"implicit-csr": TopologyImplicitCSR,
+	}
+	for in, want := range cases {
+		got, err := ParseTopologyMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseTopologyMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseTopologyMode("streaming"); err == nil {
+		t.Error("unknown topology mode accepted")
+	}
+}
+
+func TestBuildTopologyImplicitFamilies(t *testing.T) {
+	for _, kind := range []string{"regular", "erdos", "almost"} {
+		spec := GraphSpec{Kind: kind, N: 256, Seed: 7}
+		topo, err := spec.BuildTopology(TopologyImplicit)
+		if err != nil {
+			t.Fatalf("kind %q: %v", kind, err)
+		}
+		if topo.NumClients() != 256 || topo.NumServers() != 256 {
+			t.Errorf("kind %q: wrong dimensions %d/%d", kind, topo.NumClients(), topo.NumServers())
+		}
+		if err := topo.Validate(); err != nil {
+			t.Errorf("kind %q: invalid topology: %v", kind, err)
+		}
+		// The materialized twin holds the identical edge multiset in the
+		// identical per-client order.
+		csr, err := spec.BuildTopology(TopologyImplicitCSR)
+		if err != nil {
+			t.Fatalf("kind %q implicit-csr: %v", kind, err)
+		}
+		var buf []int32
+		for v := 0; v < topo.NumClients(); v++ {
+			buf = topo.AppendClientNeighbors(v, buf[:0])
+			row := csr.AppendClientNeighbors(v, nil)
+			if len(buf) != len(row) {
+				t.Fatalf("kind %q client %d: implicit degree %d, csr %d", kind, v, len(buf), len(row))
+			}
+			for i := range buf {
+				if buf[i] != row[i] {
+					t.Fatalf("kind %q client %d slot %d: implicit %d, csr %d", kind, v, i, buf[i], row[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBuildTopologyImplicitUnsupportedKind(t *testing.T) {
+	if _, err := (GraphSpec{Kind: "proximity", N: 256, Seed: 1}).BuildTopology(TopologyImplicit); err == nil {
+		t.Error("proximity should have no implicit topology")
+	}
+}
+
+func TestBuildTopologyCSRMatchesBuild(t *testing.T) {
+	spec := GraphSpec{Kind: "trust", N: 128, Delta: 9, Seed: 4}
+	topo, err := spec.BuildTopology(TopologyCSR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, ok := topo.(*bipartite.Graph)
+	if !ok {
+		t.Fatalf("TopologyCSR returned %T, want *bipartite.Graph", topo)
+	}
+	if csr.NumEdges() != g.NumEdges() {
+		t.Errorf("edge counts differ: %d vs %d", csr.NumEdges(), g.NumEdges())
 	}
 }

@@ -40,11 +40,14 @@ const (
 // over finished entities; above it, the contiguous dense layout wins.
 const sparseSwitchDivisor = 4
 
-// Run executes one full protocol run of the selected variant on g and
-// returns its Result. The run is deterministic in (g, variant, p.Seed) and
-// independent of p.Workers and Options.Engine.
-func Run(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Result, error) {
-	r, err := NewRunner(g, variant, p, opts)
+// Run executes one full protocol run of the selected variant on topo and
+// returns its Result. The run is deterministic in (topo, variant, p.Seed)
+// and independent of p.Workers, Options.Engine, and — for topologies that
+// describe the same edge multiset in the same per-client order, such as an
+// implicit topology and its materialized CSR twin — of the topology
+// representation.
+func Run(topo bipartite.Topology, variant Variant, p Params, opts Options) (*Result, error) {
+	r, err := NewRunner(topo, variant, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -56,10 +59,17 @@ func Run(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Result, 
 // the graph and reset cheaply between trials; most callers can simply use
 // Run.
 type Runner struct {
-	g       *bipartite.Graph
+	topo    bipartite.Topology
 	variant Variant
 	params  Params
 	opts    Options
+
+	// csr is non-nil when topo is a materialized CSR graph, in which case
+	// neighborhoods are read zero-copy from its edge arrays. Otherwise
+	// (implicit/regenerative topologies) rows are regenerated on demand
+	// into the per-worker nbrBuf scratch buffers.
+	csr    *bipartite.Graph
+	nbrBuf [][]int32
 
 	pool     *engine.Pool
 	capacity int32
@@ -115,11 +125,11 @@ type Runner struct {
 }
 
 // NewRunner validates the inputs and allocates the run state.
-func NewRunner(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Runner, error) {
+func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options) (*Runner, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := g.Validate(); err != nil {
+	if err := topo.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrInvalidGraph, err)
 	}
 	if variant != SAER && variant != RAES {
@@ -128,8 +138,8 @@ func NewRunner(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Ru
 	if opts.Engine != EngineAuto && opts.Engine != EngineDense && opts.Engine != EngineSparse {
 		return nil, fmt.Errorf("core: unknown engine mode %d", int(opts.Engine))
 	}
-	n := g.NumClients()
-	m := g.NumServers()
+	n := topo.NumClients()
+	m := topo.NumServers()
 	if opts.InitialLoads != nil && len(opts.InitialLoads) != m {
 		return nil, fmt.Errorf("core: InitialLoads has %d entries for %d servers", len(opts.InitialLoads), m)
 	}
@@ -145,7 +155,7 @@ func NewRunner(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Ru
 	}
 	pool := engine.NewPool(p.Workers)
 	r := &Runner{
-		g:        g,
+		topo:     topo,
 		variant:  variant,
 		params:   p,
 		opts:     opts,
@@ -177,8 +187,55 @@ func NewRunner(g *bipartite.Graph, variant Variant, p Params, opts Options) (*Ru
 	if opts.TrackAssignments {
 		r.assignments = make([][]int32, n)
 	}
+	r.bindTopology(topo)
 	r.resetState()
 	return r, nil
+}
+
+// bindTopology installs topo as the Runner's adjacency source, selecting
+// the zero-copy CSR fast path when possible and sizing the per-worker
+// neighborhood scratch buffers otherwise.
+func (r *Runner) bindTopology(topo bipartite.Topology) {
+	r.topo = topo
+	r.csr, _ = topo.(*bipartite.Graph)
+	if r.csr == nil && r.nbrBuf == nil {
+		r.nbrBuf = make([][]int32, r.pool.Workers())
+		maxDeg := topo.MaxClientDegree()
+		for w := range r.nbrBuf {
+			r.nbrBuf[w] = make([]int32, 0, maxDeg)
+		}
+	}
+}
+
+// SwapTopology replaces the Runner's topology with one of identical
+// dimensions, keeping every allocated buffer. It is the cheap way to step
+// a dynamic scenario whose admissibility graph is re-randomized between
+// batches (E12): allocate one Runner for the batch shape, then
+// SwapTopology + Reseed per batch. The caller must Reseed (or at least
+// not expect a consistent mid-run state) before the next Run.
+func (r *Runner) SwapTopology(topo bipartite.Topology) error {
+	if err := topo.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidGraph, err)
+	}
+	if topo.NumClients() != r.topo.NumClients() || topo.NumServers() != r.topo.NumServers() {
+		return fmt.Errorf("core: SwapTopology dimension mismatch: %dx%d -> %dx%d",
+			r.topo.NumClients(), r.topo.NumServers(), topo.NumClients(), topo.NumServers())
+	}
+	r.bindTopology(topo)
+	return nil
+}
+
+// neighbors returns client v's neighborhood for use by worker. On the CSR
+// fast path it aliases the graph's edge arrays; on the implicit path it
+// regenerates the row into the worker's scratch buffer, which stays valid
+// until the worker's next call.
+func (r *Runner) neighbors(worker, v int) []int32 {
+	if r.csr != nil {
+		return r.csr.ClientNeighbors(v)
+	}
+	buf := r.topo.AppendClientNeighbors(v, r.nbrBuf[worker][:0])
+	r.nbrBuf[worker] = buf
+	return buf
 }
 
 // resetState reinitializes all mutable per-run state, allowing the Runner
@@ -265,7 +322,7 @@ func (r *Runner) beginRound() {
 	if r.sparse || r.opts.Engine == EngineDense {
 		return
 	}
-	if r.opts.Engine == EngineSparse || r.activeClients*sparseSwitchDivisor <= r.g.NumClients() {
+	if r.opts.Engine == EngineSparse || r.activeClients*sparseSwitchDivisor <= r.topo.NumClients() {
 		r.buildFrontier()
 		r.sparse = true
 		// The previous round's dense Reset (or resetState) left the local
@@ -287,7 +344,7 @@ func (r *Runner) buildFrontier() {
 		for w := range r.frontBuf {
 			r.frontBuf[w] = r.frontBuf[w][:0]
 		}
-		r.pool.ParallelRange(r.g.NumClients(), func(worker, lo, hi int) {
+		r.pool.ParallelRange(r.topo.NumClients(), func(worker, lo, hi int) {
 			buf := r.frontBuf[worker]
 			for v := lo; v < hi; v++ {
 				if r.alive[v] > 0 {
@@ -307,8 +364,8 @@ func (r *Runner) buildFrontier() {
 // Run executes the protocol until completion or the round cap and returns
 // the Result. Run may be called again after Reseed.
 func (r *Runner) Run() *Result {
-	n := r.g.NumClients()
-	m := r.g.NumServers()
+	n := r.topo.NumClients()
+	m := r.topo.NumServers()
 	maxRounds := r.params.MaxRounds
 	if maxRounds == 0 {
 		maxRounds = DefaultMaxRounds(n)
@@ -405,7 +462,7 @@ func (r *Runner) Run() *Result {
 // difference between the paths is how v is enumerated.
 func (r *Runner) clientStep(worker, v int, denseLocal []int32) int64 {
 	a := r.alive[v]
-	nbrs := r.g.ClientNeighbors(v)
+	nbrs := r.neighbors(worker, v)
 	deg := len(nbrs)
 	src := &r.streams[v]
 	base := v * r.d
@@ -442,7 +499,7 @@ func (r *Runner) phaseClients() int64 {
 			r.partialSent[worker] = sent
 		})
 	} else {
-		r.pool.ParallelRange(r.g.NumClients(), func(worker, lo, hi int) {
+		r.pool.ParallelRange(r.topo.NumClients(), func(worker, lo, hi int) {
 			local := r.tally.Local(worker)
 			var sent int64
 			for v := lo; v < hi; v++ {
@@ -527,7 +584,7 @@ func (r *Runner) phaseServers(touched []int32) (newlyBurned, saturated int) {
 		})
 	} else {
 		received := r.tally.Merged()
-		r.pool.ParallelRange(r.g.NumServers(), func(worker, lo, hi int) {
+		r.pool.ParallelRange(r.topo.NumServers(), func(worker, lo, hi int) {
 			var nb, sat int64
 			for u := lo; u < hi; u++ {
 				recv := received[u]
@@ -618,7 +675,7 @@ func (r *Runner) phaseUpdateClients() (accepted, alive int64) {
 				r.frontBuf[w] = r.frontBuf[w][:0]
 			}
 		}
-		r.pool.ParallelRange(r.g.NumClients(), func(worker, lo, hi int) {
+		r.pool.ParallelRange(r.topo.NumClients(), func(worker, lo, hi int) {
 			buf := r.frontBuf[worker]
 			var acc, still int64
 			for v := lo; v < hi; v++ {
@@ -657,7 +714,7 @@ func (r *Runner) phaseUpdateClients() (accepted, alive int64) {
 // Options.TrackNeighborhoods is set. Per-server received counts are read
 // through the tally, which resolves them correctly in both engine modes.
 func (r *Runner) neighborhoodStats() (maxBurnedFrac float64, maxReceived int, maxKt float64) {
-	n := r.g.NumClients()
+	n := r.topo.NumClients()
 	type partial struct {
 		frac float64
 		recv int64
@@ -668,7 +725,7 @@ func (r *Runner) neighborhoodStats() (maxBurnedFrac float64, maxReceived int, ma
 	r.pool.ParallelRange(n, func(worker, lo, hi int) {
 		p := partial{}
 		for v := lo; v < hi; v++ {
-			nbrs := r.g.ClientNeighbors(v)
+			nbrs := r.neighbors(worker, v)
 			if len(nbrs) == 0 {
 				continue
 			}
@@ -714,8 +771,8 @@ func (r *Runner) neighborhoodStats() (maxBurnedFrac float64, maxReceived int, ma
 // SAER. The sparse path checks only the frontier — exactly the clients
 // that can be starved.
 func (r *Runner) hasStarvedClient() bool {
-	starvedAt := func(v int) int64 {
-		for _, u := range r.g.ClientNeighbors(v) {
+	starvedAt := func(worker, v int) int64 {
+		for _, u := range r.neighbors(worker, v) {
 			if !r.burned[u] {
 				return 0
 			}
@@ -723,21 +780,21 @@ func (r *Runner) hasStarvedClient() bool {
 		return 1
 	}
 	if r.sparse {
-		return r.pool.ReduceInt64(len(r.frontier), func(_, lo, hi int) int64 {
+		return r.pool.ReduceInt64(len(r.frontier), func(worker, lo, hi int) int64 {
 			for idx := lo; idx < hi; idx++ {
-				if starvedAt(int(r.frontier[idx])) != 0 {
+				if starvedAt(worker, int(r.frontier[idx])) != 0 {
 					return 1
 				}
 			}
 			return 0
 		}) > 0
 	}
-	return r.pool.ReduceInt64(r.g.NumClients(), func(_, lo, hi int) int64 {
+	return r.pool.ReduceInt64(r.topo.NumClients(), func(worker, lo, hi int) int64 {
 		for v := lo; v < hi; v++ {
 			if r.alive[v] == 0 {
 				continue
 			}
-			if starvedAt(v) != 0 {
+			if starvedAt(worker, v) != 0 {
 				return 1
 			}
 		}
@@ -748,7 +805,7 @@ func (r *Runner) hasStarvedClient() bool {
 // fillLoadStats computes the final load summary (and optionally the full
 // load vector) into res.
 func (r *Runner) fillLoadStats(res *Result) {
-	m := r.g.NumServers()
+	m := r.topo.NumServers()
 	maxLoad := 0
 	minLoad := int(^uint(0) >> 1)
 	var sum int64

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/gen"
+)
+
+// runTopologyEquivalenceCase executes the same run on the implicit
+// topology and on its materialized CSR twin under every engine mode,
+// worker count, and variant, and fails unless all Results — PerRound
+// series, load vectors, assignment lists — are bit-for-bit identical.
+// This is the correctness contract of the implicit layer: the topology
+// representation is a pure memory/speed knob, never an outcome knob.
+func runTopologyEquivalenceCase(t *testing.T, name string, topo *gen.Implicit, p Params, opts Options) {
+	t.Helper()
+	csr, err := topo.Materialize()
+	if err != nil {
+		t.Fatalf("%s: materialize: %v", name, err)
+	}
+	for _, variant := range []Variant{SAER, RAES} {
+		ref := func() *Result {
+			pp := p
+			pp.Workers = 1
+			oo := opts
+			oo.Engine = EngineDense
+			res, err := Run(csr, variant, pp, oo)
+			if err != nil {
+				t.Fatalf("%s/%s: CSR reference failed: %v", name, variant, err)
+			}
+			return normalizedResult(res)
+		}()
+		for _, mode := range []EngineMode{EngineDense, EngineSparse, EngineAuto} {
+			for _, workers := range equivalenceWorkerCounts() {
+				pp := p
+				pp.Workers = workers
+				oo := opts
+				oo.Engine = mode
+				res, err := Run(topo, variant, pp, oo)
+				if err != nil {
+					t.Fatalf("%s/%s mode=%d workers=%d: %v", name, variant, mode, workers, err)
+				}
+				if got := normalizedResult(res); !reflect.DeepEqual(got, ref) {
+					t.Errorf("%s/%s: implicit mode=%d workers=%d diverges from CSR dense single-worker reference:\n  ref=%+v\n  got=%+v",
+						name, variant, mode, workers, ref, got)
+				}
+			}
+		}
+	}
+}
+
+func TestTopologyEquivalenceRegular(t *testing.T) {
+	topo, err := gen.RegularImplicit(1024, 40, 0xABCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullTracking := Options{
+		TrackRounds:        true,
+		TrackNeighborhoods: true,
+		TrackLoads:         true,
+		TrackAssignments:   true,
+	}
+	// c=4: fast completion; c=2: heavy burning, long sparse tail (and the
+	// starved-client exit on some seeds).
+	for _, c := range []float64{4, 2} {
+		runTopologyEquivalenceCase(t, "regular", topo, Params{D: 2, C: c, Seed: 0xFEED}, fullTracking)
+	}
+}
+
+func TestTopologyEquivalenceErdosRenyi(t *testing.T) {
+	topo, err := gen.ErdosRenyiImplicit(900, 800, 0.03, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTopologyEquivalenceCase(t, "erdos-renyi", topo,
+		Params{D: 3, C: 2.5, Seed: 17, MaxRounds: 400},
+		Options{TrackRounds: true, TrackLoads: true, TrackAssignments: true})
+}
+
+func TestTopologyEquivalenceAlmostRegular(t *testing.T) {
+	topo, err := gen.AlmostRegularImplicit(gen.DefaultAlmostRegularConfig(512), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTopologyEquivalenceCase(t, "almost-regular", topo,
+		Params{D: 2, C: 3, Seed: 5},
+		Options{TrackRounds: true, TrackNeighborhoods: true, TrackLoads: true})
+}
+
+// TestTopologySwapReuse checks the E12 reuse pattern: one Runner stepped
+// through several re-randomized topologies via SwapTopology + Reseed must
+// produce exactly the results of fresh Runners, including carried-over
+// initial loads.
+func TestTopologySwapReuse(t *testing.T) {
+	n := 512
+	loads := make([]int, n)
+	opts := Options{InitialLoads: loads, TrackLoads: true}
+	p := Params{D: 2, C: 4, Seed: 0, Workers: 1}
+
+	first, err := gen.RegularImplicit(n, 24, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(first, SAER, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 4; batch++ {
+		topo, err := gen.RegularImplicit(n, 24, 1000+uint64(batch))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.SwapTopology(topo); err != nil {
+			t.Fatal(err)
+		}
+		seed := uint64(7777 + batch)
+		r.Reseed(seed)
+		reused := r.Run()
+
+		pp := p
+		pp.Seed = seed
+		fresh, err := Run(topo, SAER, pp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalizedResult(reused), normalizedResult(fresh)) {
+			t.Fatalf("batch %d: reused Runner diverges from fresh Runner", batch)
+		}
+		// Carry the accepted loads into the next batch, as E12 does.
+		copy(loads, resIntLoads(reused))
+	}
+}
+
+// resIntLoads returns the result's load vector as ints.
+func resIntLoads(res *Result) []int {
+	out := make([]int, len(res.Loads))
+	copy(out, res.Loads)
+	return out
+}
+
+// TestTopologySwapRejectsMismatchedDimensions guards the reuse contract.
+func TestTopologySwapRejectsMismatchedDimensions(t *testing.T) {
+	a, err := gen.RegularImplicit(128, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := gen.RegularImplicit(256, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(a, SAER, Params{D: 2, C: 4, Seed: 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SwapTopology(b); err == nil {
+		t.Fatal("SwapTopology accepted a topology with different dimensions")
+	}
+}
+
+// TestTopologySwapCSRToImplicit exercises the scratch-buffer allocation
+// path when a Runner built on a CSR graph later swaps to an implicit
+// topology of the same shape.
+func TestTopologySwapCSRToImplicit(t *testing.T) {
+	topo, err := gen.RegularImplicit(256, 16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := topo.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Params{D: 2, C: 3, Seed: 0, Workers: 2}
+	r, err := NewRunner(csr, SAER, p, Options{TrackLoads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Reseed(42)
+	fromCSR := r.Run()
+	if err := r.SwapTopology(topo); err != nil {
+		t.Fatal(err)
+	}
+	r.Reseed(42)
+	fromImplicit := r.Run()
+	if !reflect.DeepEqual(normalizedResult(fromCSR), normalizedResult(fromImplicit)) {
+		t.Fatal("same seed on CSR and implicit twins diverged after SwapTopology")
+	}
+}
+
+var _ bipartite.Topology = (*gen.Implicit)(nil)

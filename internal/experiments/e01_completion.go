@@ -25,9 +25,9 @@ func ExperimentCompletionScaling(cfg SuiteConfig) (*Table, error) {
 	// at every size and the scaling claim is trivially satisfied.
 	cconst := 2.5
 	var logns, meanRounds []float64
-	for _, n := range cfg.sizes() {
+	for _, n := range cfg.largeSizes() {
 		delta := regularDelta(n)
-		g, err := buildRegular(n, delta, cfg.trialSeed(1, uint64(n)))
+		g, err := buildRegularTopology(cfg, n, delta, cfg.trialSeed(1, uint64(n)))
 		if err != nil {
 			return nil, err
 		}

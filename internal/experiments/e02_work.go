@@ -18,9 +18,9 @@ func ExperimentWorkScaling(cfg SuiteConfig) (*Table, error) {
 
 	d := 2
 	var ns, works []float64
-	for _, n := range cfg.sizes() {
+	for _, n := range cfg.largeSizes() {
 		delta := regularDelta(n)
-		g, err := buildRegular(n, delta, cfg.trialSeed(2, uint64(n)))
+		g, err := buildRegularTopology(cfg, n, delta, cfg.trialSeed(2, uint64(n)))
 		if err != nil {
 			return nil, err
 		}

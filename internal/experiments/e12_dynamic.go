@@ -73,6 +73,12 @@ func RunDynamicScenario(dc DynamicConfig, seed uint64) ([]DynamicBatchOutcome, e
 	loads := make([]int, dc.NumServers)
 	capacity := core.Params{D: dc.D, C: dc.C}.Capacity()
 	outcomes := make([]DynamicBatchOutcome, 0, dc.Batches)
+	// One Runner serves every batch: the batch shape (clients × servers)
+	// is constant, so the per-batch topology is swapped in and the run
+	// state reset via Reseed instead of reallocating ~O(n) state per
+	// batch. Options.InitialLoads aliases the loads slice, so each Reseed
+	// picks up the churned carry-over loads in place.
+	var runner *core.Runner
 	for batch := 0; batch < dc.Batches; batch++ {
 		// Churn: a fraction of every server's load expires.
 		if dc.ChurnFraction > 0 {
@@ -101,11 +107,20 @@ func RunDynamicScenario(dc DynamicConfig, seed uint64) ([]DynamicBatchOutcome, e
 				burnedAtStart++
 			}
 		}
-		res, err := core.Run(g, core.SAER, core.Params{D: dc.D, C: dc.C, Seed: src.Uint64(), Workers: 1},
-			core.Options{InitialLoads: loads, TrackLoads: true})
-		if err != nil {
-			return nil, err
+		batchSeed := src.Uint64()
+		if runner == nil {
+			runner, err = core.NewRunner(g, core.SAER, core.Params{D: dc.D, C: dc.C, Seed: batchSeed, Workers: 1},
+				core.Options{InitialLoads: loads, TrackLoads: true})
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if err := runner.SwapTopology(g); err != nil {
+				return nil, err
+			}
+			runner.Reseed(batchSeed)
 		}
+		res := runner.Run()
 		copy(loads, res.Loads)
 		outcomes = append(outcomes, DynamicBatchOutcome{
 			Batch:           batch + 1,

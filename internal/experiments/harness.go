@@ -32,7 +32,20 @@ type SuiteConfig struct {
 	// itself runs single-threaded to avoid oversubscription). Zero selects
 	// GOMAXPROCS.
 	TrialParallelism int
+	// Topology selects how scaling-experiment graphs are represented:
+	// "csr" always materializes, "implicit" always regenerates
+	// neighborhoods from per-client seeds, and "" (auto) materializes
+	// below implicitSizeThreshold clients and goes implicit above it —
+	// the setting that lets the full-mode sweeps reach n = 2²⁰ without
+	// holding O(n·Δ) edges in memory.
+	Topology string
 }
+
+// implicitSizeThreshold is the auto-mode switchover: at and above this
+// many clients the Δ = log² n CSR adjacency (two int32 arrays per side)
+// costs hundreds of megabytes, so experiments regenerate neighborhoods
+// instead of storing them.
+const implicitSizeThreshold = 1 << 16
 
 // DefaultSuiteConfig returns the configuration used by the CLI when no
 // flags are given.
@@ -68,6 +81,32 @@ func (c SuiteConfig) sizes() []int {
 		return []int{256, 512, 1024, 2048}
 	}
 	return []int{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15}
+}
+
+// largeSizes returns the extended n sweep used by the experiments whose
+// round loops run on implicit topologies (E1, E2): the standard sweep
+// plus the million-client points in full mode. Forcing Topology "csr"
+// keeps the old cap — materializing a Δ = log² n graph at 2²⁰ clients
+// needs gigabytes.
+func (c SuiteConfig) largeSizes() []int {
+	s := c.sizes()
+	if c.Quick || c.Topology == "csr" {
+		return s
+	}
+	return append(append([]int{}, s...), 1<<16, 1<<18, 1<<20)
+}
+
+// useImplicit reports whether the scaling experiments should build the
+// implicit topology at size n.
+func (c SuiteConfig) useImplicit(n int) bool {
+	switch c.Topology {
+	case "implicit":
+		return true
+	case "csr":
+		return false
+	default:
+		return n >= implicitSizeThreshold
+	}
 }
 
 // trialSeed derives a deterministic seed for (experiment, point, trial).
@@ -132,7 +171,7 @@ func forEachTrial(cfg SuiteConfig, trials int, fn func(worker, trial int) error)
 // parallelism, which cannot amortize its barriers on quick instances.
 // Results are returned in trial order and are bit-for-bit identical to
 // fresh single-threaded runs (the determinism contract of core.Runner).
-func runPooledTrials(cfg SuiteConfig, trials int, g *bipartite.Graph, variant core.Variant,
+func runPooledTrials(cfg SuiteConfig, trials int, g bipartite.Topology, variant core.Variant,
 	params core.Params, opts core.Options, seed func(trial int) uint64) ([]*core.Result, error) {
 	params.Workers = 1
 	results := make([]*core.Result, trials)
@@ -181,6 +220,22 @@ func buildRegular(n, delta int, seed uint64) (*bipartite.Graph, error) {
 		return nil, fmt.Errorf("experiments: building %d-regular graph on %d nodes: %w", delta, n, err)
 	}
 	return g, nil
+}
+
+// buildRegularTopology builds the Δ-regular topology for a scaling point
+// in the representation the configuration selects: the materialized
+// permutation-model graph below the implicit threshold, the regenerative
+// keyed-matching topology above it. Both are unions of delta random
+// perfect matchings; only the storage (and the matching sampler) differs.
+func buildRegularTopology(cfg SuiteConfig, n, delta int, seed uint64) (bipartite.Topology, error) {
+	if !cfg.useImplicit(n) {
+		return buildRegular(n, delta, seed)
+	}
+	t, err := gen.RegularImplicit(n, delta, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: building implicit %d-regular topology on %d nodes: %w", delta, n, err)
+	}
+	return t, nil
 }
 
 // fmtBool renders a boolean as "yes"/"no" for table cells.

@@ -1,0 +1,395 @@
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/bipartite"
+	"repro/internal/rng"
+)
+
+// This file contains the implicit (regenerative) topologies: graph
+// families whose client neighborhoods are recomputed on demand from a
+// per-client random stream instead of being stored. An Implicit topology
+// keeps O(n) state (per-client degrees, a handful of permutation keys, a
+// tiny edge overlay) where the materialized CSR Graph keeps O(n·Δ) edge
+// words — at n = 2²⁰ and Δ = log² n that is a few megabytes against
+// several gigabytes, which is what makes million-client protocol sweeps
+// fit on a small machine.
+//
+// Every Implicit constructor has a materialized twin: Materialize (or
+// bipartite.Materialize) iterates the same row sampler into a CSR Graph,
+// so the two representations describe the *identical* edge multiset in
+// the identical per-client order. The protocol equivalence tests in
+// internal/core rely on this to check that simulation Results are
+// bit-for-bit equal across representations.
+
+// Implicit is a bipartite topology whose client rows are produced by a
+// deterministic sampler. It implements bipartite.Topology and is safe for
+// concurrent readers: row regeneration only reads shared immutable state.
+type Implicit struct {
+	kind       string
+	numClients int
+	numServers int
+	minDeg     int
+	maxDeg     int
+
+	// degree reports |N(v)|; it must agree with len(row(v)).
+	degree func(v int) int
+	// row appends N(v) to buf in the topology's canonical order.
+	row func(v int, buf []int32) []int32
+}
+
+var _ bipartite.Topology = (*Implicit)(nil)
+
+// NumClients returns the number of clients.
+func (t *Implicit) NumClients() int { return t.numClients }
+
+// NumServers returns the number of servers.
+func (t *Implicit) NumServers() int { return t.numServers }
+
+// ClientDegree returns |N(v)|.
+func (t *Implicit) ClientDegree(v int) int { return t.degree(v) }
+
+// MinClientDegree returns the smallest client degree (exact; recorded at
+// construction).
+func (t *Implicit) MinClientDegree() int { return t.minDeg }
+
+// MaxClientDegree returns the largest client degree (exact; recorded at
+// construction).
+func (t *Implicit) MaxClientDegree() int { return t.maxDeg }
+
+// AppendClientNeighbors regenerates client v's neighborhood into buf.
+func (t *Implicit) AppendClientNeighbors(v int, buf []int32) []int32 {
+	return t.row(v, buf)
+}
+
+// Validate answers from construction-time guarantees in O(1).
+func (t *Implicit) Validate() error {
+	if t.numClients <= 0 || t.numServers <= 0 {
+		return bipartite.ErrEmptyGraph
+	}
+	if t.minDeg <= 0 {
+		return bipartite.ErrIsolatedClient
+	}
+	return nil
+}
+
+// NumEdges returns the total number of edges (Σ_v |N(v)|).
+func (t *Implicit) NumEdges() int {
+	total := 0
+	for v := 0; v < t.numClients; v++ {
+		total += t.degree(v)
+	}
+	return total
+}
+
+// Materialize builds the CSR twin of the topology: the same edges in the
+// same per-client order, stored explicitly.
+func (t *Implicit) Materialize() (*bipartite.Graph, error) {
+	return bipartite.Materialize(t)
+}
+
+// String returns a short human-readable summary.
+func (t *Implicit) String() string {
+	return fmt.Sprintf("implicit{%s clients=%d servers=%d degC=[%d,%d]}",
+		t.kind, t.numClients, t.numServers, t.minDeg, t.maxDeg)
+}
+
+// ---------------------------------------------------------------------------
+// Random Δ-regular: union of Δ keyed pseudo-random perfect matchings.
+
+// feistel is a keyed pseudo-random permutation of [0, domain) built as a
+// four-round balanced Feistel network over 2·halfBits bits with
+// cycle-walking down to the requested domain. Four rounds of a SplitMix64
+// round function are ample for simulation-grade mixing, and the whole
+// permutation is 40 bytes of state — which is how the implicit Δ-regular
+// topology stores Δ perfect matchings in O(Δ) memory instead of O(n·Δ).
+type feistel struct {
+	halfBits uint
+	mask     uint32
+	domain   uint64
+	keys     [4]uint64
+}
+
+// newFeistel returns the permutation of [0, n) keyed by seed.
+func newFeistel(n int, seed uint64) feistel {
+	b := uint(bits.Len64(uint64(n - 1)))
+	if n <= 1 {
+		b = 1
+	}
+	if b%2 == 1 {
+		b++
+	}
+	f := feistel{
+		halfBits: b / 2,
+		mask:     uint32(1<<(b/2)) - 1,
+		domain:   uint64(n),
+	}
+	sm := seed
+	for i := range f.keys {
+		f.keys[i] = splitMix(&sm)
+	}
+	return f
+}
+
+// splitMix is the SplitMix64 step (duplicated from internal/rng, which
+// deliberately does not export its raw state scrambler).
+func splitMix(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roundF is the Feistel round function: a SplitMix-style scramble of the
+// half-block mixed with the round key, truncated to halfBits.
+func (f *feistel) roundF(r uint32, round int) uint32 {
+	z := uint64(r) + f.keys[round]
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return uint32(z) & f.mask
+}
+
+// applyOnce runs the network once over the padded power-of-two domain.
+func (f *feistel) applyOnce(x uint64) uint64 {
+	l := uint32(x>>f.halfBits) & f.mask
+	r := uint32(x) & f.mask
+	for i := 0; i < 4; i++ {
+		l, r = r, l^f.roundF(r, i)
+	}
+	return uint64(l)<<f.halfBits | uint64(r)
+}
+
+// apply maps x ∈ [0, domain) to its image under the permutation,
+// cycle-walking through the padded domain (expected < 2 iterations, since
+// the padded domain is < 4·domain).
+func (f *feistel) apply(x uint64) uint64 {
+	y := f.applyOnce(x)
+	for y >= f.domain {
+		y = f.applyOnce(y)
+	}
+	return y
+}
+
+// RegularImplicit returns the implicit random Δ-regular bipartite
+// topology on n clients and n servers: the union of delta keyed
+// pseudo-random perfect matchings, the implicit counterpart of the
+// permutation model used by Regular. Client v's k-th neighbor is
+// π_k(v) where π_k is a keyed permutation of [0, n), so every client and
+// every server has degree exactly delta (parallel edges across matchings
+// are possible and kept, exactly as in Regular). State is O(delta)
+// permutation keys — independent of n.
+func RegularImplicit(n, delta int, seed uint64) (*Implicit, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: RegularImplicit requires n > 0, got %d", n)
+	}
+	if delta <= 0 || delta > n {
+		return nil, fmt.Errorf("gen: RegularImplicit requires 0 < delta <= n, got delta=%d n=%d", delta, n)
+	}
+	perms := make([]feistel, delta)
+	sm := seed ^ 0x6c62272e07bb0142
+	for k := range perms {
+		perms[k] = newFeistel(n, splitMix(&sm))
+	}
+	return &Implicit{
+		kind:       fmt.Sprintf("regular delta=%d", delta),
+		numClients: n,
+		numServers: n,
+		minDeg:     delta,
+		maxDeg:     delta,
+		degree:     func(int) int { return delta },
+		row: func(v int, buf []int32) []int32 {
+			for k := range perms {
+				buf = append(buf, int32(perms[k].apply(uint64(v))))
+			}
+			return buf
+		},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Erdős–Rényi via per-client skip-sampling.
+
+// erRow appends client v's G(n, m, p) row — each server present
+// independently with probability p, in ascending order — drawn from the
+// client's private stream, with the ensure-clients fallback edge when the
+// row would be empty. It is the row sampler shared by the implicit
+// topology and its materialized twin.
+func erRow(s *rng.Stream, numServers int, p float64, ensure bool, buf []int32) []int32 {
+	start := len(buf)
+	if p >= 1 {
+		for u := 0; u < numServers; u++ {
+			buf = append(buf, int32(u))
+		}
+		return buf
+	}
+	if p > 0 {
+		u := -1
+		for {
+			u += 1 + skipFromUniform(s.Float64(), p)
+			if u >= numServers {
+				break
+			}
+			buf = append(buf, int32(u))
+		}
+	}
+	if ensure && len(buf) == start {
+		buf = append(buf, int32(s.Intn(numServers)))
+	}
+	return buf
+}
+
+// ErdosRenyiImplicit returns the implicit bipartite
+// G(numClients, numServers, p) topology: client v's row is regenerated on
+// demand by skip-sampling v's private stream (derived in O(1) from the
+// seed), so only the per-client degree table — needed for O(1) degree
+// queries and validation — is stored. With ensureClients every client that
+// would be isolated receives one uniformly random fallback edge, as in
+// ErdosRenyi. Construction performs one O(Σ deg) pass to record degrees.
+func ErdosRenyiImplicit(numClients, numServers int, p float64, ensureClients bool, seed uint64) (*Implicit, error) {
+	if numClients <= 0 || numServers <= 0 {
+		return nil, fmt.Errorf("gen: ErdosRenyiImplicit requires positive sides, got %d clients %d servers", numClients, numServers)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: ErdosRenyiImplicit requires p in [0,1], got %v", p)
+	}
+	row := func(v int, buf []int32) []int32 {
+		s := rng.StreamAt(seed, v)
+		return erRow(&s, numServers, p, ensureClients, buf)
+	}
+	degrees := make([]int32, numClients)
+	minDeg, maxDeg := numServers+1, 0
+	scratch := make([]int32, 0, 64)
+	for v := 0; v < numClients; v++ {
+		scratch = row(v, scratch[:0])
+		d := len(scratch)
+		degrees[v] = int32(d)
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if minDeg > numServers {
+		minDeg = 0
+	}
+	if minDeg == 0 {
+		return nil, fmt.Errorf("gen: ErdosRenyiImplicit produced an isolated client (p=%v, ensureClients=%v): %w",
+			p, ensureClients, bipartite.ErrIsolatedClient)
+	}
+	return &Implicit{
+		kind:       fmt.Sprintf("erdos-renyi p=%.3g", p),
+		numClients: numClients,
+		numServers: numServers,
+		minDeg:     minDeg,
+		maxDeg:     maxDeg,
+		degree:     func(v int) int { return int(degrees[v]) },
+		row:        row,
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Almost-regular: per-client pool sampling plus a light-server overlay.
+
+// distinctRow appends k distinct values from [0, pool) to buf in draw
+// order, by rejection against a linear scan of the values drawn so far.
+// The scan costs O(k²) per row, which is fine for the Θ(log² n) base
+// degrees the paper uses and tolerable for the O(log n) heavy clients of
+// degree O(√n); it is not intended for dense rows.
+func distinctRow(s *rng.Stream, pool, k int, buf []int32) []int32 {
+	if k > pool {
+		// Mirror rng.Source.Sample's contract: fewer than k distinct
+		// values exist, so the rejection loop below could never finish.
+		panic("gen: distinctRow called with k > pool")
+	}
+	start := len(buf)
+	for len(buf)-start < k {
+		x := int32(s.Intn(pool))
+		dup := false
+		for _, y := range buf[start:] {
+			if y == x {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, x)
+		}
+	}
+	return buf
+}
+
+// AlmostRegularImplicit returns the implicit counterpart of the paper's
+// almost-regular example: every client samples its BaseDegree (heavy
+// clients: HeavyDegree) servers without replacement from the ordinary
+// pool, regenerated on demand from the client's O(1)-derivable stream;
+// the cfg.LightServers low-degree servers attach to LightDegree random
+// clients each, and those O(log n · LightDegree) overlay edges are the
+// only ones stored explicitly (they are server-driven, so they cannot be
+// regenerated from a client seed alone). Overlay edges are appended after
+// the pool samples in each affected client's row.
+func AlmostRegularImplicit(cfg AlmostRegularConfig, seed uint64) (*Implicit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.N
+	pool := n - cfg.LightServers
+	baseDeg := func(v int) int {
+		deg := cfg.BaseDegree
+		if v < cfg.HeavyClients {
+			deg = cfg.HeavyDegree
+		}
+		if deg > pool {
+			deg = pool
+		}
+		return deg
+	}
+	// Build the light-server overlay: for each light server u, LightDegree
+	// distinct clients drawn from a stream keyed by u (offset past the
+	// client stream indices so the two families never collide). These
+	// edges are server-driven, so they are stored explicitly — there are
+	// only O(LightServers · LightDegree) of them. Iterating u in ascending
+	// order keeps each client's overlay list deterministic.
+	extraOf := make(map[int32][]int32, cfg.LightServers*cfg.LightDegree)
+	var clients []int32
+	for u := pool; u < n; u++ {
+		s := rng.StreamAt(seed^0x94d049bb133111eb, n+u)
+		clients = distinctRow(&s, n, cfg.LightDegree, clients[:0])
+		for _, v := range clients {
+			extraOf[v] = append(extraOf[v], int32(u))
+		}
+	}
+	minDeg, maxDeg := n+1, 0
+	for v := 0; v < n; v++ {
+		d := baseDeg(v) + len(extraOf[int32(v)])
+		if d < minDeg {
+			minDeg = d
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	row := func(v int, buf []int32) []int32 {
+		s := rng.StreamAt(seed, v)
+		buf = distinctRow(&s, pool, baseDeg(v), buf)
+		return append(buf, extraOf[int32(v)]...)
+	}
+	return &Implicit{
+		kind:       fmt.Sprintf("almost-regular base=%d heavy=%dx%d light=%dx%d", cfg.BaseDegree, cfg.HeavyClients, cfg.HeavyDegree, cfg.LightServers, cfg.LightDegree),
+		numClients: n,
+		numServers: n,
+		minDeg:     minDeg,
+		maxDeg:     maxDeg,
+		degree:     func(v int) int { return baseDeg(v) + len(extraOf[int32(v)]) },
+		row:        row,
+	}, nil
+}
+
+// ErrNoImplicit is returned by implicit constructors dispatching on a
+// family without a regenerative sampler.
+var ErrNoImplicit = errors.New("gen: graph family has no implicit topology")

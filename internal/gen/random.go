@@ -52,7 +52,14 @@ func ErdosRenyi(numClients, numServers int, p float64, ensureClients bool, src *
 // geometricSkip returns the number of absent edges before the next present
 // one when each edge is present independently with probability p.
 func geometricSkip(src *rng.Source, p float64) int {
-	u := src.Float64()
+	return skipFromUniform(src.Float64(), p)
+}
+
+// skipFromUniform inverts the geometric CDF at the uniform sample u: the
+// number of absent edges before the next present one when each edge is
+// present independently with probability p. It is the skip-sampling core
+// shared by the materialized and the implicit Erdős–Rényi generators.
+func skipFromUniform(u, p float64) int {
 	if u <= 0 {
 		u = math.SmallestNonzeroFloat64
 	}
@@ -126,8 +133,8 @@ func (c AlmostRegularConfig) Validate() error {
 	if c.LightServers < 0 || c.LightServers >= c.N {
 		return fmt.Errorf("gen: AlmostRegular has %d light servers for N=%d", c.LightServers, c.N)
 	}
-	if c.LightServers > 0 && c.LightDegree <= 0 {
-		return fmt.Errorf("gen: AlmostRegular LightDegree must be positive, got %d", c.LightDegree)
+	if c.LightServers > 0 && (c.LightDegree <= 0 || c.LightDegree > c.N) {
+		return fmt.Errorf("gen: AlmostRegular LightDegree must be in [1, N=%d], got %d", c.N, c.LightDegree)
 	}
 	heavy := c.HeavyDegree
 	if heavy < c.BaseDegree {

@@ -147,6 +147,26 @@ func (s *Stream) Intn(n int) int {
 	return int(hi)
 }
 
+// Float64 returns a uniform float64 in [0, 1) drawn from the stream.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// StreamAt returns the i-th Stream of the family that
+// ReseedStreamSlice(streams, seed) produces, computed in O(1): the
+// SplitMix64 state advance is linear, so the i-th starting state is one
+// scramble of seed ^ streamSeedSalt + i·golden. It is what lets implicit
+// topologies regenerate client i's private stream on demand without
+// storing (or sequentially deriving) the i-1 streams before it.
+func StreamAt(seed uint64, i int) Stream {
+	sm := (seed ^ streamSeedSalt) + uint64(i)*0x9e3779b97f4a7c15
+	return Stream{state: splitMix64(&sm)}
+}
+
+// streamSeedSalt decorrelates the stream family of a seed from the direct
+// SplitMix64 sequence of the same seed.
+const streamSeedSalt = 0xa0761d6478bd642f
+
 // ReseedStreamSlice reinitializes n per-entity Streams in place from seed.
 // The i-th stream depends only on (seed, i) — never on the worker count
 // consuming the slice — which is what keeps parallel simulations
@@ -154,7 +174,7 @@ func (s *Stream) Intn(n int) int {
 // scramble apart, i.e. distant, well-mixed points of the full-period
 // sequence.
 func ReseedStreamSlice(streams []Stream, seed uint64) {
-	sm := seed ^ 0xa0761d6478bd642f
+	sm := seed ^ streamSeedSalt
 	for i := range streams {
 		streams[i].state = splitMix64(&sm)
 	}

@@ -433,3 +433,36 @@ func TestStreamIntnPanicsOnNonPositive(t *testing.T) {
 	var s Stream
 	s.Intn(0)
 }
+
+func TestStreamAtMatchesReseedStreamSlice(t *testing.T) {
+	const n = 257
+	for _, seed := range []uint64{0, 1, 0xDEADBEEF} {
+		streams := NewStreamSlice(seed, n)
+		for i := 0; i < n; i++ {
+			direct := StreamAt(seed, i)
+			a, b := streams[i].Uint64(), direct.Uint64()
+			if a != b {
+				t.Fatalf("seed=%#x: StreamAt(%d) first draw %#x, slice stream draws %#x", seed, i, b, a)
+			}
+			if streams[i].Uint64() != direct.Uint64() {
+				t.Fatalf("seed=%#x: StreamAt(%d) diverges on second draw", seed, i)
+			}
+		}
+	}
+}
+
+func TestStreamFloat64Range(t *testing.T) {
+	s := StreamAt(3, 0)
+	sum := 0.0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; mean < 0.48 || mean > 0.52 {
+		t.Errorf("Float64 mean %.4f, want about 0.5", mean)
+	}
+}

@@ -5,20 +5,30 @@
 #
 # Usage:
 #   ./scripts/bench.sh         # full run: -benchtime default, -count 3
-#   ./scripts/bench.sh smoke   # CI smoke: one iteration per benchmark
+#                              #   -> BENCH_<date>.{txt,json}
+#   ./scripts/bench.sh smoke   # CI smoke: 3 repeats of one iteration each
+#                              #   -> BENCH_SMOKE.{txt,json}
+#
+# Smoke gets its own undated snapshot name because the CI bench-diff
+# gate compares smoke-vs-smoke: single-iteration samples pay cold-start
+# costs that a full run's steady-state minima amortize away, so diffing
+# a smoke run against a full-mode baseline is biased toward spurious
+# regressions (and a dated smoke file would clobber a committed
+# full-mode snapshot of the same day). Smoke keeps -count 3 so the gate
+# compares min-of-3 against the committed BENCH_SMOKE.json's min-of-3.
 #
 # The JSON is an array of objects:
 #   {"name": ..., "iterations": N, "ns_per_op": ..., "bytes_per_op": ...,
 #    "allocs_per_op": ...}
-# parsed from the standard `go test -bench` text output with awk (no
-# external dependencies).
+# produced by cmd/benchjson (the tested parser shared with the CI
+# bench-diff job; see `go run ./cmd/benchjson help`).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 mode="${1:-full}"
 case "$mode" in
-smoke) benchflags="-benchtime=1x -count=1" ;;
+smoke) benchflags="-benchtime=1x -count=3" ;;
 full) benchflags="-count=3" ;;
 *)
     echo "usage: $0 [smoke|full]" >&2
@@ -26,33 +36,18 @@ full) benchflags="-count=3" ;;
     ;;
 esac
 
-date="$(date +%Y-%m-%d)"
-txt="BENCH_${date}.txt"
-json="BENCH_${date}.json"
+if [ "$mode" = smoke ]; then
+    txt="BENCH_SMOKE.txt"
+    json="BENCH_SMOKE.json"
+else
+    date="$(date +%Y-%m-%d)"
+    txt="BENCH_${date}.txt"
+    json="BENCH_${date}.json"
+fi
 
 # shellcheck disable=SC2086 # benchflags is intentionally word-split
 go test -run '^$' -bench . -benchmem $benchflags . | tee "$txt"
 
-awk '
-BEGIN { print "[" }
-/^Benchmark/ {
-    name = $1
-    iters = $2
-    ns = ""; bytes = ""; allocs = ""
-    for (i = 3; i < NF; i++) {
-        if ($(i + 1) == "ns/op") ns = $i
-        if ($(i + 1) == "B/op") bytes = $i
-        if ($(i + 1) == "allocs/op") allocs = $i
-    }
-    if (ns == "") next
-    if (found) printf ",\n"
-    found = 1
-    printf "  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns
-    if (bytes != "") printf ", \"bytes_per_op\": %s", bytes
-    if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-    printf "}"
-}
-END { if (found) printf "\n"; print "]" }
-' "$txt" >"$json"
+go run ./cmd/benchjson parse -in "$txt" -out "$json"
 
 echo "wrote $txt and $json" >&2
