@@ -1,8 +1,12 @@
 // Package repro's top-level benchmark harness: one benchmark per
-// experiment table (E1–E14, matching DESIGN.md) plus micro-benchmarks for
-// the substrates (graph generation, protocol rounds, baselines) and
-// ablations for the design choices called out in DESIGN.md (worker count,
-// tracking overhead, SAER vs RAES, array engine vs channel engine).
+// experiment table (E1–E14, matching DESIGN.md — each runs its full
+// sweep.Spec through the shared engine in quick mode) plus
+// micro-benchmarks for the substrates (graph generation, protocol rounds,
+// baselines) and ablations for the design choices called out in DESIGN.md
+// (worker count, tracking overhead, SAER vs RAES, array engine vs channel
+// engine). The row-sampler micro-benchmarks (Feistel partial shuffle vs
+// the O(k²) dup-scan it replaced) live next to the samplers in
+// internal/gen (BenchmarkRowSamplers).
 //
 // Run everything with:
 //
@@ -52,6 +56,24 @@ func BenchmarkGraphGenTrustSubset(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := gen.TrustSubset(1<<13, 1<<13, 100, rng.New(uint64(i))); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGraphGenTrustSubsetImplicit measures the O(1)-state implicit
+// twin of the trust-subset family: construction is free, so the benchmark
+// includes regenerating every client's row once (the per-round cost the
+// protocol actually pays).
+func BenchmarkGraphGenTrustSubsetImplicit(b *testing.B) {
+	n := 1 << 13
+	buf := make([]int32, 0, 100)
+	for i := 0; i < b.N; i++ {
+		topo, err := gen.TrustSubsetImplicit(n, n, 100, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			buf = topo.AppendClientNeighbors(v, buf[:0])
 		}
 	}
 }

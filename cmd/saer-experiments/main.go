@@ -1,7 +1,8 @@
 // Command saer-experiments regenerates the reproduction's experiment
-// tables (E1–E12, see DESIGN.md). By default it runs every experiment at
-// full size and prints the tables to stdout; individual experiments, quick
-// mode and CSV export are selectable with flags.
+// tables (E1–E14, see DESIGN.md). By default it runs every experiment at
+// full size and prints the tables to stdout; individual experiments,
+// quick mode, CSV export and a machine-readable JSON record stream are
+// selectable with flags.
 //
 // Examples:
 //
@@ -9,6 +10,7 @@
 //	saer-experiments -quick          # reduced sizes, finishes in seconds
 //	saer-experiments -only E1,E3     # a subset
 //	saer-experiments -csv-dir out/   # additionally write one CSV per table
+//	saer-experiments -json -only E1  # JSON records (per trial/row/note) on stdout
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sweep"
 )
 
 func main() {
@@ -27,9 +30,10 @@ func main() {
 		quick    = flag.Bool("quick", false, "use reduced problem sizes and trial counts")
 		trials   = flag.Int("trials", 0, "trials per configuration point (0 = default)")
 		seed     = flag.Uint64("seed", 0, "suite seed (0 = built-in default)")
-		topology = flag.String("topology", "", "scaling-experiment graph storage: csr, implicit, or empty for auto (implicit from n=65536 up)")
+		topology = flag.String("topology", "", "scaling-experiment graph storage: csr, implicit, implicit-csr (materialized twin of implicit), or empty for auto (implicit from n=65536 up)")
 		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E4); empty = all")
 		csvDir   = flag.String("csv-dir", "", "directory to write one CSV file per experiment table")
+		jsonOut  = flag.Bool("json", false, "stream machine-readable JSON records to stdout instead of rendered tables: one object per protocol trial, table row and note (baseline/scenario points emit rows only)")
 		listOnly = flag.Bool("list", false, "list the available experiments and exit")
 	)
 	flag.Parse()
@@ -52,11 +56,14 @@ func main() {
 		cfg.Seed = *seed
 	}
 	switch *topology {
-	case "", "csr", "implicit":
+	case "", "csr", "implicit", "implicit-csr":
 		cfg.Topology = *topology
 	default:
-		fmt.Fprintf(os.Stderr, "saer-experiments: unknown -topology %q (want csr, implicit, or empty)\n", *topology)
+		fmt.Fprintf(os.Stderr, "saer-experiments: unknown -topology %q (want csr, implicit, implicit-csr, or empty)\n", *topology)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		cfg.Records = sweep.NewRecorder(os.Stdout)
 	}
 
 	selected, err := selectExperiments(*only)
@@ -80,12 +87,18 @@ func main() {
 			failed++
 			continue
 		}
-		if err := table.Render(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "saer-experiments: rendering %s: %v\n", e.ID, err)
-			failed++
-			continue
+		// In -json mode the record stream on stdout replaces the rendered
+		// tables; timing goes to stderr so stdout stays pure JSON lines.
+		if *jsonOut {
+			fmt.Fprintf(os.Stderr, "  (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		} else {
+			if err := table.Render(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "saer-experiments: rendering %s: %v\n", e.ID, err)
+				failed++
+				continue
+			}
+			fmt.Printf("  (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		}
-		fmt.Printf("  (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		if *csvDir != "" {
 			path := filepath.Join(*csvDir, strings.ToLower(e.ID)+".csv")
 			if err := writeCSV(path, table); err != nil {

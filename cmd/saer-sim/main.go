@@ -34,7 +34,7 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "random seed (graph seed = seed, protocol seed = seed+1)")
 		workers     = flag.Int("workers", 0, "worker goroutines per phase (0 = GOMAXPROCS)")
 		engineMode  = flag.String("engine", "auto", "round-loop engine: auto, dense or sparse (identical results, different wall-clock)")
-		topoMode    = flag.String("topology", "csr", "graph storage: csr (materialized), implicit (O(n)-memory regenerative; families regular/erdos/almost), or implicit-csr (the implicit sampler materialized — bit-for-bit identical runs to implicit)")
+		topoMode    = flag.String("topology", "csr", "graph storage: csr (materialized), implicit (O(n)-memory regenerative; families regular/erdos/trust/almost), or implicit-csr (the implicit sampler materialized — bit-for-bit identical runs to implicit)")
 		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
 		trackFlag   = flag.Bool("track", false, "track per-round S_t / r_t / K_t series (costs O(edges) per round)")
 		roundsCSV   = flag.String("rounds-csv", "", "write the per-round series to this CSV file (implies -track)")

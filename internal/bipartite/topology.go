@@ -6,9 +6,13 @@ import "fmt"
 // graph that the protocol engines require. It abstracts over *how* the
 // adjacency is stored: the materialized CSR Graph implements it by
 // returning slices of its edge arrays, while implicit topologies (see
-// internal/gen) recompute a client's neighborhood on demand from a
-// per-client random seed, storing O(n) state instead of O(n·Δ) edges —
-// the representation that makes million-client simulations fit in memory.
+// internal/gen: regular, Erdős–Rényi, trust-subset and almost-regular
+// all have regenerative samplers) recompute a client's neighborhood on
+// demand from a per-client random seed, storing O(n) state instead of
+// O(n·Δ) edges — the representation that makes million-client
+// simulations fit in memory. The sweep engine (internal/sweep) selects
+// between the representations per experiment point; a run's Result is
+// bit-for-bit independent of the choice.
 //
 // Implementations must be safe for concurrent use by multiple readers:
 // the simulation engines call AppendClientNeighbors from several worker

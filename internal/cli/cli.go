@@ -117,7 +117,8 @@ const (
 	TopologyCSR TopologyMode = iota
 	// TopologyImplicit builds the regenerative topology: neighborhoods
 	// are recomputed on demand from per-client seeds, O(n) memory. Only
-	// the regular, erdos and almost families have implicit samplers.
+	// the regular, erdos, trust and almost families have implicit
+	// samplers.
 	TopologyImplicit
 	// TopologyImplicitCSR materializes the implicit sampler's edge set
 	// into a CSR graph: the memory cost of TopologyCSR with the exact
@@ -159,10 +160,12 @@ func (s GraphSpec) buildImplicit() (*gen.Implicit, error) {
 		return gen.RegularImplicit(s.N, delta, s.Seed)
 	case "erdos":
 		return gen.ErdosRenyiImplicit(s.N, s.N, float64(delta)/float64(s.N), true, s.Seed)
+	case "trust":
+		return gen.TrustSubsetImplicit(s.N, s.N, delta, s.Seed)
 	case "almost":
 		return gen.AlmostRegularImplicit(gen.DefaultAlmostRegularConfig(s.N), s.Seed)
 	default:
-		return nil, fmt.Errorf("%w: %q (implicit families: regular, erdos, almost)", gen.ErrNoImplicit, s.Kind)
+		return nil, fmt.Errorf("%w: %q (implicit families: regular, erdos, trust, almost)", gen.ErrNoImplicit, s.Kind)
 	}
 }
 

@@ -133,7 +133,7 @@ func TestParseTopologyMode(t *testing.T) {
 }
 
 func TestBuildTopologyImplicitFamilies(t *testing.T) {
-	for _, kind := range []string{"regular", "erdos", "almost"} {
+	for _, kind := range []string{"regular", "erdos", "trust", "almost"} {
 		spec := GraphSpec{Kind: kind, N: 256, Seed: 7}
 		topo, err := spec.BuildTopology(TopologyImplicit)
 		if err != nil {

@@ -79,6 +79,16 @@ func TestTopologyEquivalenceErdosRenyi(t *testing.T) {
 		Options{TrackRounds: true, TrackLoads: true, TrackAssignments: true})
 }
 
+func TestTopologyEquivalenceTrustSubset(t *testing.T) {
+	topo, err := gen.TrustSubsetImplicit(800, 700, 36, 0x7057)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTopologyEquivalenceCase(t, "trust-subset", topo,
+		Params{D: 2, C: 2.5, Seed: 23},
+		Options{TrackRounds: true, TrackLoads: true, TrackAssignments: true})
+}
+
 func TestTopologyEquivalenceAlmostRegular(t *testing.T) {
 	topo, err := gen.AlmostRegularImplicit(gen.DefaultAlmostRegularConfig(512), 21)
 	if err != nil {

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 )
 
 // ExperimentWorkScaling (E2) validates Theorem 1's work claim: the total
@@ -13,32 +16,42 @@ import (
 // total work against n — an R² close to 1 with near-zero intercept is the
 // Θ(n) signature.
 func ExperimentWorkScaling(cfg SuiteConfig) (*Table, error) {
-	table := NewTable("E2", "Total work vs n (SAER, ∆ = log² n, d = 2, Theorem 1)",
-		"n", "balls", "trials", "work_mean", "work_per_ball_mean", "work_per_ball_max", "rounds_mean")
+	spec := sweep.Spec{
+		ID:    "E2",
+		Title: "Total work vs n (SAER, ∆ = log² n, d = 2, Theorem 1)",
+		Columns: []string{"n", "balls", "trials", "work_mean", "work_per_ball_mean",
+			"work_per_ball_max", "rounds_mean"},
+	}
 
 	d := 2
-	var ns, works []float64
-	for _, n := range cfg.largeSizes() {
-		delta := regularDelta(n)
-		g, err := buildRegularTopology(cfg, n, delta, cfg.trialSeed(2, uint64(n)))
-		if err != nil {
-			return nil, err
-		}
-		results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER,
-			core.Params{D: d, C: 4}, core.Options{},
-			func(trial int) uint64 { return cfg.trialSeed(2, uint64(n), uint64(trial)) })
-		if err != nil {
-			return nil, err
-		}
-		agg := metrics.Aggregate(results)
-		table.AddRowf(n, n*d, agg.Trials, agg.Work.Mean, agg.WorkPerBall.Mean, agg.WorkPerBall.Max, agg.Rounds.Mean)
-		ns = append(ns, float64(n))
-		works = append(works, agg.Work.Mean)
+	for _, n := range largeSizes(cfg, 1<<20) {
+		n, delta := n, regularDelta(n)
+		spec.Points = append(spec.Points, sweep.Point{
+			ID:       fmt.Sprintf("n=%d", n),
+			Topology: regularTopo(n, delta, 2, uint64(n)),
+			Variant:  core.SAER,
+			Params:   core.Params{D: d, C: 4},
+			SeedKey:  []uint64{2, uint64(n)},
+			Render: func(cfg SuiteConfig, out *sweep.Outcome, t *Table) error {
+				agg := metrics.Aggregate(out.Results)
+				t.AddRowf(n, n*d, agg.Trials, agg.Work.Mean, agg.WorkPerBall.Mean,
+					agg.WorkPerBall.Max, agg.Rounds.Mean)
+				return nil
+			},
+		})
 	}
-	if fit, err := stats.FitLinear(ns, works); err == nil {
-		table.AddNote("least-squares fit: work ≈ %.1f + %.2f·n, R²=%.3f (linear work ⇒ slope ≈ 2d·(1+ε), intercept ≈ 0)",
-			fit.Intercept, fit.Slope, fit.R2)
+	spec.Finalize = func(cfg SuiteConfig, outs []*sweep.Outcome, t *Table) error {
+		var ns, works []float64
+		for _, out := range outs {
+			ns = append(ns, float64(out.Point.Topology.N))
+			works = append(works, metrics.Aggregate(out.Results).Work.Mean)
+		}
+		if fit, err := stats.FitLinear(ns, works); err == nil {
+			t.AddNote("least-squares fit: work ≈ %.1f + %.2f·n, R²=%.3f (linear work ⇒ slope ≈ 2d·(1+ε), intercept ≈ 0)",
+				fit.Intercept, fit.Slope, fit.R2)
+		}
+		t.AddNote("claim: total work is Θ(n) w.h.p. (Theorem 1, Section 3.2)")
+		return nil
 	}
-	table.AddNote("claim: total work is Θ(n) w.h.p. (Theorem 1, Section 3.2)")
-	return table, nil
+	return sweep.Run(cfg, spec)
 }

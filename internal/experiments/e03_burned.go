@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 )
 
 // ExperimentBurnedFraction (E3) validates Lemma 4: with the threshold
@@ -11,42 +14,54 @@ import (
 // fraction of burned servers in any client's neighborhood stays below 1/2
 // for every round up to 3·log₂ n. The table reports, per n, the worst S_t
 // observed over all rounds and trials, the paper's prescribed c and the
-// K_t bound that dominates S_t.
+// K_t bound that dominates S_t. η is the exact ∆/log₂² n of the regular
+// topology, so the sweep runs on implicit representations (and past the
+// materialization wall, up to n = 2¹⁸ in full mode — the per-round
+// neighborhood tracking is O(|E|), which is what caps this sweep below
+// E1/E2's 2²⁰).
 func ExperimentBurnedFraction(cfg SuiteConfig) (*Table, error) {
-	table := NewTable("E3", "Maximum burned-server fraction S_t (SAER, paper's c, Lemma 4)",
-		"n", "delta", "eta", "c_paper", "trials", "max_S_t", "max_K_t", "bound", "below_bound", "rounds_mean")
+	spec := sweep.Spec{
+		ID:    "E3",
+		Title: "Maximum burned-server fraction S_t (SAER, paper's c, Lemma 4)",
+		Columns: []string{"n", "delta", "eta", "c_paper", "trials", "max_S_t",
+			"max_K_t", "bound", "below_bound", "rounds_mean"},
+	}
 
 	d := 2
-	for _, n := range cfg.sizes() {
-		delta := regularDelta(n)
-		g, err := buildRegular(n, delta, cfg.trialSeed(3, uint64(n)))
-		if err != nil {
-			return nil, err
-		}
-		st := g.Stats()
-		c := core.MinCRegular(st.Eta, d)
-		results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER,
-			core.Params{D: d, C: c}, core.Options{TrackNeighborhoods: true},
-			func(trial int) uint64 { return cfg.trialSeed(3, uint64(n), uint64(trial)) })
-		if err != nil {
-			return nil, err
-		}
-		maxSt, maxKt := 0.0, 0.0
-		for _, r := range results {
-			for _, round := range r.PerRound {
-				if round.MaxNeighborhoodBurnedFrac > maxSt {
-					maxSt = round.MaxNeighborhoodBurnedFrac
+	for _, n := range largeSizes(cfg, 1<<18) {
+		n, delta := n, regularDelta(n)
+		eta := regularEta(n, delta)
+		c := core.MinCRegular(eta, d)
+		spec.Points = append(spec.Points, sweep.Point{
+			ID:       fmt.Sprintf("n=%d", n),
+			Topology: regularTopo(n, delta, 3, uint64(n)),
+			Variant:  core.SAER,
+			Params:   core.Params{D: d, C: c},
+			Options:  core.Options{TrackNeighborhoods: true},
+			SeedKey:  []uint64{3, uint64(n)},
+			Render: func(cfg SuiteConfig, out *sweep.Outcome, t *Table) error {
+				maxSt, maxKt := 0.0, 0.0
+				for _, r := range out.Results {
+					for _, round := range r.PerRound {
+						if round.MaxNeighborhoodBurnedFrac > maxSt {
+							maxSt = round.MaxNeighborhoodBurnedFrac
+						}
+						if round.MaxKt > maxKt {
+							maxKt = round.MaxKt
+						}
+					}
 				}
-				if round.MaxKt > maxKt {
-					maxKt = round.MaxKt
-				}
-			}
-		}
-		agg := metrics.Aggregate(results)
-		table.AddRowf(n, delta, st.Eta, c, agg.Trials, maxSt, maxKt,
-			analysis.BurnedFractionBound, fmtBool(maxSt <= analysis.BurnedFractionBound), agg.Rounds.Mean)
+				agg := metrics.Aggregate(out.Results)
+				t.AddRowf(n, delta, eta, c, agg.Trials, maxSt, maxKt,
+					analysis.BurnedFractionBound, fmtBool(maxSt <= analysis.BurnedFractionBound), agg.Rounds.Mean)
+				return nil
+			},
+		})
 	}
-	table.AddNote("claim: S_t ≤ 1/2 for all t ≤ 3·log₂ n w.h.p. when c ≥ max(32, 288/(η·d)) (Lemma 4)")
-	table.AddNote("S_t ≤ K_t always holds (eq. (3)); with the paper's conservative c both stay near zero in practice")
-	return table, nil
+	spec.Finalize = func(cfg SuiteConfig, outs []*sweep.Outcome, t *Table) error {
+		t.AddNote("claim: S_t ≤ 1/2 for all t ≤ 3·log₂ n w.h.p. when c ≥ max(32, 288/(η·d)) (Lemma 4)")
+		t.AddNote("S_t ≤ K_t always holds (eq. (3)); with the paper's conservative c both stay near zero in practice")
+		return nil
+	}
+	return sweep.Run(cfg, spec)
 }

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 )
 
 // ExperimentSAERvsRAES (E4) compares the two protocols on identical graphs
@@ -11,36 +14,48 @@ import (
 // the same or fewer rounds with the same work order; both respect the same
 // c·d load cap. The table reports both protocols side by side per n with a
 // moderately small c, where the difference between burning and saturating
-// is actually visible.
+// is actually visible. Consecutive points share the topology and the
+// per-trial seeds, so each row pair really is the two protocols on
+// identical instances — the pairing Corollary 2's domination argument is
+// about; the sweep extends to n = 2²⁰ on implicit topologies in full
+// mode.
 func ExperimentSAERvsRAES(cfg SuiteConfig) (*Table, error) {
-	table := NewTable("E4", "SAER vs RAES on identical instances (Corollary 2)",
-		"n", "protocol", "c", "success", "rounds_mean", "rounds_max", "work_per_ball", "max_load", "burned_mean", "saturation_events")
+	spec := sweep.Spec{
+		ID:    "E4",
+		Title: "SAER vs RAES on identical instances (Corollary 2)",
+		Columns: []string{"n", "protocol", "c", "success", "rounds_mean", "rounds_max",
+			"work_per_ball", "max_load", "burned_mean", "saturation_events"},
+	}
 
 	d := 2
 	cconst := 2.5 // small enough that servers actually reach the threshold
-	for _, n := range cfg.sizes() {
-		delta := regularDelta(n)
-		g, err := buildRegular(n, delta, cfg.trialSeed(4, uint64(n)))
-		if err != nil {
-			return nil, err
-		}
+	for _, n := range largeSizes(cfg, 1<<20) {
+		n, delta := n, regularDelta(n)
 		for _, variant := range []core.Variant{core.SAER, core.RAES} {
-			results, err := runPooledTrials(cfg, cfg.trials(), g, variant,
-				core.Params{D: d, C: cconst}, core.Options{},
-				func(trial int) uint64 { return cfg.trialSeed(4, uint64(n), uint64(trial)) })
-			if err != nil {
-				return nil, err
-			}
-			agg := metrics.Aggregate(results)
-			var saturation int64
-			for _, r := range results {
-				saturation += r.SaturationEvents
-			}
-			table.AddRowf(n, variant.String(), cconst, fmtRate(agg.SuccessRate),
-				agg.Rounds.Mean, agg.Rounds.Max, agg.WorkPerBall.Mean, agg.MaxLoad.Max, agg.Burned.Mean, saturation)
+			variant := variant
+			spec.Points = append(spec.Points, sweep.Point{
+				ID:       fmt.Sprintf("n=%d/%s", n, variant),
+				Topology: regularTopo(n, delta, 4, uint64(n)),
+				Variant:  variant,
+				Params:   core.Params{D: d, C: cconst},
+				SeedKey:  []uint64{4, uint64(n)},
+				Render: func(cfg SuiteConfig, out *sweep.Outcome, t *Table) error {
+					agg := metrics.Aggregate(out.Results)
+					var saturation int64
+					for _, r := range out.Results {
+						saturation += r.SaturationEvents
+					}
+					t.AddRowf(n, variant.String(), cconst, fmtRate(agg.SuccessRate),
+						agg.Rounds.Mean, agg.Rounds.Max, agg.WorkPerBall.Mean, agg.MaxLoad.Max, agg.Burned.Mean, saturation)
+					return nil
+				},
+			})
 		}
 	}
-	table.AddNote("claim: the bounds of Theorem 1 extend to RAES because RAES's acceptances stochastically dominate SAER's (Corollary 2)")
-	table.AddNote("expected shape: RAES rounds ≤ SAER rounds; both max loads ≤ ⌊c·d⌋")
-	return table, nil
+	spec.Finalize = func(cfg SuiteConfig, outs []*sweep.Outcome, t *Table) error {
+		t.AddNote("claim: the bounds of Theorem 1 extend to RAES because RAES's acceptances stochastically dominate SAER's (Corollary 2)")
+		t.AddNote("expected shape: RAES rounds ≤ SAER rounds; both max loads ≤ ⌊c·d⌋")
+		return nil
+	}
+	return sweep.Run(cfg, spec)
 }

@@ -3,11 +3,10 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/metrics"
-	"repro/internal/rng"
+	"repro/internal/sweep"
 )
 
 // ExperimentMaxLoad (E5) verifies the protocol's deterministic load
@@ -16,48 +15,39 @@ import (
 // (family, d, c), the maximum load ever observed over all trials next to
 // the cap.
 func ExperimentMaxLoad(cfg SuiteConfig) (*Table, error) {
-	table := NewTable("E5", "Maximum server load vs the c·d cap (protocol invariant)",
-		"graph", "n", "d", "c", "cap", "trials", "max_load_observed", "within_cap", "success")
+	spec := sweep.Spec{
+		ID:    "E5",
+		Title: "Maximum server load vs the c·d cap (protocol invariant)",
+		Columns: []string{"graph", "n", "d", "c", "cap", "trials",
+			"max_load_observed", "within_cap", "success"},
+	}
 
-	n := cfg.sizes()[len(cfg.sizes())-1] / 2
+	n := sizes(cfg)[len(sizes(cfg))-1] / 2
 	if cfg.Quick {
 		n = 512
 	}
-	// The families with a regenerative sampler run at a lifted size on the
-	// implicit topology in full mode; trust-subset has no implicit twin
-	// (its per-client sample is cheap to materialize but the experiment
-	// keeps it at the classic size), which is why n is a per-row column.
+	// Every family has a regenerative sampler now — the Feistel partial
+	// shuffle gave trust-subset and the heavy almost-regular clients O(k)
+	// row regeneration — so in full mode all four run at the lifted size
+	// on the implicit topology (forcing "csr" keeps the classic size,
+	// which the table's n column records).
 	nLarge := n
-	if !cfg.Quick && cfg.useImplicit(1<<18) {
+	if !cfg.Quick && cfg.UseImplicit(1<<18) {
 		nLarge = 1 << 18
 	}
 	families := []struct {
-		name  string
-		n     int
-		build func(seed uint64) (bipartite.Topology, error)
+		name string
+		topo sweep.Topo
 	}{
-		{"regular", nLarge, func(seed uint64) (bipartite.Topology, error) {
-			if cfg.useImplicit(nLarge) {
-				return gen.RegularImplicit(nLarge, regularDelta(nLarge), seed)
-			}
-			return gen.Regular(nLarge, regularDelta(nLarge), rng.New(seed))
-		}},
-		{"trust-subset", n, func(seed uint64) (bipartite.Topology, error) {
-			return gen.TrustSubset(n, n, regularDelta(n), rng.New(seed))
-		}},
-		{"erdos-renyi", nLarge, func(seed uint64) (bipartite.Topology, error) {
-			p := float64(regularDelta(nLarge)) / float64(nLarge)
-			if cfg.useImplicit(nLarge) {
-				return gen.ErdosRenyiImplicit(nLarge, nLarge, p, true, seed)
-			}
-			return gen.ErdosRenyi(nLarge, nLarge, p, true, rng.New(seed))
-		}},
-		{"almost-regular", n, func(seed uint64) (bipartite.Topology, error) {
-			// The heavy clients' O(√n)-degree rows make the implicit
-			// regeneration quadratic in their degree per round, so this
-			// family stays at the classic size.
-			return gen.AlmostRegular(gen.DefaultAlmostRegularConfig(n), rng.New(seed))
-		}},
+		{"regular", regularTopo(nLarge, regularDelta(nLarge), 5, 0)},
+		{"trust-subset", sweep.Topo{
+			Family: sweep.FamTrustSubset, N: nLarge, Delta: regularDelta(nLarge), SeedKey: []uint64{5, 1}}},
+		{"erdos-renyi", sweep.Topo{
+			Family: sweep.FamErdosRenyi, N: nLarge,
+			P: float64(regularDelta(nLarge)) / float64(nLarge), SeedKey: []uint64{5, 2}}},
+		{"almost-regular", sweep.Topo{
+			Family: sweep.FamAlmostRegular, N: nLarge,
+			Almost: gen.DefaultAlmostRegularConfig(nLarge), SeedKey: []uint64{5, 3}}},
 	}
 
 	paramGrid := []struct {
@@ -67,24 +57,31 @@ func ExperimentMaxLoad(cfg SuiteConfig) (*Table, error) {
 		{1, 4}, {2, 4}, {4, 2}, {2, 1.5},
 	}
 
-	for famIdx, fam := range families {
-		g, err := fam.build(cfg.trialSeed(5, uint64(famIdx)))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: building %s graph: %w", fam.name, err)
-		}
+	for _, fam := range families {
+		fam := fam
 		for _, pc := range paramGrid {
+			pc := pc
 			params := core.Params{D: pc.d, C: pc.c}
-			results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER, params, core.Options{},
-				func(trial int) uint64 { return cfg.trialSeed(5, uint64(famIdx), uint64(pc.d), uint64(trial)) })
-			if err != nil {
-				return nil, err
-			}
-			agg := metrics.Aggregate(results)
-			capacity := params.Capacity()
-			within := agg.MaxLoad.Max <= float64(capacity)
-			table.AddRowf(fam.name, fam.n, pc.d, pc.c, capacity, agg.Trials, agg.MaxLoad.Max, fmtBool(within), fmtRate(agg.SuccessRate))
+			spec.Points = append(spec.Points, sweep.Point{
+				ID:       fmt.Sprintf("%s/d=%d/c=%g", fam.name, pc.d, pc.c),
+				Topology: fam.topo,
+				Variant:  core.SAER,
+				Params:   params,
+				SeedKey:  []uint64{5, fam.topo.SeedKey[1], uint64(pc.d)},
+				Render: func(cfg SuiteConfig, out *sweep.Outcome, t *Table) error {
+					agg := metrics.Aggregate(out.Results)
+					capacity := params.Capacity()
+					within := agg.MaxLoad.Max <= float64(capacity)
+					t.AddRowf(fam.name, nLarge, pc.d, pc.c, capacity, agg.Trials,
+						agg.MaxLoad.Max, fmtBool(within), fmtRate(agg.SuccessRate))
+					return nil
+				},
+			})
 		}
 	}
-	table.AddNote("claim: if the protocol terminates, every server load is at most c·d (remark (i), Section 2.2); the cap holds even for runs that do not terminate")
-	return table, nil
+	spec.Finalize = func(cfg SuiteConfig, outs []*sweep.Outcome, t *Table) error {
+		t.AddNote("claim: if the protocol terminates, every server load is at most c·d (remark (i), Section 2.2); the cap holds even for runs that do not terminate")
+		return nil
+	}
+	return sweep.Run(cfg, spec)
 }

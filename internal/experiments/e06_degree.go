@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 )
 
 // ExperimentDegreeSweep (E6) probes the ∆ = Ω(log² n) hypothesis of
@@ -13,10 +15,16 @@ import (
 // regime and records the completion rate, round counts and the worst
 // burned fraction. The theorem only promises good behaviour from the
 // log² n row down; the smaller-degree rows empirically explore the open
-// regime.
+// regime. The topologies go through the engine's representation
+// selection, so `-topology implicit` sweeps every degree on regenerated
+// neighborhoods.
 func ExperimentDegreeSweep(cfg SuiteConfig) (*Table, error) {
-	table := NewTable("E6", "Degree sweep at fixed n (SAER, d = 2, c = 4)",
-		"n", "delta", "delta_regime", "trials", "success", "rounds_mean", "rounds_max", "max_S_t", "bound_3log2n")
+	spec := sweep.Spec{
+		ID:    "E6",
+		Title: "Degree sweep at fixed n (SAER, d = 2, c = 4)",
+		Columns: []string{"n", "delta", "delta_regime", "trials", "success",
+			"rounds_mean", "rounds_max", "max_S_t", "bound_3log2n"},
+	}
 
 	n := 1 << 13
 	if cfg.Quick {
@@ -38,32 +46,37 @@ func ExperimentDegreeSweep(cfg SuiteConfig) (*Table, error) {
 
 	d := 2
 	for _, dd := range deltas {
+		dd := dd
 		delta := dd.delta
 		if delta > n {
 			delta = n
 		}
-		g, err := buildRegular(n, delta, cfg.trialSeed(6, uint64(delta)))
-		if err != nil {
-			return nil, err
-		}
-		results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER,
-			core.Params{D: d, C: 4}, core.Options{TrackNeighborhoods: true},
-			func(trial int) uint64 { return cfg.trialSeed(6, uint64(delta), uint64(trial)) })
-		if err != nil {
-			return nil, err
-		}
-		agg := metrics.Aggregate(results)
-		maxSt := 0.0
-		for _, r := range results {
-			for _, round := range r.PerRound {
-				if round.MaxNeighborhoodBurnedFrac > maxSt {
-					maxSt = round.MaxNeighborhoodBurnedFrac
+		spec.Points = append(spec.Points, sweep.Point{
+			ID:       fmt.Sprintf("delta=%d", delta),
+			Topology: regularTopo(n, delta, 6, uint64(delta)),
+			Variant:  core.SAER,
+			Params:   core.Params{D: d, C: 4},
+			Options:  core.Options{TrackNeighborhoods: true},
+			SeedKey:  []uint64{6, uint64(delta)},
+			Render: func(cfg SuiteConfig, out *sweep.Outcome, t *Table) error {
+				agg := metrics.Aggregate(out.Results)
+				maxSt := 0.0
+				for _, r := range out.Results {
+					for _, round := range r.PerRound {
+						if round.MaxNeighborhoodBurnedFrac > maxSt {
+							maxSt = round.MaxNeighborhoodBurnedFrac
+						}
+					}
 				}
-			}
-		}
-		table.AddRowf(n, delta, dd.regime, agg.Trials, fmtRate(agg.SuccessRate),
-			agg.Rounds.Mean, agg.Rounds.Max, maxSt, core.CompletionBound(n))
+				t.AddRowf(n, delta, dd.regime, agg.Trials, fmtRate(agg.SuccessRate),
+					agg.Rounds.Mean, agg.Rounds.Max, maxSt, core.CompletionBound(n))
+				return nil
+			},
+		})
 	}
-	table.AddNote("claim: Theorem 1 requires ∆ = Ω(log² n); rows below that regime explore the paper's open question (Section 4)")
-	return table, nil
+	spec.Finalize = func(cfg SuiteConfig, outs []*sweep.Outcome, t *Table) error {
+		t.AddNote("claim: Theorem 1 requires ∆ = Ω(log² n); rows below that regime explore the paper's open question (Section 4)")
+		return nil
+	}
+	return sweep.Run(cfg, spec)
 }

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/sweep"
 )
 
 // ExperimentThresholdSweep (E9) studies the role of the threshold constant
@@ -12,10 +15,16 @@ import (
 // transition: for c close to 1 the protocol starves (servers burn faster
 // than balls settle), and already for modest constants (far below the
 // analysis's max(32, 288/(η·d))) it completes within the logarithmic
-// bound.
+// bound. All c points share one topology, built in the representation the
+// engine selects (η is the exact ∆/log₂² n of the regular family, so no
+// materialized degree scan is needed).
 func ExperimentThresholdSweep(cfg SuiteConfig) (*Table, error) {
-	table := NewTable("E9", "Threshold-constant sweep (SAER, regular graph, d = 2)",
-		"c", "cap", "trials", "success", "rounds_mean", "rounds_max", "burned_mean", "max_S_t", "unassigned_mean")
+	spec := sweep.Spec{
+		ID:    "E9",
+		Title: "Threshold-constant sweep (SAER, regular graph, d = 2)",
+		Columns: []string{"c", "cap", "trials", "success", "rounds_mean", "rounds_max",
+			"burned_mean", "max_S_t", "unassigned_mean"},
+	}
 
 	n := 1 << 13
 	if cfg.Quick {
@@ -23,37 +32,42 @@ func ExperimentThresholdSweep(cfg SuiteConfig) (*Table, error) {
 	}
 	d := 2
 	delta := regularDelta(n)
-	g, err := buildRegular(n, delta, cfg.trialSeed(9, uint64(n)))
-	if err != nil {
-		return nil, err
-	}
-	st := g.Stats()
+	eta := regularEta(n, delta)
 
-	cs := []float64{1, 1.25, 1.5, 2, 3, 4, 8, 16, 32, core.MinCRegular(st.Eta, d)}
+	cs := []float64{1, 1.25, 1.5, 2, 3, 4, 8, 16, 32, core.MinCRegular(eta, d)}
 	for _, c := range cs {
+		c := c
 		params := core.Params{D: d, C: c}
-		results, err := runPooledTrials(cfg, cfg.trials(), g, core.SAER, params,
-			core.Options{TrackNeighborhoods: true},
-			func(trial int) uint64 { return cfg.trialSeed(9, uint64(c*1000), uint64(trial)) })
-		if err != nil {
-			return nil, err
-		}
-		agg := metrics.Aggregate(results)
-		maxSt := 0.0
-		unassigned := 0.0
-		for _, r := range results {
-			for _, round := range r.PerRound {
-				if round.MaxNeighborhoodBurnedFrac > maxSt {
-					maxSt = round.MaxNeighborhoodBurnedFrac
+		spec.Points = append(spec.Points, sweep.Point{
+			ID:       fmt.Sprintf("c=%g", c),
+			Topology: regularTopo(n, delta, 9, uint64(n)),
+			Variant:  core.SAER,
+			Params:   params,
+			Options:  core.Options{TrackNeighborhoods: true},
+			SeedKey:  []uint64{9, uint64(c * 1000)},
+			Render: func(cfg SuiteConfig, out *sweep.Outcome, t *Table) error {
+				agg := metrics.Aggregate(out.Results)
+				maxSt := 0.0
+				unassigned := 0.0
+				for _, r := range out.Results {
+					for _, round := range r.PerRound {
+						if round.MaxNeighborhoodBurnedFrac > maxSt {
+							maxSt = round.MaxNeighborhoodBurnedFrac
+						}
+					}
+					unassigned += float64(r.UnassignedBalls)
 				}
-			}
-			unassigned += float64(r.UnassignedBalls)
-		}
-		unassigned /= float64(len(results))
-		table.AddRowf(c, params.Capacity(), agg.Trials, fmtRate(agg.SuccessRate),
-			agg.Rounds.Mean, agg.Rounds.Max, agg.Burned.Mean, maxSt, unassigned)
+				unassigned /= float64(len(out.Results))
+				t.AddRowf(c, params.Capacity(), agg.Trials, fmtRate(agg.SuccessRate),
+					agg.Rounds.Mean, agg.Rounds.Max, agg.Burned.Mean, maxSt, unassigned)
+				return nil
+			},
+		})
 	}
-	table.AddNote("n=%d, ∆=%d (η=%.2f); the paper's prescribed c is the last row: max(32, 288/(η·d)) = %.1f", n, delta, st.Eta, core.MinCRegular(st.Eta, d))
-	table.AddNote("expected shape: failure/starvation for c ≈ 1, fast logarithmic completion already for small constants c ≥ 2")
-	return table, nil
+	spec.Finalize = func(cfg SuiteConfig, outs []*sweep.Outcome, t *Table) error {
+		t.AddNote("n=%d, ∆=%d (η=%.2f); the paper's prescribed c is the last row: max(32, 288/(η·d)) = %.1f", n, delta, eta, core.MinCRegular(eta, d))
+		t.AddNote("expected shape: failure/starvation for c ≈ 1, fast logarithmic completion already for small constants c ≥ 2")
+		return nil
+	}
+	return sweep.Run(cfg, spec)
 }

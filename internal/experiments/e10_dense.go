@@ -3,11 +3,9 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/bipartite"
 	"repro/internal/core"
-	"repro/internal/gen"
 	"repro/internal/metrics"
-	"repro/internal/rng"
+	"repro/internal/sweep"
 )
 
 // ExperimentDenseRegime (E10) is the regression against the dense setting
@@ -18,8 +16,12 @@ import (
 // graphs. The table sweeps the density from the paper's sparse regime up
 // to the complete bipartite graph at a fixed n.
 func ExperimentDenseRegime(cfg SuiteConfig) (*Table, error) {
-	table := NewTable("E10", "From sparse (log² n) to dense (complete) graphs at fixed n (SAER vs RAES)",
-		"density", "delta", "protocol", "trials", "success", "rounds_mean", "rounds_max", "max_S_t", "burned_mean")
+	spec := sweep.Spec{
+		ID:    "E10",
+		Title: "From sparse (log² n) to dense (complete) graphs at fixed n (SAER vs RAES)",
+		Columns: []string{"density", "delta", "protocol", "trials", "success",
+			"rounds_mean", "rounds_max", "max_S_t", "burned_mean"},
+	}
 
 	n := 1 << 12
 	if cfg.Quick {
@@ -36,37 +38,41 @@ func ExperimentDenseRegime(cfg SuiteConfig) (*Table, error) {
 		{"complete", n},
 	}
 	for _, dens := range densities {
-		var g *bipartite.Graph
-		var err error
+		dens := dens
+		topo := regularTopo(n, dens.delta, 10, uint64(dens.delta))
 		if dens.delta >= n {
-			g, err = gen.Complete(n, n)
-		} else {
-			g, err = gen.Regular(n, dens.delta, rng.New(cfg.trialSeed(10, uint64(dens.delta))))
-		}
-		if err != nil {
-			return nil, fmt.Errorf("experiments: dense-regime graph %s: %w", dens.name, err)
+			topo = sweep.Topo{Family: sweep.FamComplete, N: n, SeedKey: []uint64{10, uint64(dens.delta)}}
 		}
 		for _, variant := range []core.Variant{core.SAER, core.RAES} {
-			results, err := runPooledTrials(cfg, cfg.trials(), g, variant,
-				core.Params{D: d, C: 4}, core.Options{TrackNeighborhoods: true},
-				func(trial int) uint64 { return cfg.trialSeed(10, uint64(dens.delta), uint64(variant), uint64(trial)) })
-			if err != nil {
-				return nil, err
-			}
-			agg := metrics.Aggregate(results)
-			maxSt := 0.0
-			for _, r := range results {
-				for _, round := range r.PerRound {
-					if round.MaxNeighborhoodBurnedFrac > maxSt {
-						maxSt = round.MaxNeighborhoodBurnedFrac
+			variant := variant
+			spec.Points = append(spec.Points, sweep.Point{
+				ID:       fmt.Sprintf("%s/%s", dens.name, variant),
+				Topology: topo,
+				Variant:  variant,
+				Params:   core.Params{D: d, C: 4},
+				Options:  core.Options{TrackNeighborhoods: true},
+				SeedKey:  []uint64{10, uint64(dens.delta), uint64(variant)},
+				Render: func(cfg SuiteConfig, out *sweep.Outcome, t *Table) error {
+					agg := metrics.Aggregate(out.Results)
+					maxSt := 0.0
+					for _, r := range out.Results {
+						for _, round := range r.PerRound {
+							if round.MaxNeighborhoodBurnedFrac > maxSt {
+								maxSt = round.MaxNeighborhoodBurnedFrac
+							}
+						}
 					}
-				}
-			}
-			table.AddRowf(dens.name, dens.delta, variant.String(), agg.Trials, fmtRate(agg.SuccessRate),
-				agg.Rounds.Mean, agg.Rounds.Max, maxSt, agg.Burned.Mean)
+					t.AddRowf(dens.name, dens.delta, variant.String(), agg.Trials, fmtRate(agg.SuccessRate),
+						agg.Rounds.Mean, agg.Rounds.Max, maxSt, agg.Burned.Mean)
+					return nil
+				},
+			})
 		}
 	}
-	table.AddNote("claim context: on ∆ = Ω(n) graphs the non-burned fraction of every neighborhood stays ≥ 1/2 deterministically (Becchetti et al.); the sparse regime is the paper's new contribution")
-	table.AddNote("expected shape: completion stays logarithmic across all densities; S_t decreases as the graph gets denser")
-	return table, nil
+	spec.Finalize = func(cfg SuiteConfig, outs []*sweep.Outcome, t *Table) error {
+		t.AddNote("claim context: on ∆ = Ω(n) graphs the non-burned fraction of every neighborhood stays ≥ 1/2 deterministically (Becchetti et al.); the sparse regime is the paper's new contribution")
+		t.AddNote("expected shape: completion stays logarithmic across all densities; S_t decreases as the graph gets denser")
+		return nil
+	}
+	return sweep.Run(cfg, spec)
 }

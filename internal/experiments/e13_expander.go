@@ -7,6 +7,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/spectral"
+	"repro/internal/sweep"
 )
 
 // ExperimentExpanderExtraction (E13) exercises the extension the paper
@@ -17,10 +18,16 @@ import (
 // assignment graph and its second singular value σ₂ (of the normalized
 // biadjacency matrix), next to two references: the Ramanujan value
 // 2·√(d−1)/d (the best possible for a d-regular-ish graph) and the
-// near-1 value a non-expanding (cycle-like) graph would have.
+// near-1 value a non-expanding (cycle-like) graph would have. Each
+// (density, protocol) pair is one single-trial point whose historical
+// seed carries no trial index.
 func ExperimentExpanderExtraction(cfg SuiteConfig) (*Table, error) {
-	table := NewTable("E13", "Expander extraction from the assignment subgraph (extension; Becchetti et al. footnote 5)",
-		"input_graph", "delta_in", "protocol", "d", "client_deg", "max_server_deg", "sigma2", "ramanujan_ref", "expander_like")
+	spec := sweep.Spec{
+		ID:    "E13",
+		Title: "Expander extraction from the assignment subgraph (extension; Becchetti et al. footnote 5)",
+		Columns: []string{"input_graph", "delta_in", "protocol", "d", "client_deg",
+			"max_server_deg", "sigma2", "ramanujan_ref", "expander_like"},
+	}
 
 	n := 1 << 12
 	if cfg.Quick {
@@ -41,43 +48,53 @@ func ExperimentExpanderExtraction(cfg SuiteConfig) (*Table, error) {
 	}
 	ramanujan := 2 * math.Sqrt(float64(d-1)) / float64(d)
 	for _, dens := range densities {
-		g, err := buildRegular(n, dens.delta, cfg.trialSeed(13, uint64(dens.delta)))
-		if err != nil {
-			return nil, err
-		}
+		dens := dens
 		for _, variant := range []core.Variant{core.SAER, core.RAES} {
-			res, err := core.Run(g, variant, core.Params{
-				D: d, C: 4, Seed: cfg.trialSeed(13, uint64(dens.delta), uint64(variant)), Workers: 1,
-			}, core.Options{TrackAssignments: true})
-			if err != nil {
-				return nil, err
-			}
-			if !res.Completed {
-				return nil, fmt.Errorf("experiments: E13 run on %s did not complete", dens.name)
-			}
-			sub, err := res.AssignmentGraph()
-			if err != nil {
-				return nil, err
-			}
-			st := sub.Stats()
-			sigma, err := spectral.SecondSingularValue(sub, spectral.Options{
-				Seed:       cfg.trialSeed(13, uint64(dens.delta), uint64(variant), 99),
-				Iterations: 300,
+			variant := variant
+			spec.Points = append(spec.Points, sweep.Point{
+				ID:       fmt.Sprintf("%s/%s", dens.name, variant),
+				Topology: regularTopo(n, dens.delta, 13, uint64(dens.delta)),
+				Variant:  variant,
+				Params:   core.Params{D: d, C: 4},
+				Options:  core.Options{TrackAssignments: true},
+				Trials:   1,
+				Seed: func(cfg SuiteConfig, _ int) uint64 {
+					return cfg.TrialSeed(13, uint64(dens.delta), uint64(variant))
+				},
+				Render: func(cfg SuiteConfig, out *sweep.Outcome, t *Table) error {
+					res := out.Results[0]
+					if !res.Completed {
+						return fmt.Errorf("experiments: E13 run on %s did not complete", dens.name)
+					}
+					sub, err := res.AssignmentGraph()
+					if err != nil {
+						return err
+					}
+					st := sub.Stats()
+					sigma, err := spectral.SecondSingularValue(sub, spectral.Options{
+						Seed:       cfg.TrialSeed(13, uint64(dens.delta), uint64(variant), 99),
+						Iterations: 300,
+					})
+					if err != nil {
+						return err
+					}
+					// "Expander-like" if σ₂ is clearly bounded away from 1 — we
+					// use 0.98 as the operational cut-off between random-like
+					// mixing and cycle-/cluster-like structure.
+					t.AddRowf(dens.name, dens.delta, variant.String(), d,
+						fmt.Sprintf("%d..%d", st.MinClientDegree, st.MaxClientDegree),
+						st.MaxServerDegree, sigma, ramanujan, fmtBool(sigma < 0.98))
+					return nil
+				},
 			})
-			if err != nil {
-				return nil, err
-			}
-			// "Expander-like" if σ₂ is clearly bounded away from 1 — we use
-			// 0.98 as the operational cut-off between random-like mixing
-			// and cycle-/cluster-like structure.
-			table.AddRowf(dens.name, dens.delta, variant.String(), d,
-				fmt.Sprintf("%d..%d", st.MinClientDegree, st.MaxClientDegree),
-				st.MaxServerDegree, sigma, ramanujan, fmtBool(sigma < 0.98))
 		}
 	}
-	table.AddNote("claim (inherited extension): the accepted-assignment subgraph has client degree exactly d, server degree ≤ c·d, and is an expander on dense inputs (Becchetti et al., SODA 2020)")
-	table.AddNote("σ₂ is the second singular value of the normalized biadjacency matrix (1 = disconnected/cycle-like, %.3f = Ramanujan optimum for d=%d)", ramanujan, d)
-	return table, nil
+	spec.Finalize = func(cfg SuiteConfig, outs []*sweep.Outcome, t *Table) error {
+		t.AddNote("claim (inherited extension): the accepted-assignment subgraph has client degree exactly d, server degree ≤ c·d, and is an expander on dense inputs (Becchetti et al., SODA 2020)")
+		t.AddNote("σ₂ is the second singular value of the normalized biadjacency matrix (1 = disconnected/cycle-like, %.3f = Ramanujan optimum for d=%d)", ramanujan, d)
+		return nil
+	}
+	return sweep.Run(cfg, spec)
 }
 
 // assignmentDegreeCheck is used by tests: it confirms the structural

@@ -42,55 +42,6 @@ func TestByID(t *testing.T) {
 	}
 }
 
-func TestSuiteConfigDefaults(t *testing.T) {
-	def := DefaultSuiteConfig()
-	if def.Quick {
-		t.Error("default config should not be quick")
-	}
-	if def.trials() != 10 {
-		t.Errorf("default trials %d, want 10", def.trials())
-	}
-	q := QuickSuiteConfig()
-	if !q.Quick || q.trials() != 3 {
-		t.Errorf("quick config unexpected: %+v trials=%d", q, q.trials())
-	}
-	if len(q.sizes()) == 0 || len(def.sizes()) <= len(q.sizes()) {
-		t.Error("full sweep should be larger than quick sweep")
-	}
-	custom := SuiteConfig{Trials: 7}
-	if custom.trials() != 7 {
-		t.Error("explicit trial count ignored")
-	}
-	if custom.parallelism() <= 0 {
-		t.Error("parallelism must be positive")
-	}
-}
-
-func TestTrialSeedDeterministicAndDistinct(t *testing.T) {
-	cfg := quickCfg()
-	a := cfg.trialSeed(1, 2, 3)
-	b := cfg.trialSeed(1, 2, 3)
-	c := cfg.trialSeed(1, 2, 4)
-	if a != b {
-		t.Error("trialSeed not deterministic")
-	}
-	if a == c {
-		t.Error("different trial indices should give different seeds")
-	}
-}
-
-func TestRegularDelta(t *testing.T) {
-	if regularDelta(2) < 2 {
-		t.Error("tiny n should still give a usable degree")
-	}
-	if d := regularDelta(1024); d < 90 || d > 110 {
-		t.Errorf("regularDelta(1024) = %d, want about log²(1024) = 100", d)
-	}
-	if regularDelta(8) > 8 {
-		t.Error("degree must never exceed n")
-	}
-}
-
 // checkTable verifies the basic well-formedness every experiment table
 // must satisfy.
 func checkTable(t *testing.T, tb *Table, wantID string) {
@@ -315,7 +266,7 @@ func TestExperimentE14Demand(t *testing.T) {
 
 func TestAssignmentDegreeCheckHelper(t *testing.T) {
 	cfg := quickCfg()
-	g, err := buildRegular(256, 20, cfg.trialSeed(99))
+	g, err := buildRegular(256, 20, cfg.TrialSeed(99))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,4 +324,39 @@ func parseFloat(t *testing.T, s string) float64 {
 		t.Fatalf("cell %q is not a float: %v", s, err)
 	}
 	return v
+}
+
+// TestExperimentTopologyEquivalence is the experiment-level form of the
+// CSR-vs-implicit contract: running a whole experiment with every graph
+// forced implicit must render byte-for-byte the same table as running it
+// on the materialized twins of those implicit topologies ("implicit-csr").
+// This extends the per-run TestTopologyEquivalence* suite in
+// internal/core to the sweeps that newly run on implicit topologies
+// (E3/E4/E6/E9, plus E5's trust-subset and almost-regular families and
+// the E1/E2 scaling sweeps).
+func TestExperimentTopologyEquivalence(t *testing.T) {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E9"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			exp, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			implicit := quickCfg()
+			implicit.Topology = "implicit"
+			twin := quickCfg()
+			twin.Topology = "implicit-csr"
+			ti, err := exp.Run(implicit)
+			if err != nil {
+				t.Fatalf("implicit run failed: %v", err)
+			}
+			tc, err := exp.Run(twin)
+			if err != nil {
+				t.Fatalf("implicit-csr run failed: %v", err)
+			}
+			if ti.String() != tc.String() {
+				t.Errorf("implicit and materialized-twin tables diverge:\n--- implicit ---\n%s\n--- implicit-csr ---\n%s", ti, tc)
+			}
+		})
+	}
 }

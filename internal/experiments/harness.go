@@ -1,51 +1,31 @@
-// Package experiments contains the reproduction's experiment harness: one
-// experiment per claim of the paper (see DESIGN.md for the index), each of
-// which builds its workloads, runs the protocols and baselines over
-// repeated seeded trials, and renders a Table with the measured series.
+// Package experiments contains the reproduction's experiment suite: one
+// experiment per claim of the paper (see DESIGN.md for the index). Each
+// experiment is declared as a sweep.Spec — a grid of configuration points
+// with a topology, protocol parameters and a per-point rendering — and
+// executed by the shared engine in internal/sweep, which owns topology
+// representation selection (csr/implicit/auto), pooled Runner reuse
+// across Monte-Carlo trials, deterministic per-(point, trial) seeding,
+// and dual rendering (text/CSV tables plus a JSON record stream).
 package experiments
 
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/bipartite"
-	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/rng"
+	"repro/internal/sweep"
 )
 
-// SuiteConfig is the shared configuration of all experiments.
-type SuiteConfig struct {
-	// Quick selects reduced problem sizes and trial counts so the whole
-	// suite finishes in seconds (used by `go test` and smoke runs). The
-	// full-size configuration is intended for the saer-experiments CLI.
-	Quick bool
-	// Trials is the number of independent protocol runs per configuration
-	// point. Zero selects a per-mode default (3 quick / 10 full).
-	Trials int
-	// Seed derives all graph and protocol seeds.
-	Seed uint64
-	// TrialParallelism caps how many trials run concurrently (each trial
-	// itself runs single-threaded to avoid oversubscription). Zero selects
-	// GOMAXPROCS.
-	TrialParallelism int
-	// Topology selects how scaling-experiment graphs are represented:
-	// "csr" always materializes, "implicit" always regenerates
-	// neighborhoods from per-client seeds, and "" (auto) materializes
-	// below implicitSizeThreshold clients and goes implicit above it —
-	// the setting that lets the full-mode sweeps reach n = 2²⁰ without
-	// holding O(n·Δ) edges in memory.
-	Topology string
-}
+// SuiteConfig is the shared configuration of all experiments. It is the
+// sweep engine's Config; the alias keeps the historical name that the
+// CLIs and tests use.
+type SuiteConfig = sweep.Config
 
-// implicitSizeThreshold is the auto-mode switchover: at and above this
-// many clients the Δ = log² n CSR adjacency (two int32 arrays per side)
-// costs hundreds of megabytes, so experiments regenerate neighborhoods
-// instead of storing them.
-const implicitSizeThreshold = 1 << 16
+// Table is the uniform output format of every experiment (owned by the
+// sweep engine, which also streams it as JSON records).
+type Table = sweep.Table
 
 // DefaultSuiteConfig returns the configuration used by the CLI when no
 // flags are given.
@@ -58,142 +38,32 @@ func QuickSuiteConfig() SuiteConfig {
 	return SuiteConfig{Quick: true, Seed: 0xC1E27A9E, Trials: 0}
 }
 
-func (c SuiteConfig) trials() int {
-	if c.Trials > 0 {
-		return c.Trials
-	}
-	if c.Quick {
-		return 3
-	}
-	return 10
-}
-
-func (c SuiteConfig) parallelism() int {
-	if c.TrialParallelism > 0 {
-		return c.TrialParallelism
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
 // sizes returns the n sweep used by the scaling experiments.
-func (c SuiteConfig) sizes() []int {
-	if c.Quick {
+func sizes(cfg SuiteConfig) []int {
+	if cfg.Quick {
 		return []int{256, 512, 1024, 2048}
 	}
 	return []int{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15}
 }
 
-// largeSizes returns the extended n sweep used by the experiments whose
-// round loops run on implicit topologies (E1, E2): the standard sweep
-// plus the million-client points in full mode. Forcing Topology "csr"
-// keeps the old cap — materializing a Δ = log² n graph at 2²⁰ clients
-// needs gigabytes.
-func (c SuiteConfig) largeSizes() []int {
-	s := c.sizes()
-	if c.Quick || c.Topology == "csr" {
+// largeSizes returns the extended n sweep used by the scaling experiments
+// whose round loops run on implicit topologies (E1–E4): the standard
+// sweep plus the large points up to maxN in full mode. Forcing Topology
+// "csr" keeps the old cap — materializing a Δ = log² n graph at 2²⁰
+// clients needs gigabytes. maxN lets tracking-heavy experiments (E3's
+// O(|E|)-per-round neighborhood statistics) stop at 2¹⁸ while the
+// untracked sweeps go to 2²⁰.
+func largeSizes(cfg SuiteConfig, maxN int) []int {
+	s := sizes(cfg)
+	if cfg.Quick || cfg.Topology == "csr" {
 		return s
 	}
-	return append(append([]int{}, s...), 1<<16, 1<<18, 1<<20)
-}
-
-// useImplicit reports whether the scaling experiments should build the
-// implicit topology at size n.
-func (c SuiteConfig) useImplicit(n int) bool {
-	switch c.Topology {
-	case "implicit":
-		return true
-	case "csr":
-		return false
-	default:
-		return n >= implicitSizeThreshold
-	}
-}
-
-// trialSeed derives a deterministic seed for (experiment, point, trial).
-func (c SuiteConfig) trialSeed(parts ...uint64) uint64 {
-	h := c.Seed ^ 0x9e3779b97f4a7c15
-	for _, p := range parts {
-		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
-		h *= 0xff51afd7ed558ccd
-		h ^= h >> 33
-	}
-	return h
-}
-
-// forEachTrial executes fn(trial) for trial = 0..trials-1 on a bounded
-// worker pool of at most cfg.parallelism() goroutines, handing each worker
-// a stable worker index. Work is distributed by an atomic counter, so no
-// goroutine is ever spawned per trial. The first error (in trial order) is
-// returned.
-func forEachTrial(cfg SuiteConfig, trials int, fn func(worker, trial int) error) error {
-	if trials <= 0 {
-		return nil
-	}
-	errs := make([]error, trials)
-	workers := min(cfg.parallelism(), trials)
-	if workers <= 1 {
-		for i := 0; i < trials; i++ {
-			errs[i] = fn(0, i)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= trials {
-						return
-					}
-					errs[i] = fn(w, i)
-				}
-			}(w)
-		}
-		wg.Wait()
-	}
-	for _, err := range errs {
-		if err != nil {
-			return err
+	for _, n := range []int{1 << 16, 1 << 18, 1 << 20} {
+		if n <= maxN {
+			s = append(s, n)
 		}
 	}
-	return nil
-}
-
-// runPooledTrials runs independent Monte-Carlo trials of the same
-// (graph, variant, params, options) configuration concurrently on a
-// shared pool of reusable Runners: each pool worker lazily builds one
-// Runner and drives it through successive trials via Reseed, so graph
-// validation and state allocation happen once per worker instead of once
-// per trial. Every trial runs single-threaded (params.Workers is forced
-// to 1): at experiment sizes, trial-level parallelism beats intra-run
-// parallelism, which cannot amortize its barriers on quick instances.
-// Results are returned in trial order and are bit-for-bit identical to
-// fresh single-threaded runs (the determinism contract of core.Runner).
-func runPooledTrials(cfg SuiteConfig, trials int, g bipartite.Topology, variant core.Variant,
-	params core.Params, opts core.Options, seed func(trial int) uint64) ([]*core.Result, error) {
-	params.Workers = 1
-	results := make([]*core.Result, trials)
-	runners := make([]*core.Runner, min(cfg.parallelism(), max(trials, 1)))
-	err := forEachTrial(cfg, trials, func(worker, i int) error {
-		r := runners[worker]
-		if r == nil {
-			var e error
-			r, e = core.NewRunner(g, variant, params, opts)
-			if e != nil {
-				return e
-			}
-			runners[worker] = r
-		}
-		r.Reseed(seed(i))
-		results[i] = r.Run()
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	return s
 }
 
 // regularDelta returns the Θ(log² n) degree used for the regular-graph
@@ -213,7 +83,29 @@ func regularDelta(n int) int {
 	return d
 }
 
-// buildRegular builds the random ∆-regular graph for a scaling point.
+// regularEta returns η for the Δ-regular graph on n clients: the exact
+// value Graph.Stats measures (∆min(C)/log₂² n with ∆min(C) = delta),
+// computable without materializing the graph — which is what lets the
+// experiments that need the paper's prescribed c run on implicit
+// topologies.
+func regularEta(n, delta int) float64 {
+	if n <= 1 {
+		return math.Inf(1)
+	}
+	logn := math.Log2(float64(n))
+	return float64(delta) / (logn * logn)
+}
+
+// regularTopo declares the Δ-regular topology of a scaling point; the
+// engine picks the representation (materialized permutation model below
+// the implicit threshold, regenerative keyed matchings above).
+func regularTopo(n, delta int, seedKey ...uint64) sweep.Topo {
+	return sweep.Topo{Family: sweep.FamRegular, N: n, Delta: delta, SeedKey: seedKey}
+}
+
+// buildRegular builds the random ∆-regular graph for a scaling point
+// (materialized; used by tests and the few experiments that need the
+// *bipartite.Graph API).
 func buildRegular(n, delta int, seed uint64) (*bipartite.Graph, error) {
 	g, err := gen.Regular(n, delta, rng.New(seed))
 	if err != nil {
@@ -222,31 +114,9 @@ func buildRegular(n, delta int, seed uint64) (*bipartite.Graph, error) {
 	return g, nil
 }
 
-// buildRegularTopology builds the Δ-regular topology for a scaling point
-// in the representation the configuration selects: the materialized
-// permutation-model graph below the implicit threshold, the regenerative
-// keyed-matching topology above it. Both are unions of delta random
-// perfect matchings; only the storage (and the matching sampler) differs.
-func buildRegularTopology(cfg SuiteConfig, n, delta int, seed uint64) (bipartite.Topology, error) {
-	if !cfg.useImplicit(n) {
-		return buildRegular(n, delta, seed)
-	}
-	t, err := gen.RegularImplicit(n, delta, seed)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: building implicit %d-regular topology on %d nodes: %w", delta, n, err)
-	}
-	return t, nil
-}
-
-// fmtBool renders a boolean as "yes"/"no" for table cells.
-func fmtBool(b bool) string {
-	if b {
-		return "yes"
-	}
-	return "no"
-}
-
-// fmtRate renders a fraction as a percentage.
-func fmtRate(r float64) string {
-	return fmt.Sprintf("%.0f%%", 100*r)
-}
+// fmtBool and fmtRate render table cells; they live with the Table in the
+// sweep package and are aliased here for the experiment renderers.
+var (
+	fmtBool = sweep.FmtBool
+	fmtRate = sweep.FmtRate
+)

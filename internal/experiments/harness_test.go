@@ -1,110 +1,97 @@
 package experiments
 
 import (
-	"errors"
-	"reflect"
-	"sync/atomic"
+	"math"
 	"testing"
 
-	"repro/internal/core"
-	"repro/internal/gen"
 	"repro/internal/rng"
+
+	"repro/internal/gen"
 )
 
-func TestForEachTrialCoversAllTrialsOnce(t *testing.T) {
-	for _, par := range []int{1, 2, 8} {
-		cfg := QuickSuiteConfig()
-		cfg.TrialParallelism = par
-		const trials = 37
-		var counts [trials]int32
-		err := forEachTrial(cfg, trials, func(worker, trial int) error {
-			if worker < 0 || worker >= par {
-				t.Errorf("worker index %d outside [0,%d)", worker, par)
-			}
-			atomic.AddInt32(&counts[trial], 1)
-			return nil
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i, c := range counts {
-			if c != 1 {
-				t.Fatalf("parallelism=%d: trial %d executed %d times", par, i, c)
-			}
-		}
+func TestSuiteConfigDefaults(t *testing.T) {
+	def := DefaultSuiteConfig()
+	if def.Quick {
+		t.Error("default config should not be quick")
+	}
+	if def.TrialCount() != 10 {
+		t.Errorf("default trials %d, want 10", def.TrialCount())
+	}
+	q := QuickSuiteConfig()
+	if !q.Quick || q.TrialCount() != 3 {
+		t.Errorf("quick config unexpected: %+v trials=%d", q, q.TrialCount())
+	}
+	if len(sizes(q)) == 0 || len(sizes(def)) <= len(sizes(q)) {
+		t.Error("full sweep should be larger than quick sweep")
+	}
+	custom := SuiteConfig{Trials: 7}
+	if custom.TrialCount() != 7 {
+		t.Error("explicit trial count ignored")
+	}
+	if custom.Parallelism() <= 0 {
+		t.Error("parallelism must be positive")
 	}
 }
 
-func TestForEachTrialReturnsFirstError(t *testing.T) {
+func TestLargeSizes(t *testing.T) {
+	quick := QuickSuiteConfig()
+	if got := largeSizes(quick, 1<<20); len(got) != len(sizes(quick)) {
+		t.Errorf("quick mode must not extend the sweep: %v", got)
+	}
+	full := DefaultSuiteConfig()
+	got := largeSizes(full, 1<<20)
+	if got[len(got)-1] != 1<<20 {
+		t.Errorf("full sweep should reach 2^20, got %v", got)
+	}
+	capped := largeSizes(full, 1<<18)
+	if capped[len(capped)-1] != 1<<18 {
+		t.Errorf("capped sweep should stop at 2^18, got %v", capped)
+	}
+	csr := DefaultSuiteConfig()
+	csr.Topology = "csr"
+	if got := largeSizes(csr, 1<<20); got[len(got)-1] >= 1<<16 {
+		t.Errorf("csr mode must keep the materialization cap: %v", got)
+	}
+}
+
+func TestTrialSeedDeterministicAndDistinct(t *testing.T) {
 	cfg := QuickSuiteConfig()
-	cfg.TrialParallelism = 4
-	sentinel := errors.New("trial 5 failed")
-	err := forEachTrial(cfg, 20, func(_, trial int) error {
-		if trial >= 5 {
-			return sentinel
-		}
-		return nil
-	})
-	if !errors.Is(err, sentinel) {
-		t.Fatalf("got %v, want the trial-5 sentinel", err)
+	a := cfg.TrialSeed(1, 2, 3)
+	b := cfg.TrialSeed(1, 2, 3)
+	c := cfg.TrialSeed(1, 2, 4)
+	if a != b {
+		t.Error("TrialSeed not deterministic")
 	}
-	if err := forEachTrial(cfg, 0, func(_, _ int) error { return sentinel }); err != nil {
-		t.Fatalf("zero trials should be a no-op, got %v", err)
+	if a == c {
+		t.Error("different trial indices should give different seeds")
 	}
 }
 
-// TestRunPooledTrialsMatchesFreshRuns is the determinism contract of the
-// trial pool: reusing Runners via Reseed must give results bit-for-bit
-// identical to fresh single-threaded runs, in trial order, for every
-// parallelism level.
-func TestRunPooledTrialsMatchesFreshRuns(t *testing.T) {
-	g, err := gen.Regular(512, 30, rng.New(3))
-	if err != nil {
-		t.Fatal(err)
+func TestRegularDelta(t *testing.T) {
+	if regularDelta(2) < 2 {
+		t.Error("tiny n should still give a usable degree")
 	}
-	params := core.Params{D: 2, C: 2.5}
-	opts := core.Options{TrackRounds: true, TrackLoads: true}
-	seed := func(trial int) uint64 { return 0xBEEF + uint64(trial)*7 }
-	const trials = 12
-
-	fresh := make([]*core.Result, trials)
-	for i := 0; i < trials; i++ {
-		p := params
-		p.Workers = 1
-		p.Seed = seed(i)
-		fresh[i], err = core.Run(g, core.SAER, p, opts)
-		if err != nil {
-			t.Fatal(err)
-		}
+	if d := regularDelta(1024); d < 90 || d > 110 {
+		t.Errorf("regularDelta(1024) = %d, want about log²(1024) = 100", d)
 	}
-	for _, par := range []int{1, 3, 8} {
-		cfg := QuickSuiteConfig()
-		cfg.TrialParallelism = par
-		got, err := runPooledTrials(cfg, trials, g, core.SAER, params, opts, seed)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(got) != trials {
-			t.Fatalf("parallelism=%d: got %d results, want %d", par, len(got), trials)
-		}
-		for i := range got {
-			if !reflect.DeepEqual(got[i], fresh[i]) {
-				t.Fatalf("parallelism=%d trial=%d: pooled result diverges from fresh run:\n  fresh=%+v\n  pooled=%+v",
-					par, i, fresh[i], got[i])
-			}
-		}
+	if regularDelta(8) > 8 {
+		t.Error("degree must never exceed n")
 	}
 }
 
-func TestRunPooledTrialsPropagatesRunnerError(t *testing.T) {
-	g, err := gen.Regular(64, 8, rng.New(1))
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := QuickSuiteConfig()
-	// D = 0 is invalid and must surface as an error, not a panic.
-	if _, err := runPooledTrials(cfg, 3, g, core.SAER, core.Params{D: 0, C: 4}, core.Options{},
-		func(trial int) uint64 { return uint64(trial) }); err == nil {
-		t.Fatal("invalid params did not produce an error")
+// TestRegularEtaMatchesMeasuredStats pins the analytic η the implicit
+// sweeps use to the value Graph.Stats measures on the materialized twin —
+// the property that lets E3/E9 derive the paper's prescribed c without
+// materializing the graph.
+func TestRegularEtaMatchesMeasuredStats(t *testing.T) {
+	for _, n := range []int{256, 1024, 4096} {
+		delta := regularDelta(n)
+		g, err := gen.Regular(n, delta, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := regularEta(n, delta), g.Stats().Eta; math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=%d: analytic eta %v, measured %v", n, got, want)
+		}
 	}
 }

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the JSON record golden file")
+
+// TestJSONRecordGolden pins the machine-readable record schema of
+// `saer-experiments -json`: the full E1 quick-mode stream (fixed seed,
+// 2 trials) must match the committed golden file byte for byte, so a
+// schema or determinism drift cannot land silently. Regenerate after an
+// intentional change with:
+//
+//	go test ./internal/experiments -run TestJSONRecordGolden -update-golden
+func TestJSONRecordGolden(t *testing.T) {
+	cfg := QuickSuiteConfig()
+	cfg.Trials = 2
+	cfg.TrialParallelism = 3 // the stream must not depend on parallelism
+	var buf bytes.Buffer
+	cfg.Records = sweep.NewRecorder(&buf)
+	if _, err := ExperimentCompletionScaling(cfg); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "e1_quick_records.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON record stream drifted from the golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

@@ -6,7 +6,8 @@ import (
 )
 
 // Experiment couples an identifier with the function that regenerates its
-// table.
+// table. Every Run builds a sweep.Spec and executes it on the shared
+// engine (internal/sweep), so the registry is also the index of specs.
 type Experiment struct {
 	ID    string
 	Title string
@@ -14,7 +15,8 @@ type Experiment struct {
 	Run   func(cfg SuiteConfig) (*Table, error)
 }
 
-// All returns every experiment in ID order.
+// All returns every experiment in ID order. DESIGN.md mirrors this
+// index; keep the two in sync.
 func All() []Experiment {
 	exps := []Experiment{
 		{"E1", "Completion time vs n", "Theorem 1: O(log n) completion", ExperimentCompletionScaling},

@@ -28,4 +28,11 @@
 //
 // All generators are deterministic functions of their explicit *rng.Source
 // argument.
+//
+// The Regular, ErdosRenyi, TrustSubset and AlmostRegular families also
+// have implicit (regenerative) counterparts — see implicit.go and
+// sample.go — that recompute client neighborhoods on demand from O(1)
+// per-client seeds instead of storing O(n·Δ) edges; the sweep engine in
+// internal/sweep selects between the two representations per experiment
+// point.
 package gen

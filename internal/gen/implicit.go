@@ -129,19 +129,9 @@ func newFeistel(n int, seed uint64) feistel {
 	}
 	sm := seed
 	for i := range f.keys {
-		f.keys[i] = splitMix(&sm)
+		f.keys[i] = rng.SplitMix64(&sm)
 	}
 	return f
-}
-
-// splitMix is the SplitMix64 step (duplicated from internal/rng, which
-// deliberately does not export its raw state scrambler).
-func splitMix(state *uint64) uint64 {
-	*state += 0x9e3779b97f4a7c15
-	z := *state
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return z ^ (z >> 31)
 }
 
 // roundF is the Feistel round function: a SplitMix-style scramble of the
@@ -193,7 +183,7 @@ func RegularImplicit(n, delta int, seed uint64) (*Implicit, error) {
 	perms := make([]feistel, delta)
 	sm := seed ^ 0x6c62272e07bb0142
 	for k := range perms {
-		perms[k] = newFeistel(n, splitMix(&sm))
+		perms[k] = newFeistel(n, rng.SplitMix64(&sm))
 	}
 	return &Implicit{
 		kind:       fmt.Sprintf("regular delta=%d", delta),
@@ -298,9 +288,11 @@ func ErdosRenyiImplicit(numClients, numServers int, p float64, ensureClients boo
 
 // distinctRow appends k distinct values from [0, pool) to buf in draw
 // order, by rejection against a linear scan of the values drawn so far.
-// The scan costs O(k²) per row, which is fine for the Θ(log² n) base
-// degrees the paper uses and tolerable for the O(log n) heavy clients of
-// degree O(√n); it is not intended for dense rows.
+// The scan costs O(k²) per row, which made implicit regeneration
+// quadratic in the degree; the production samplers now use the O(k)
+// Feistel partial shuffle in sample.go, and this function remains only
+// as the straightforward reference that the sampler tests and benchmarks
+// compare against.
 func distinctRow(s *rng.Stream, pool, k int, buf []int32) []int32 {
 	if k > pool {
 		// Mirror rng.Source.Sample's contract: fewer than k distinct
@@ -327,12 +319,14 @@ func distinctRow(s *rng.Stream, pool, k int, buf []int32) []int32 {
 // AlmostRegularImplicit returns the implicit counterpart of the paper's
 // almost-regular example: every client samples its BaseDegree (heavy
 // clients: HeavyDegree) servers without replacement from the ordinary
-// pool, regenerated on demand from the client's O(1)-derivable stream;
-// the cfg.LightServers low-degree servers attach to LightDegree random
-// clients each, and those O(log n · LightDegree) overlay edges are the
-// only ones stored explicitly (they are server-driven, so they cannot be
-// regenerated from a client seed alone). Overlay edges are appended after
-// the pool samples in each affected client's row.
+// pool via the O(k) Feistel partial shuffle (sampleRow), regenerated on
+// demand from the client's O(1)-derivable stream — which keeps even the
+// Θ(√n)-degree heavy clients' per-round regeneration linear in their
+// degree; the cfg.LightServers low-degree servers attach to LightDegree
+// random clients each, and those O(log n · LightDegree) overlay edges are
+// the only ones stored explicitly (they are server-driven, so they cannot
+// be regenerated from a client seed alone). Overlay edges are appended
+// after the pool samples in each affected client's row.
 func AlmostRegularImplicit(cfg AlmostRegularConfig, seed uint64) (*Implicit, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -359,7 +353,7 @@ func AlmostRegularImplicit(cfg AlmostRegularConfig, seed uint64) (*Implicit, err
 	var clients []int32
 	for u := pool; u < n; u++ {
 		s := rng.StreamAt(seed^0x94d049bb133111eb, n+u)
-		clients = distinctRow(&s, n, cfg.LightDegree, clients[:0])
+		clients = sampleRow(&s, n, cfg.LightDegree, clients[:0])
 		for _, v := range clients {
 			extraOf[v] = append(extraOf[v], int32(u))
 		}
@@ -376,7 +370,7 @@ func AlmostRegularImplicit(cfg AlmostRegularConfig, seed uint64) (*Implicit, err
 	}
 	row := func(v int, buf []int32) []int32 {
 		s := rng.StreamAt(seed, v)
-		buf = distinctRow(&s, pool, baseDeg(v), buf)
+		buf = sampleRow(&s, pool, baseDeg(v), buf)
 		return append(buf, extraOf[int32(v)]...)
 	}
 	return &Implicit{

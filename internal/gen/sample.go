@@ -1,0 +1,67 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// This file contains the without-replacement row sampler shared by the
+// implicit topologies whose clients pick k distinct servers from a pool
+// (trust-subset, almost-regular). The previous implementation rejected
+// duplicates against a linear scan of the row drawn so far (distinctRow
+// in implicit.go, kept as the test reference), which costs O(k²) per
+// regeneration — quadratic in the degree, the reason heavy Θ(√n)-degree
+// clients and trust-subset families could not go implicit. sampleRow
+// replaces it with a partial shuffle over a keyed permutation: the row is
+// the image of 0, 1, …, k−1 under a Feistel permutation of [0, pool)
+// keyed from the client's stream, so each regeneration costs O(k) Feistel
+// applications (~a dozen nanoseconds each), allocates nothing, and needs
+// no per-row dedup state at all — a k-subset in pseudo-random order,
+// exactly like the prefix of a Fisher–Yates shuffle of the pool.
+
+// sampleRow appends k distinct values from [0, pool) to buf, drawn as
+// the first k images of a pseudo-random permutation keyed by the next
+// value of s. It panics if k > pool (mirroring rng.Source.Sample's
+// contract: fewer than k distinct values exist).
+func sampleRow(s *rng.Stream, pool, k int, buf []int32) []int32 {
+	if k > pool {
+		panic("gen: sampleRow called with k > pool")
+	}
+	f := newFeistel(pool, s.Uint64())
+	for i := 0; i < k; i++ {
+		buf = append(buf, int32(f.apply(uint64(i))))
+	}
+	return buf
+}
+
+// TrustSubsetImplicit returns the implicit counterpart of TrustSubset:
+// every client trusts k servers chosen without replacement from
+// [0, numServers), regenerated on demand from the client's
+// O(1)-derivable stream via the Feistel partial shuffle. Every client
+// has degree exactly k, so the topology stores O(1) state — no degree
+// table, no edges. Note the sampler differs from the materialized
+// TrustSubset (which draws through rng.Source.Sample), so the two
+// constructors describe different graphs of the same distribution; the
+// implicit topology's materialized twin is Materialize, as for every
+// Implicit family.
+func TrustSubsetImplicit(numClients, numServers, k int, seed uint64) (*Implicit, error) {
+	if numClients <= 0 || numServers <= 0 {
+		return nil, fmt.Errorf("gen: TrustSubsetImplicit requires positive sides, got %d clients %d servers", numClients, numServers)
+	}
+	if k <= 0 || k > numServers {
+		return nil, fmt.Errorf("gen: TrustSubsetImplicit requires 0 < k <= numServers, got k=%d numServers=%d", k, numServers)
+	}
+	return &Implicit{
+		kind:       fmt.Sprintf("trust-subset k=%d", k),
+		numClients: numClients,
+		numServers: numServers,
+		minDeg:     k,
+		maxDeg:     k,
+		degree:     func(int) int { return k },
+		row: func(v int, buf []int32) []int32 {
+			s := rng.StreamAt(seed, v)
+			return sampleRow(&s, numServers, k, buf)
+		},
+	}, nil
+}

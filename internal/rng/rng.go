@@ -21,10 +21,13 @@ import (
 	"math/bits"
 )
 
-// splitMix64 advances a SplitMix64 state and returns the next output.
+// SplitMix64 advances a SplitMix64 state and returns the next output.
 // It is used to expand a single seed into the four xoshiro words and to
-// derive independent per-stream seeds.
-func splitMix64(state *uint64) uint64 {
+// derive independent per-stream seeds. It is exported for the keyed
+// permutations and samplers of internal/gen, which derive their round
+// keys from the same scrambler (previously a private copy flagged as
+// duplicated); everything else should draw from Source or Stream.
+func SplitMix64(state *uint64) uint64 {
 	*state += 0x9e3779b97f4a7c15
 	z := *state
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
@@ -49,10 +52,10 @@ func New(seed uint64) *Source {
 // Reseed reinitializes the source in place from seed.
 func (r *Source) Reseed(seed uint64) {
 	sm := seed
-	r.s0 = splitMix64(&sm)
-	r.s1 = splitMix64(&sm)
-	r.s2 = splitMix64(&sm)
-	r.s3 = splitMix64(&sm)
+	r.s0 = SplitMix64(&sm)
+	r.s1 = SplitMix64(&sm)
+	r.s2 = SplitMix64(&sm)
+	r.s3 = SplitMix64(&sm)
 	// xoshiro must not be seeded with the all-zero state. SplitMix64 cannot
 	// produce four consecutive zeros, but guard anyway.
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
@@ -98,7 +101,7 @@ func NewStreams(seed uint64, n int) []Source {
 	out := make([]Source, n)
 	sm := seed ^ 0xa0761d6478bd642f
 	for i := range out {
-		out[i].Reseed(splitMix64(&sm))
+		out[i].Reseed(SplitMix64(&sm))
 	}
 	return out
 }
@@ -119,7 +122,7 @@ type Stream struct {
 
 // Uint64 returns the next 64 pseudo-random bits of the stream.
 func (s *Stream) Uint64() uint64 {
-	return splitMix64(&s.state)
+	return SplitMix64(&s.state)
 }
 
 // Intn returns a uniform integer in [0, n) drawn from the stream. It
@@ -160,7 +163,7 @@ func (s *Stream) Float64() float64 {
 // storing (or sequentially deriving) the i-1 streams before it.
 func StreamAt(seed uint64, i int) Stream {
 	sm := (seed ^ streamSeedSalt) + uint64(i)*0x9e3779b97f4a7c15
-	return Stream{state: splitMix64(&sm)}
+	return Stream{state: SplitMix64(&sm)}
 }
 
 // streamSeedSalt decorrelates the stream family of a seed from the direct
@@ -176,7 +179,7 @@ const streamSeedSalt = 0xa0761d6478bd642f
 func ReseedStreamSlice(streams []Stream, seed uint64) {
 	sm := seed ^ streamSeedSalt
 	for i := range streams {
-		streams[i].state = splitMix64(&sm)
+		streams[i].state = SplitMix64(&sm)
 	}
 }
 

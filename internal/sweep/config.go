@@ -1,0 +1,98 @@
+// Package sweep is the declarative experiment executor: an experiment is
+// described as a Spec — a grid of Points (topology, protocol variant,
+// parameters, per-trial measurement) plus rendering hooks — and one shared
+// engine executes it: it owns topology representation selection
+// (csr/implicit/auto), pooled Runner reuse across Monte-Carlo trials,
+// deterministic per-(point, trial) seeding, and dual rendering (an aligned
+// text/CSV Table and a machine-readable JSON record stream). Every
+// experiment of the reproduction (E1–E14, see DESIGN.md) runs through
+// this engine instead of hand-rolling its own sweep loop.
+package sweep
+
+import "runtime"
+
+// Config is the shared configuration of all experiment sweeps (the
+// experiments package aliases it as SuiteConfig).
+type Config struct {
+	// Quick selects reduced problem sizes and trial counts so the whole
+	// suite finishes in seconds (used by `go test` and smoke runs). The
+	// full-size configuration is intended for the saer-experiments CLI.
+	Quick bool
+	// Trials is the number of independent protocol runs per configuration
+	// point. Zero selects a per-mode default (3 quick / 10 full).
+	Trials int
+	// Seed derives all graph and protocol seeds.
+	Seed uint64
+	// TrialParallelism caps how many trials run concurrently (each trial
+	// itself runs single-threaded to avoid oversubscription). Zero selects
+	// GOMAXPROCS.
+	TrialParallelism int
+	// Topology selects how scaling-experiment graphs are represented:
+	// "csr" always materializes, "implicit" always regenerates
+	// neighborhoods from per-client seeds, "implicit-csr" materializes
+	// the implicit sampler's exact edge multiset (the memory cost of csr
+	// with the edges of implicit, so runs are bit-for-bit comparable
+	// across the two — the knob the experiment-level equivalence tests
+	// use), and "" (auto) materializes below ImplicitSizeThreshold
+	// clients and goes implicit above it — the setting that lets the
+	// full-mode sweeps reach n = 2²⁰ without holding O(n·Δ) edges in
+	// memory.
+	Topology string
+	// Records, when non-nil, receives one JSON record per trial, table
+	// row and note as the engine executes (see Recorder). Nil disables
+	// the stream; the Table output is unaffected either way.
+	Records *Recorder
+}
+
+// ImplicitSizeThreshold is the auto-mode switchover: at and above this
+// many clients the Δ = log² n CSR adjacency (two int32 arrays per side)
+// costs hundreds of megabytes, so experiments regenerate neighborhoods
+// instead of storing them.
+const ImplicitSizeThreshold = 1 << 16
+
+// TrialCount returns the number of trials per point (the configured
+// count, or the per-mode default).
+func (c Config) TrialCount() int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Quick {
+		return 3
+	}
+	return 10
+}
+
+// Parallelism returns the trial-pool worker count.
+func (c Config) Parallelism() int {
+	if c.TrialParallelism > 0 {
+		return c.TrialParallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// UseImplicit reports whether a sweep point with n clients should build
+// the implicit (regenerative) topology representation.
+func (c Config) UseImplicit(n int) bool {
+	switch c.Topology {
+	case "implicit", "implicit-csr":
+		return true
+	case "csr":
+		return false
+	default:
+		return n >= ImplicitSizeThreshold
+	}
+}
+
+// TrialSeed derives a deterministic seed for (experiment, point, trial):
+// every experiment passes its number and point coordinates as parts, and
+// the engine appends the trial index. The mixing is a fixed function of
+// (Seed, parts) so a sweep is reproducible from the suite seed alone.
+func (c Config) TrialSeed(parts ...uint64) uint64 {
+	h := c.Seed ^ 0x9e3779b97f4a7c15
+	for _, p := range parts {
+		h ^= p + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return h
+}

@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+)
+
+// forEachTrial executes fn(trial) for trial = 0..trials-1 on a bounded
+// worker pool of at most cfg.Parallelism() goroutines, handing each worker
+// a stable worker index. Work is distributed by an atomic counter, so no
+// goroutine is ever spawned per trial. The first error (in trial order) is
+// returned.
+func forEachTrial(cfg Config, trials int, fn func(worker, trial int) error) error {
+	if trials <= 0 {
+		return nil
+	}
+	errs := make([]error, trials)
+	workers := min(cfg.Parallelism(), trials)
+	if workers <= 1 {
+		for i := 0; i < trials; i++ {
+			errs[i] = fn(0, i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= trials {
+						return
+					}
+					errs[i] = fn(w, i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runPooledTrials runs independent Monte-Carlo trials of the same
+// (graph, variant, params, options) configuration concurrently on a
+// shared pool of reusable Runners: each pool worker lazily builds one
+// Runner and drives it through successive trials via Reseed, so graph
+// validation and state allocation happen once per worker instead of once
+// per trial. Every trial runs single-threaded (params.Workers is forced
+// to 1): at experiment sizes, trial-level parallelism beats intra-run
+// parallelism, which cannot amortize its barriers on quick instances.
+// Results are returned in trial order and are bit-for-bit identical to
+// fresh single-threaded runs (the determinism contract of core.Runner).
+func runPooledTrials(cfg Config, trials int, g bipartite.Topology, variant core.Variant,
+	params core.Params, opts core.Options, seed func(trial int) uint64) ([]*core.Result, error) {
+	params.Workers = 1
+	results := make([]*core.Result, trials)
+	runners := make([]*core.Runner, min(cfg.Parallelism(), max(trials, 1)))
+	err := forEachTrial(cfg, trials, func(worker, i int) error {
+		r := runners[worker]
+		if r == nil {
+			var e error
+			r, e = core.NewRunner(g, variant, params, opts)
+			if e != nil {
+				return e
+			}
+			runners[worker] = r
+		}
+		r.Reseed(seed(i))
+		results[i] = r.Run()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func TestForEachTrialCoversAllTrialsOnce(t *testing.T) {
+	for _, par := range []int{1, 2, 8} {
+		cfg := Config{Quick: true, TrialParallelism: par}
+		const trials = 37
+		var counts [trials]int32
+		err := forEachTrial(cfg, trials, func(worker, trial int) error {
+			if worker < 0 || worker >= par {
+				t.Errorf("worker index %d outside [0,%d)", worker, par)
+			}
+			atomic.AddInt32(&counts[trial], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("parallelism=%d: trial %d executed %d times", par, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachTrialReturnsFirstError(t *testing.T) {
+	cfg := Config{Quick: true, TrialParallelism: 4}
+	sentinel := errors.New("trial 5 failed")
+	err := forEachTrial(cfg, 20, func(_, trial int) error {
+		if trial >= 5 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the trial-5 sentinel", err)
+	}
+	if err := forEachTrial(cfg, 0, func(_, _ int) error { return sentinel }); err != nil {
+		t.Fatalf("zero trials should be a no-op, got %v", err)
+	}
+}
+
+// TestRunPooledTrialsMatchesFreshRuns is the determinism contract of the
+// trial pool: reusing Runners via Reseed must give results bit-for-bit
+// identical to fresh single-threaded runs, in trial order, for every
+// parallelism level.
+func TestRunPooledTrialsMatchesFreshRuns(t *testing.T) {
+	g, err := gen.Regular(512, 30, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{D: 2, C: 2.5}
+	opts := core.Options{TrackRounds: true, TrackLoads: true}
+	seed := func(trial int) uint64 { return 0xBEEF + uint64(trial)*7 }
+	const trials = 12
+
+	fresh := make([]*core.Result, trials)
+	for i := 0; i < trials; i++ {
+		p := params
+		p.Workers = 1
+		p.Seed = seed(i)
+		fresh[i], err = core.Run(g, core.SAER, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, par := range []int{1, 3, 8} {
+		cfg := Config{Quick: true, TrialParallelism: par}
+		got, err := runPooledTrials(cfg, trials, g, core.SAER, params, opts, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != trials {
+			t.Fatalf("parallelism=%d: got %d results, want %d", par, len(got), trials)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], fresh[i]) {
+				t.Fatalf("parallelism=%d trial=%d: pooled result diverges from fresh run:\n  fresh=%+v\n  pooled=%+v",
+					par, i, fresh[i], got[i])
+			}
+		}
+	}
+}
+
+func TestRunPooledTrialsPropagatesRunnerError(t *testing.T) {
+	g, err := gen.Regular(64, 8, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Quick: true}
+	// D = 0 is invalid and must surface as an error, not a panic.
+	if _, err := runPooledTrials(cfg, 3, g, core.SAER, core.Params{D: 0, C: 4}, core.Options{},
+		func(trial int) uint64 { return uint64(trial) }); err == nil {
+		t.Fatal("invalid params did not produce an error")
+	}
+}

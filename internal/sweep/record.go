@@ -1,0 +1,119 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// Record is one line of the machine-readable output stream: the engine
+// emits a "table" header when a spec starts, one "trial" record per
+// protocol trial (in trial order, after the point's trials complete), one
+// "row" record per rendered table row, and one "note" record per table
+// note. The schema is pinned by the golden-file test in
+// internal/experiments; extend it by adding fields, never by renaming.
+type Record struct {
+	Type       string `json:"type"`
+	Experiment string `json:"experiment"`
+
+	// Table header fields.
+	Title   string   `json:"title,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+
+	// Point identity (trial and row records).
+	Point string `json:"point,omitempty"`
+
+	// Trial fields (from core.Result). Seed is a decimal string: the full
+	// 64-bit seeds routinely exceed 2⁵³, which an IEEE-double JSON
+	// consumer (JavaScript, float-coercing loaders) would silently round,
+	// breaking "replay this trial from its record".
+	Trial           *int     `json:"trial,omitempty"`
+	Seed            string   `json:"seed,omitempty"`
+	Completed       *bool    `json:"completed,omitempty"`
+	Rounds          *int     `json:"rounds,omitempty"`
+	Work            *int64   `json:"work,omitempty"`
+	WorkPerBall     *float64 `json:"work_per_ball,omitempty"`
+	MaxLoad         *int     `json:"max_load,omitempty"`
+	BurnedServers   *int     `json:"burned_servers,omitempty"`
+	UnassignedBalls *int     `json:"unassigned_balls,omitempty"`
+
+	// Row and note payloads.
+	Cells []string `json:"cells,omitempty"`
+	Note  string   `json:"note,omitempty"`
+}
+
+// Recorder streams Records as JSON lines to a writer. It is driven by the
+// sweep engine from a single goroutine (trial records are emitted after a
+// point's trials complete, in trial order, so the stream is deterministic
+// regardless of trial parallelism).
+type Recorder struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewRecorder returns a Recorder writing one JSON object per line to w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{enc: json.NewEncoder(w)}
+}
+
+// Err returns the first write error the recorder encountered, if any.
+func (r *Recorder) Err() error { return r.err }
+
+func (r *Recorder) emit(rec Record) {
+	if r == nil || r.err != nil {
+		return
+	}
+	if err := r.enc.Encode(rec); err != nil {
+		r.err = fmt.Errorf("sweep: writing record: %w", err)
+	}
+}
+
+// tableHeader announces a spec's table identity and columns.
+func (r *Recorder) tableHeader(t *Table) {
+	r.emit(Record{Type: "table", Experiment: t.ID, Title: t.Title, Columns: t.Columns})
+}
+
+// trial records one protocol trial's outcome.
+func (r *Recorder) trial(expID, point string, trial int, seed uint64, res *core.Result) {
+	if res == nil {
+		return
+	}
+	wpb := res.WorkPerBall()
+	r.emit(Record{
+		Type:            "trial",
+		Experiment:      expID,
+		Point:           point,
+		Trial:           &trial,
+		Seed:            strconv.FormatUint(seed, 10),
+		Completed:       &res.Completed,
+		Rounds:          &res.Rounds,
+		Work:            &res.Work,
+		WorkPerBall:     &wpb,
+		MaxLoad:         &res.MaxLoad,
+		BurnedServers:   &res.BurnedServers,
+		UnassignedBalls: &res.UnassignedBalls,
+	})
+}
+
+// rows records table rows [from, len(t.Rows)) rendered for a point.
+func (r *Recorder) rows(t *Table, point string, from int) {
+	if r == nil {
+		return
+	}
+	for _, row := range t.Rows[from:] {
+		r.emit(Record{Type: "row", Experiment: t.ID, Point: point, Cells: row})
+	}
+}
+
+// notes records table notes [from, len(t.Notes)).
+func (r *Recorder) notes(t *Table, from int) {
+	if r == nil {
+		return
+	}
+	for _, n := range t.Notes[from:] {
+		r.emit(Record{Type: "note", Experiment: t.ID, Note: n})
+	}
+}

@@ -1,4 +1,4 @@
-package experiments
+package sweep
 
 import (
 	"encoding/csv"
@@ -107,21 +107,34 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// FmtBool renders a boolean as "yes"/"no" for table cells.
+func FmtBool(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
+}
+
+// FmtRate renders a fraction as a percentage.
+func FmtRate(r float64) string {
+	return fmt.Sprintf("%.0f%%", 100*r)
+}
+
 // WriteCSV writes the table (header + rows) as CSV. Notes are written as
 // trailing comment-style rows with a leading "#" cell.
 func (t *Table) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(t.Columns); err != nil {
-		return fmt.Errorf("experiments: writing CSV header: %w", err)
+		return fmt.Errorf("sweep: writing CSV header: %w", err)
 	}
 	for _, row := range t.Rows {
 		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("experiments: writing CSV row: %w", err)
+			return fmt.Errorf("sweep: writing CSV row: %w", err)
 		}
 	}
 	for _, note := range t.Notes {
 		if err := cw.Write([]string{"#", note}); err != nil {
-			return fmt.Errorf("experiments: writing CSV note: %w", err)
+			return fmt.Errorf("sweep: writing CSV note: %w", err)
 		}
 	}
 	cw.Flush()

@@ -1,4 +1,4 @@
-package experiments
+package sweep
 
 import (
 	"bytes"
@@ -72,10 +72,10 @@ func TestTableWriteCSV(t *testing.T) {
 }
 
 func TestFormattingHelpers(t *testing.T) {
-	if fmtBool(true) != "yes" || fmtBool(false) != "no" {
+	if FmtBool(true) != "yes" || FmtBool(false) != "no" {
 		t.Error("fmtBool")
 	}
-	if fmtRate(0.5) != "50%" || fmtRate(1) != "100%" {
+	if FmtRate(0.5) != "50%" || FmtRate(1) != "100%" {
 		t.Error("fmtRate")
 	}
 }

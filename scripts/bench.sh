@@ -6,7 +6,7 @@
 # Usage:
 #   ./scripts/bench.sh         # full run: -benchtime default, -count 3
 #                              #   -> BENCH_<date>.{txt,json}
-#   ./scripts/bench.sh smoke   # CI smoke: 3 repeats of one iteration each
+#   ./scripts/bench.sh smoke   # CI smoke: 3 repeats of 3 iterations each
 #                              #   -> BENCH_SMOKE.{txt,json}
 #
 # Smoke gets its own undated snapshot name because the CI bench-diff
@@ -15,7 +15,11 @@
 # a smoke run against a full-mode baseline is biased toward spurious
 # regressions (and a dated smoke file would clobber a committed
 # full-mode snapshot of the same day). Smoke keeps -count 3 so the gate
-# compares min-of-3 against the committed BENCH_SMOKE.json's min-of-3.
+# compares min-of-3 against the committed BENCH_SMOKE.json's min-of-3,
+# and uses -benchtime=3x (not 1x) so each sample amortizes cold-start
+# noise over three iterations — single-iteration smoke runs left ~±20%
+# jitter on the shared CI runners, which the 25% regression gate was
+# uncomfortably close to.
 #
 # The JSON is an array of objects:
 #   {"name": ..., "iterations": N, "ns_per_op": ..., "bytes_per_op": ...,
@@ -28,7 +32,7 @@ cd "$(dirname "$0")/.."
 
 mode="${1:-full}"
 case "$mode" in
-smoke) benchflags="-benchtime=1x -count=3" ;;
+smoke) benchflags="-benchtime=3x -count=3" ;;
 full) benchflags="-count=3" ;;
 *)
     echo "usage: $0 [smoke|full]" >&2
