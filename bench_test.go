@@ -151,6 +151,52 @@ func BenchmarkSparseVsDense(b *testing.B) {
 	}
 }
 
+// BenchmarkShardedRound1 is the locality ablation of the sharded round
+// pipeline: it isolates the dense first round (MaxRounds=1, forced dense
+// engine) — the hot spot where every client's d destination draws land
+// as random increments across the whole m-server tally — and contrasts
+// the unsharded loop (shards=1: tally writes scattered over the full
+// 4·m-byte array) against the routed pipeline (phase A buckets
+// destinations by server shard, phase B applies each shard's increments
+// inside one contiguous cache-blocked window). Results are identical by
+// construction (the core equivalence tests sweep shard counts); only the
+// memory behaviour differs, so the ratio is pure locality: sharding pays
+// once the tally outgrows the cache (n = 2²⁰) and costs its routing
+// overhead below that (n = 2¹⁸) — see PERFORMANCE.md. CSR Δ=16 graphs
+// keep row reads free so the tally traffic dominates the measurement.
+func BenchmarkShardedRound1(b *testing.B) {
+	for _, n := range []int{1 << 18, 1 << 20} {
+		g := benchGraph(b, n, 16)
+		for _, shards := range []int{1, 8, 32} {
+			name := fmt.Sprintf("n=%d/unsharded", n)
+			if shards > 1 {
+				name = fmt.Sprintf("n=%d/shards=%d", n, shards)
+			}
+			b.Run(name, func(b *testing.B) {
+				r, err := core.NewRunner(g, core.SAER,
+					core.Params{D: 2, C: 4, MaxRounds: 1},
+					core.Options{Engine: core.EngineDense, Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// One untimed run grows the route lanes to steady state, so
+				// the short smoke samples measure locality rather than the
+				// first round's one-off buffer growth.
+				r.Reseed(0)
+				r.Run()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r.Reseed(uint64(i))
+					if res := r.Run(); res.Rounds != 1 {
+						b.Fatalf("expected exactly one round, got %v", res)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkLateRoundTail measures the workload the sparse engine is built
 // for: a near-threshold c forces heavy burning, so the run spends most of
 // its rounds on a long tail with a tiny alive frontier while the dense

@@ -33,6 +33,8 @@ func main() {
 		protocol    = flag.String("protocol", "saer", "protocol: saer or raes")
 		seed        = flag.Uint64("seed", 1, "random seed (graph seed = seed, protocol seed = seed+1)")
 		workers     = flag.Int("workers", 0, "worker goroutines per phase (0 = GOMAXPROCS)")
+		shards      = flag.Int("shards", 0, "server shards of the dense round pipeline (0 = worker count, 1 = unsharded; identical results, different locality)")
+		sparseDiv   = flag.Int("sparse-divisor", 0, "EngineAuto sparse-switch threshold: go sparse when active clients <= n/divisor (0 = default 4; identical results)")
 		engineMode  = flag.String("engine", "auto", "round-loop engine: auto, dense or sparse (identical results, different wall-clock)")
 		topoMode    = flag.String("topology", "csr", "graph storage: csr (materialized), implicit (O(n)-memory regenerative; families regular/erdos/trust/almost), or implicit-csr (the implicit sampler materialized — bit-for-bit identical runs to implicit)")
 		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
@@ -43,7 +45,7 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *topoMode, *seed, *workers, *maxRounds,
+	if err := run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *topoMode, *seed, *workers, *shards, *sparseDiv, *maxRounds,
 		*trackFlag, *roundsCSV, *loadsCSV, *resultJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "saer-sim:", err)
 		os.Exit(1)
@@ -51,7 +53,7 @@ func main() {
 }
 
 func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode, topoMode string, seed uint64,
-	workers, maxRounds int, track bool, roundsCSV, loadsCSV, resultJSON string) error {
+	workers, shards, sparseDiv, maxRounds int, track bool, roundsCSV, loadsCSV, resultJSON string) error {
 
 	topology, err := cli.ParseTopologyMode(topoMode)
 	if err != nil {
@@ -89,10 +91,12 @@ func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, en
 		return err
 	}
 	opts := core.Options{
-		Engine:             engine,
-		TrackRounds:        track || roundsCSV != "",
-		TrackNeighborhoods: track || roundsCSV != "",
-		TrackLoads:         loadsCSV != "" || resultJSON != "",
+		Engine:              engine,
+		Shards:              shards,
+		SparseSwitchDivisor: sparseDiv,
+		TrackRounds:         track || roundsCSV != "",
+		TrackNeighborhoods:  track || roundsCSV != "",
+		TrackLoads:          loadsCSV != "" || resultJSON != "",
 	}
 	params := core.Params{D: d, C: c, Seed: seed + 1, Workers: workers, MaxRounds: maxRounds}
 	res, err := core.Run(g, variant, params, opts)

@@ -1,0 +1,83 @@
+package bipartite
+
+// RowCache memoizes regenerated neighborhood rows of an implicit
+// Topology for a fixed set of clients. It exists for the late rounds of
+// a protocol run on a regenerative topology: once the active frontier
+// has decayed to a small surviving set, every remaining round resamples
+// the same few clients' rows, and caching them turns O(Δ) Feistel /
+// skip-sampling work per client per round into a slice read. The cache
+// is deliberately dumb — built once for an explicit client list, read
+// concurrently, invalidated wholesale — because the frontier only ever
+// shrinks: a snapshot taken at caching time covers every later round's
+// survivors.
+//
+// Memory stays bounded by construction: the caller decides when the
+// frontier is small enough to cache (core.Runner budgets cached edges at
+// max(numClients, 2¹⁶), a few percent of what the materialized CSR twin
+// would hold; internal/core's TestShardedRowCacheMemoryGuard pins the
+// bound). Rows are stored
+// in one contiguous buffer with per-client offsets, plus an O(n) int32
+// index that is reused across Invalidate/Cache cycles.
+type RowCache struct {
+	// idx[v] is the position of client v's row in off, or -1.
+	idx []int32
+	// off[i]..off[i+1] delimit the i-th cached row inside buf.
+	off []int32
+	buf []int32
+	// cached lists the clients with entries, so Invalidate is O(cached).
+	cached []int32
+}
+
+// NewRowCache returns an empty cache for a topology with numClients
+// clients.
+func NewRowCache(numClients int) *RowCache {
+	idx := make([]int32, numClients)
+	for v := range idx {
+		idx[v] = -1
+	}
+	return &RowCache{idx: idx}
+}
+
+// Cache regenerates and stores the rows of the given clients from t,
+// replacing any previous contents. The client list is typically the
+// current active frontier; each listed client must be < numClients.
+// Cache must not run concurrently with CachedRow.
+func (c *RowCache) Cache(t Topology, clients []int32) {
+	c.Invalidate()
+	c.off = append(c.off, 0)
+	for _, v := range clients {
+		// AppendClientNeighbors may return an aliasing view of internal
+		// storage when handed an empty buffer (the CSR zero-copy path), so
+		// the row goes through a fresh slice and is copied into buf rather
+		// than appended in place.
+		row := t.AppendClientNeighbors(int(v), nil)
+		c.buf = append(c.buf, row...)
+		c.idx[v] = int32(len(c.off) - 1)
+		c.off = append(c.off, int32(len(c.buf)))
+		c.cached = append(c.cached, v)
+	}
+}
+
+// CachedRow returns client v's cached row and whether it is present. The
+// returned slice aliases the cache and is read-only; it is safe to read
+// from multiple goroutines between Cache/Invalidate calls.
+func (c *RowCache) CachedRow(v int) ([]int32, bool) {
+	i := c.idx[v]
+	if i < 0 {
+		return nil, false
+	}
+	return c.buf[c.off[i]:c.off[i+1]], true
+}
+
+// CachedEdges returns the number of row entries currently held.
+func (c *RowCache) CachedEdges() int { return len(c.buf) }
+
+// Invalidate drops every cached row, keeping the allocations for reuse.
+func (c *RowCache) Invalidate() {
+	for _, v := range c.cached {
+		c.idx[v] = -1
+	}
+	c.cached = c.cached[:0]
+	c.off = c.off[:0]
+	c.buf = c.buf[:0]
+}

@@ -1,0 +1,92 @@
+package bipartite
+
+import (
+	"reflect"
+	"testing"
+)
+
+// cacheTestGraph builds a small materialized graph to play the implicit
+// topology's role (any Topology works; the cache never inspects the
+// representation).
+func cacheTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(5, 6)
+	b.AddEdge(0, 0).AddEdge(0, 3)
+	b.AddEdge(1, 1)
+	b.AddEdge(2, 2).AddEdge(2, 4).AddEdge(2, 5)
+	b.AddEdge(3, 3)
+	b.AddEdge(4, 5)
+	g, err := b.Build(KeepParallelEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestRowCacheRoundTrip(t *testing.T) {
+	g := cacheTestGraph(t)
+	c := NewRowCache(g.NumClients())
+	if _, ok := c.CachedRow(0); ok {
+		t.Fatal("fresh cache reports a cached row")
+	}
+	c.Cache(g, []int32{0, 2, 4})
+	for _, v := range []int{0, 2, 4} {
+		row, ok := c.CachedRow(v)
+		if !ok {
+			t.Fatalf("client %d missing from cache", v)
+		}
+		want := g.ClientNeighbors(v)
+		if !reflect.DeepEqual(append([]int32(nil), row...), append([]int32(nil), want...)) {
+			t.Fatalf("client %d cached row %v, want %v", v, row, want)
+		}
+	}
+	for _, v := range []int{1, 3} {
+		if _, ok := c.CachedRow(v); ok {
+			t.Fatalf("client %d unexpectedly cached", v)
+		}
+	}
+	if got, want := c.CachedEdges(), 2+3+1; got != want {
+		t.Fatalf("CachedEdges = %d, want %d", got, want)
+	}
+}
+
+func TestRowCacheInvalidateAndRecache(t *testing.T) {
+	g := cacheTestGraph(t)
+	c := NewRowCache(g.NumClients())
+	c.Cache(g, []int32{0, 1, 2, 3, 4})
+	c.Invalidate()
+	if c.CachedEdges() != 0 {
+		t.Fatalf("CachedEdges = %d after Invalidate", c.CachedEdges())
+	}
+	for v := 0; v < g.NumClients(); v++ {
+		if _, ok := c.CachedRow(v); ok {
+			t.Fatalf("client %d cached after Invalidate", v)
+		}
+	}
+	// Re-caching a different subset must not resurrect old entries.
+	c.Cache(g, []int32{3})
+	if _, ok := c.CachedRow(0); ok {
+		t.Fatal("client 0 cached after re-cache of {3}")
+	}
+	row, ok := c.CachedRow(3)
+	if !ok || len(row) != 1 || row[0] != 3 {
+		t.Fatalf("client 3 row = %v (%v), want [3]", row, ok)
+	}
+	// Cache replaces wholesale even without an explicit Invalidate.
+	c.Cache(g, []int32{4})
+	if _, ok := c.CachedRow(3); ok {
+		t.Fatal("client 3 survived a replacing Cache call")
+	}
+	if _, ok := c.CachedRow(4); !ok {
+		t.Fatal("client 4 missing after replacing Cache call")
+	}
+}
+
+func TestRowCacheEmptyClientList(t *testing.T) {
+	g := cacheTestGraph(t)
+	c := NewRowCache(g.NumClients())
+	c.Cache(g, nil)
+	if c.CachedEdges() != 0 {
+		t.Fatalf("CachedEdges = %d for empty client list", c.CachedEdges())
+	}
+}

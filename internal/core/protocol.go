@@ -24,9 +24,9 @@ type EngineMode int
 const (
 	// EngineAuto (the default) starts on the dense streaming path and
 	// switches to the sparse frontier path once the active-client fraction
-	// drops below 1/sparseSwitchDivisor. Active clients never come back
-	// (alive counts are non-increasing), so the switch happens at most
-	// once per run.
+	// drops below 1/divisor (Options.SparseSwitchDivisor, default 4).
+	// Active clients never come back (alive counts are non-increasing), so
+	// the switch happens at most once per run.
 	EngineAuto EngineMode = iota
 	// EngineDense forces the dense path for the whole run.
 	EngineDense
@@ -34,11 +34,26 @@ const (
 	EngineSparse
 )
 
-// sparseSwitchDivisor is the density threshold of EngineAuto: the run
-// switches to the sparse path when active clients ≤ n/sparseSwitchDivisor.
-// Below that point the dense pass wastes most of its bandwidth streaming
-// over finished entities; above it, the contiguous dense layout wins.
-const sparseSwitchDivisor = 4
+// defaultSparseSwitchDivisor is the density threshold EngineAuto uses
+// when Options.SparseSwitchDivisor is zero: the run switches to the
+// sparse path when active clients ≤ n/divisor. Below that point the
+// dense pass wastes most of its bandwidth streaming over finished
+// entities; above it, the contiguous dense layout wins.
+const defaultSparseSwitchDivisor = 4
+
+// rowCacheEdgeBudget bounds the late-round frontier row cache for
+// implicit topologies: caching activates once the frontier's worst-case
+// row footprint (|frontier| × max degree) fits the budget, which keeps
+// cached bytes at ≤ 4·max(n, 2¹⁶) — a few percent of what the
+// materialized CSR twin would hold, preserving the implicit layer's
+// memory guarantee (TestShardedRowCacheMemoryGuard pins it).
+func rowCacheEdgeBudget(n int) int {
+	const floor = 1 << 16
+	if n < floor {
+		return floor
+	}
+	return n
+}
 
 // Run executes one full protocol run of the selected variant on topo and
 // returns its Result. The run is deterministic in (topo, variant, p.Seed)
@@ -67,13 +82,34 @@ type Runner struct {
 	// csr is non-nil when topo is a materialized CSR graph, in which case
 	// neighborhoods are read zero-copy from its edge arrays. Otherwise
 	// (implicit/regenerative topologies) rows are regenerated on demand
-	// into the per-worker nbrBuf scratch buffers.
+	// into the per-worker nbrBuf scratch buffers — or read from rowCache
+	// once the late-round frontier has shrunk enough to pin the survivors'
+	// rows (see beginRound).
 	csr    *bipartite.Graph
 	nbrBuf [][]int32
+	maxDeg int
+
+	// rowCache holds the frontier row cache for implicit topologies;
+	// rowCacheBuilt records whether the current run has snapshotted its
+	// frontier into it (at most once per run — the frontier only shrinks).
+	rowCache      *bipartite.RowCache
+	rowCacheBuilt bool
 
 	pool     *engine.Pool
 	capacity int32
 	d        int
+
+	// router is non-nil when the dense rounds run the sharded
+	// route/apply pipeline (effective shard count > 1): phase A buckets
+	// ball destinations into per-(worker, shard) lanes and phase B folds
+	// each shard into the tally's merged view with shard-local writes,
+	// replacing the per-worker dense tally and its O(m × workers)
+	// merge/reset passes.
+	router *engine.Router
+
+	// switchDivisor is EngineAuto's density threshold
+	// (Options.SparseSwitchDivisor, defaulted).
+	switchDivisor int
 
 	// Per-client state.
 	alive   []int32      // unassigned balls of client v
@@ -138,6 +174,12 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 	if opts.Engine != EngineAuto && opts.Engine != EngineDense && opts.Engine != EngineSparse {
 		return nil, fmt.Errorf("core: unknown engine mode %d", int(opts.Engine))
 	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("core: Shards must be non-negative, got %d", opts.Shards)
+	}
+	if opts.SparseSwitchDivisor < 0 {
+		return nil, fmt.Errorf("core: SparseSwitchDivisor must be non-negative, got %d", opts.SparseSwitchDivisor)
+	}
 	n := topo.NumClients()
 	m := topo.NumServers()
 	if opts.InitialLoads != nil && len(opts.InitialLoads) != m {
@@ -187,6 +229,19 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 	if opts.TrackAssignments {
 		r.assignments = make([][]int32, n)
 	}
+	r.switchDivisor = opts.SparseSwitchDivisor
+	if r.switchDivisor == 0 {
+		r.switchDivisor = defaultSparseSwitchDivisor
+	}
+	targetShards := opts.Shards
+	if targetShards == 0 {
+		targetShards = pool.Workers()
+	}
+	if targetShards > 1 {
+		if rt := engine.NewRouter(pool.Workers(), targetShards, m); rt.Shards() > 1 {
+			r.router = rt
+		}
+	}
 	r.bindTopology(topo)
 	r.resetState()
 	return r, nil
@@ -198,13 +253,21 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 func (r *Runner) bindTopology(topo bipartite.Topology) {
 	r.topo = topo
 	r.csr, _ = topo.(*bipartite.Graph)
-	if r.csr == nil && r.nbrBuf == nil {
-		r.nbrBuf = make([][]int32, r.pool.Workers())
-		maxDeg := topo.MaxClientDegree()
-		for w := range r.nbrBuf {
-			r.nbrBuf[w] = make([]int32, 0, maxDeg)
+	if r.csr == nil {
+		r.maxDeg = topo.MaxClientDegree()
+		if r.nbrBuf == nil {
+			r.nbrBuf = make([][]int32, r.pool.Workers())
+			for w := range r.nbrBuf {
+				r.nbrBuf[w] = make([]int32, 0, r.maxDeg)
+			}
 		}
 	}
+	// A swapped topology regenerates different rows, so any cached
+	// frontier rows are stale.
+	if r.rowCache != nil {
+		r.rowCache.Invalidate()
+	}
+	r.rowCacheBuilt = false
 }
 
 // SwapTopology replaces the Runner's topology with one of identical
@@ -227,11 +290,17 @@ func (r *Runner) SwapTopology(topo bipartite.Topology) error {
 
 // neighbors returns client v's neighborhood for use by worker. On the CSR
 // fast path it aliases the graph's edge arrays; on the implicit path it
-// regenerates the row into the worker's scratch buffer, which stays valid
-// until the worker's next call.
+// reads the late-round row cache when v's row is pinned there, and
+// otherwise regenerates the row into the worker's scratch buffer, which
+// stays valid until the worker's next call.
 func (r *Runner) neighbors(worker, v int) []int32 {
 	if r.csr != nil {
 		return r.csr.ClientNeighbors(v)
+	}
+	if r.rowCacheBuilt {
+		if row, ok := r.rowCache.CachedRow(v); ok {
+			return row
+		}
 	}
 	buf := r.topo.AppendClientNeighbors(v, r.nbrBuf[worker][:0])
 	r.nbrBuf[worker] = buf
@@ -277,8 +346,17 @@ func (r *Runner) resetState() {
 		// The tally is reused across trials; a run that exited through the
 		// starved-client break leaves the current round's counts in it, so
 		// it must be cleared here rather than trusting the round loop's
-		// resets.
+		// resets. The same exit leaves the router's lanes and touched
+		// lists populated; with the counts cleared wholesale above they
+		// are discarded rather than replayed through ResetShard.
 		r.tally.FullReset(r.pool)
+		if r.router != nil {
+			r.router.Discard()
+		}
+		if r.rowCache != nil {
+			r.rowCache.Invalidate()
+		}
+		r.rowCacheBuilt = false
 	}
 	if r.opts.InitialLoads != nil {
 		for i, l := range r.opts.InitialLoads {
@@ -319,15 +397,29 @@ func (r *Runner) beginRound() {
 		clear(r.acceptedEpoch)
 		r.roundEpoch = 1
 	}
-	if r.sparse || r.opts.Engine == EngineDense {
-		return
+	if !r.sparse && r.opts.Engine != EngineDense {
+		if r.opts.Engine == EngineSparse || r.activeClients*r.switchDivisor <= r.topo.NumClients() {
+			r.buildFrontier()
+			r.sparse = true
+			// The previous round left the local buffers clean — via the
+			// dense Reset, via resetState, or (sharded rounds) by never
+			// writing them at all — which is the precondition of
+			// BeginSparse.
+			r.tally.BeginSparse()
+		}
 	}
-	if r.opts.Engine == EngineSparse || r.activeClients*sparseSwitchDivisor <= r.topo.NumClients() {
-		r.buildFrontier()
-		r.sparse = true
-		// The previous round's dense Reset (or resetState) left the local
-		// buffers clean, which is the precondition of BeginSparse.
-		r.tally.BeginSparse()
+	// Late-round frontier row cache: on implicit topologies, once the
+	// sparse frontier's worst-case row footprint fits the budget, snapshot
+	// the survivors' regenerated rows so the remaining rounds read them
+	// instead of resampling. One snapshot per run suffices: the frontier
+	// only shrinks, so every later survivor is already cached.
+	if r.sparse && r.csr == nil && !r.rowCacheBuilt &&
+		len(r.frontier)*r.maxDeg <= rowCacheEdgeBudget(r.topo.NumClients()) {
+		if r.rowCache == nil {
+			r.rowCache = bipartite.NewRowCache(r.topo.NumClients())
+		}
+		r.rowCache.Cache(r.topo, r.frontier)
+		r.rowCacheBuilt = true
 	}
 }
 
@@ -394,9 +486,13 @@ func (r *Runner) Run() *Result {
 		r.beginRound()
 		sent := r.phaseClients()
 		var touched []int32
-		if r.sparse {
+		switch {
+		case r.sparse:
 			touched = r.tally.SparseMerge()
-		} else {
+		case r.router != nil:
+			// Sharded dense rounds have no merge step: phase B folds each
+			// shard's route lanes into the merged view itself.
+		default:
 			r.tally.Merge(r.pool)
 		}
 		newlyBurned, saturated := r.phaseServers(touched)
@@ -434,9 +530,14 @@ func (r *Runner) Run() *Result {
 				break
 			}
 		}
-		if r.sparse {
+		switch {
+		case r.sparse:
 			r.tally.SparseReset()
-		} else {
+		case r.router != nil:
+			// O(touched) instead of O(m × workers): zero exactly the counts
+			// phase B folded, shard-parallel.
+			r.router.ResetCounts(r.pool, r.tally.Merged())
+		default:
 			r.tally.Reset(r.pool)
 		}
 	}
@@ -482,15 +583,38 @@ func (r *Runner) clientStep(worker, v int, denseLocal []int32) int64 {
 	return int64(a)
 }
 
+// clientStepRoute is clientStep's counterpart for the sharded dense
+// pipeline: destinations are drawn identically (same per-client stream,
+// same choices layout) but instead of bumping a tally they are routed to
+// the owning server shard's lane, to be counted by the shard's phase-B
+// owner.
+func (r *Runner) clientStepRoute(worker, v int, lanes [][]int32, shift uint) int64 {
+	a := r.alive[v]
+	nbrs := r.neighbors(worker, v)
+	deg := len(nbrs)
+	src := &r.streams[v]
+	base := v * r.d
+	for i := int32(0); i < a; i++ {
+		u := nbrs[src.Intn(deg)]
+		r.choices[base+int(i)] = u
+		s := int(u) >> shift
+		lanes[s] = append(lanes[s], u)
+	}
+	return int64(a)
+}
+
 // phaseClients is phase 1: every client with alive balls draws a uniform
 // destination in its neighborhood for each of them. Returns the number of
-// requests submitted. The dense path scans all n clients; the sparse path
-// walks only the active frontier.
+// requests submitted. The dense paths scan all n clients — routing each
+// ball to its server shard when the pipeline is sharded, bumping the
+// worker's tally otherwise; the sparse path walks only the active
+// frontier.
 func (r *Runner) phaseClients() int64 {
 	for w := range r.partialSent {
 		r.partialSent[w] = 0
 	}
-	if r.sparse {
+	switch {
+	case r.sparse:
 		r.pool.ParallelRange(len(r.frontier), func(worker, lo, hi int) {
 			var sent int64
 			for idx := lo; idx < hi; idx++ {
@@ -498,7 +622,21 @@ func (r *Runner) phaseClients() int64 {
 			}
 			r.partialSent[worker] = sent
 		})
-	} else {
+	case r.router != nil:
+		r.router.ResetLanes()
+		shift := r.router.Shift()
+		r.pool.ParallelRange(r.topo.NumClients(), func(worker, lo, hi int) {
+			lanes := r.router.Lanes(worker)
+			var sent int64
+			for v := lo; v < hi; v++ {
+				if r.alive[v] == 0 {
+					continue
+				}
+				sent += r.clientStepRoute(worker, v, lanes, shift)
+			}
+			r.partialSent[worker] = sent
+		})
+	default:
 		r.pool.ParallelRange(r.topo.NumClients(), func(worker, lo, hi int) {
 			local := r.tally.Local(worker)
 			var sent int64
@@ -557,16 +695,40 @@ func (r *Runner) serverStep(u, recv int32) (newlyBurned, saturated bool) {
 
 // phaseServers is phase 2: every server that received requests applies the
 // variant's threshold rule. Returns how many servers became burned and how
-// many rejected the round while not burned. The dense path scans all m
-// servers; the sparse path visits only the touched-server list produced by
-// the sparse tally merge (order across the list is irrelevant: each
-// server's update depends only on its own state).
+// many rejected the round while not burned. The unsharded dense path scans
+// all m servers; the sharded dense path has each shard owner fold its
+// route lanes into the merged counts (writes confined to the shard's
+// contiguous server window) and step exactly the servers the fold
+// touched; the sparse path visits only the touched-server list produced
+// by the sparse tally merge. Iteration order differs across those paths
+// and across worker/shard counts, but it never leaks into results: each
+// server's update depends only on its own state, and the per-worker
+// burned/saturated tallies are order-independent sums.
 func (r *Runner) phaseServers(touched []int32) (newlyBurned, saturated int) {
 	for w := range r.partialBurned {
 		r.partialBurned[w] = 0
 		r.partialSat[w] = 0
 	}
-	if r.sparse {
+	switch {
+	case !r.sparse && r.router != nil:
+		counts := r.tally.Merged()
+		r.pool.ParallelRange(r.router.Shards(), func(worker, lo, hi int) {
+			var nb, sat int64
+			for s := lo; s < hi; s++ {
+				for _, u := range r.router.FoldShard(s, counts) {
+					b, sflag := r.serverStep(u, counts[u])
+					if b {
+						nb++
+					}
+					if sflag {
+						sat++
+					}
+				}
+			}
+			r.partialBurned[worker] = nb
+			r.partialSat[worker] = sat
+		})
+	case r.sparse:
 		r.pool.ParallelRange(len(touched), func(worker, lo, hi int) {
 			var nb, sat int64
 			for idx := lo; idx < hi; idx++ {
@@ -582,7 +744,7 @@ func (r *Runner) phaseServers(touched []int32) (newlyBurned, saturated int) {
 			r.partialBurned[worker] = nb
 			r.partialSat[worker] = sat
 		})
-	} else {
+	default:
 		received := r.tally.Merged()
 		r.pool.ParallelRange(r.topo.NumServers(), func(worker, lo, hi int) {
 			var nb, sat int64

@@ -111,6 +111,22 @@ type Options struct {
 	// them). All modes compute the identical random process; the result is
 	// bit-for-bit independent of this knob. See EngineMode.
 	Engine EngineMode
+	// Shards is the target server-shard count of the dense round pipeline:
+	// dense rounds route each ball's destination to the owning server
+	// shard in phase A and apply the buffered increments plus the
+	// accept/saturate decisions shard-locally in phase B, replacing the
+	// per-worker tally fold. Zero selects the worker count (so a parallel
+	// run shards by default); 1 disables sharding and runs the pre-shard
+	// dense loop. Like Engine and Params.Workers this is a pure
+	// performance knob: results are bit-for-bit independent of it (the
+	// equivalence tests sweep {1, 2, 3, 8}).
+	Shards int
+	// SparseSwitchDivisor overrides EngineAuto's density threshold: the
+	// run switches to the sparse frontier path once
+	// activeClients × divisor ≤ numClients (larger values switch later).
+	// Zero selects the default of 4. Results are independent of the value;
+	// only wall-clock changes.
+	SparseSwitchDivisor int
 	// TrackRounds records a RoundStats entry per round.
 	TrackRounds bool
 	// TrackNeighborhoods additionally computes S_t, r_t and K_t per round

@@ -13,9 +13,19 @@ import (
 
 // equivalenceWorkerCounts are the worker counts the contract is checked
 // against, per the determinism guarantee: results are independent of both
-// the worker count and the engine mode.
+// the worker count and the engine mode. (With Options.Shards zero the
+// shard count follows the worker count, so this sweep already exercises
+// the sharded route/apply pipeline at shards = 2, 4, ….)
 func equivalenceWorkerCounts() []int {
 	return []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+}
+
+// equivalenceShardCounts decouple the shard sweep from the worker sweep:
+// the sharded round pipeline must produce bit-for-bit identical results
+// for every shard count, including shard counts that differ from the
+// worker count (and 1, which compiles down to the pre-shard dense loop).
+func equivalenceShardCounts() []int {
+	return []int{1, 2, 3, 8}
 }
 
 // normalizedResult strips the fields that legitimately differ between
@@ -58,6 +68,30 @@ func runEquivalenceCase(t *testing.T, name string, g *bipartite.Graph, variant V
 			if !reflect.DeepEqual(got, ref) {
 				t.Errorf("%s: mode=%d workers=%d diverges from dense single-worker reference:\n  ref=%+v\n  got=%+v",
 					name, mode, workers, ref, got)
+			}
+		}
+	}
+	// Explicit shard sweep, decoupled from the worker count. EngineSparse
+	// is omitted: sharding only affects dense rounds, which a forced-sparse
+	// run never executes (EngineAuto covers the dense→sparse handoff with
+	// the router active).
+	for _, shards := range equivalenceShardCounts() {
+		for _, mode := range []EngineMode{EngineDense, EngineAuto} {
+			for _, workers := range []int{1, 4} {
+				pp := p
+				pp.Workers = workers
+				oo := opts
+				oo.Engine = mode
+				oo.Shards = shards
+				res, err := Run(g, variant, pp, oo)
+				if err != nil {
+					t.Fatalf("%s mode=%d workers=%d shards=%d: %v", name, mode, workers, shards, err)
+				}
+				got := normalizedResult(res)
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("%s: mode=%d workers=%d shards=%d diverges from dense single-worker reference:\n  ref=%+v\n  got=%+v",
+						name, mode, workers, shards, ref, got)
+				}
 			}
 		}
 	}

@@ -48,6 +48,28 @@ func runTopologyEquivalenceCase(t *testing.T, name string, topo *gen.Implicit, p
 				}
 			}
 		}
+		// Shard sweep on the implicit representation: the routed phase A
+		// regenerates rows while bucketing destinations, and EngineAuto
+		// additionally crosses into the sparse tail where the frontier row
+		// cache activates — all of it must stay bit-for-bit equal to the
+		// CSR dense single-worker reference.
+		for _, shards := range equivalenceShardCounts() {
+			for _, mode := range []EngineMode{EngineDense, EngineAuto} {
+				pp := p
+				pp.Workers = 2
+				oo := opts
+				oo.Engine = mode
+				oo.Shards = shards
+				res, err := Run(topo, variant, pp, oo)
+				if err != nil {
+					t.Fatalf("%s/%s mode=%d shards=%d: %v", name, variant, mode, shards, err)
+				}
+				if got := normalizedResult(res); !reflect.DeepEqual(got, ref) {
+					t.Errorf("%s/%s: implicit mode=%d shards=%d diverges from CSR dense single-worker reference:\n  ref=%+v\n  got=%+v",
+						name, variant, mode, shards, ref, got)
+				}
+			}
+		}
 	}
 }
 

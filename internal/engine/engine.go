@@ -167,17 +167,19 @@ type Tally struct {
 // NewTally returns a Tally with one local buffer per pool worker. With a
 // single worker the merged view aliases the one local buffer: there is
 // nothing to fold, so Merge becomes a no-op and Reset a single pass.
+// Multi-worker local buffers are allocated lazily on first use (Local or
+// BeginSparse): the sharded round pipeline writes phase-B counts straight
+// into the merged view through a Router, so a sharded run only pays the
+// O(size × workers) local (and stamp) memory if and when it crosses into
+// the sparse engine — forced-dense sharded runs never do.
 func NewTally(p *Pool, size int) *Tally {
 	t := &Tally{
 		size:   size,
 		local:  make([][]int32, p.Workers()),
 		merged: make([]int32, size),
 	}
-	for w := range t.local {
-		t.local[w] = make([]int32, size)
-	}
 	if len(t.local) == 1 {
-		t.merged = t.local[0]
+		t.local[0] = t.merged
 	}
 	return t
 }
@@ -186,8 +188,15 @@ func NewTally(p *Pool, size int) *Tally {
 // buffer (the one-worker fast path).
 func (t *Tally) aliased() bool { return len(t.local) == 1 }
 
-// Local returns worker w's private accumulator.
-func (t *Tally) Local(w int) []int32 { return t.local[w] }
+// Local returns worker w's private accumulator, allocating it on first
+// use. Concurrent callers must pass distinct w (they do: w is the
+// ParallelRange worker index).
+func (t *Tally) Local(w int) []int32 {
+	if t.local[w] == nil {
+		t.local[w] = make([]int32, t.size)
+	}
+	return t.local[w]
+}
 
 // Merged returns the merged view computed by the last Merge call.
 func (t *Tally) Merged() []int32 { return t.merged }
@@ -203,7 +212,9 @@ func (t *Tally) Merge(p *Pool) []int32 {
 		for i := lo; i < hi; i++ {
 			var sum int32
 			for w := range t.local {
-				sum += t.local[w][i]
+				if l := t.local[w]; l != nil {
+					sum += l[i]
+				}
 			}
 			t.merged[i] = sum
 		}
@@ -221,7 +232,9 @@ func (t *Tally) Reset(p *Pool) {
 		for i := lo; i < hi; i++ {
 			t.merged[i] = 0
 			for w := range t.local {
-				t.local[w][i] = 0
+				if l := t.local[w]; l != nil {
+					l[i] = 0
+				}
 			}
 		}
 	})
@@ -241,6 +254,14 @@ func (t *Tally) BeginSparse() {
 		}
 		t.touched = make([][]int32, len(t.local))
 		t.mergedStamp = make([]uint32, t.size)
+	}
+	// SparseAdd indexes the local buffers directly, so any lazily deferred
+	// allocations are forced here (a run whose dense rounds went through a
+	// Router reaches this point with every multi-worker local still nil).
+	for w := range t.local {
+		if t.local[w] == nil {
+			t.local[w] = make([]int32, t.size)
+		}
 	}
 	t.sparse = true
 	t.advanceEpoch()

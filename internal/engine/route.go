@@ -1,0 +1,141 @@
+package engine
+
+import "math/bits"
+
+// Router is the substrate of the sharded dense round pipeline (see the
+// round loop in internal/core): instead of every phase-A worker bumping a
+// private size-wide tally that a later pass folds, workers bucket each
+// event's destination cell into per-(worker, shard) route lanes, and
+// phase-B shard owners fold one shard's lanes at a time into the shared
+// counts array. All writes to a shard's counts happen on the goroutine
+// that owns the shard and land inside one contiguous 2^shift-cell window,
+// so they are cache-blocked; and because only routed cells are ever
+// written, the O(size × workers) dense merge and reset passes disappear —
+// folding and resetting cost O(routed events) and O(touched cells).
+//
+// Shards are contiguous cell ranges of width 2^shift: routing in the
+// phase-A inner loop is a single shift (ShardOf). The width is derived
+// from a target shard count so that the actual count lands in
+// [target, 2·target] whenever size ≥ target — every owner gets work, and
+// a finer split only shrinks the per-fold cache window.
+//
+// Determinism: a shard's fold visits lanes in (worker, append) order,
+// which varies with the worker count — but a fold only produces per-cell
+// sums and a duplicate-free touched set, both order-independent, so
+// simulation results stay bit-for-bit identical across worker AND shard
+// counts. The equivalence tests in internal/core sweep both.
+type Router struct {
+	workers int
+	shards  int
+	shift   uint
+	// lanes[w*shards+s] holds the cells worker w routed to shard s this
+	// round. Truncated (capacity kept) by ResetLanes.
+	lanes [][]int32
+	// touched[s] is the duplicate-free list of cells shard s's last fold
+	// incremented; ResetShard consumes it to restore the zero-counts
+	// precondition in O(touched).
+	touched [][]int32
+}
+
+// NewRouter returns a Router for `workers` phase-A workers over a counts
+// array of `size` cells, splitting it into about targetShards shards.
+func NewRouter(workers, targetShards, size int) *Router {
+	if workers < 1 {
+		workers = 1
+	}
+	if targetShards < 1 {
+		targetShards = 1
+	}
+	shift := uint(0)
+	if size > targetShards {
+		// Largest power-of-two width with ceil(size/width) ≥ targetShards:
+		// width ≤ size/targetShards < 2·width, so the shard count is in
+		// [targetShards, 2·targetShards].
+		shift = uint(bits.Len64(uint64(size/targetShards))) - 1
+	}
+	width := 1 << shift
+	shards := (size + width - 1) / width
+	if shards < 1 {
+		shards = 1
+	}
+	return &Router{
+		workers: workers,
+		shards:  shards,
+		shift:   shift,
+		lanes:   make([][]int32, workers*shards),
+		touched: make([][]int32, shards),
+	}
+}
+
+// Shards returns the number of shards the cell range was split into.
+func (rt *Router) Shards() int { return rt.shards }
+
+// Shift returns the routing shift: cell i belongs to shard i >> Shift().
+// Phase-A inner loops use the shift directly rather than calling ShardOf
+// per event.
+func (rt *Router) Shift() uint { return rt.shift }
+
+// ShardOf returns the shard owning cell i.
+func (rt *Router) ShardOf(i int32) int { return int(i) >> rt.shift }
+
+// Lanes returns worker w's shard-indexed lane view: phase A appends cell
+// i to Lanes(w)[i>>Shift()]. The returned slice aliases the Router's
+// state; each worker must only touch its own view.
+func (rt *Router) Lanes(w int) [][]int32 {
+	return rt.lanes[w*rt.shards : (w+1)*rt.shards : (w+1)*rt.shards]
+}
+
+// ResetLanes truncates every lane, keeping capacity. Call at the start of
+// each routed round.
+func (rt *Router) ResetLanes() {
+	for i := range rt.lanes {
+		rt.lanes[i] = rt.lanes[i][:0]
+	}
+}
+
+// FoldShard folds every worker's lane of shard s into counts and returns
+// the shard's duplicate-free touched list (cells whose count went
+// 0 → positive). The shard's counts must be zero beforehand — ResetShard
+// (or a wholesale clearing like Tally.FullReset paired with Discard)
+// restores that — because first touches are detected by counts[i] == 0.
+func (rt *Router) FoldShard(s int, counts []int32) []int32 {
+	touched := rt.touched[s][:0]
+	for w := 0; w < rt.workers; w++ {
+		for _, i := range rt.lanes[w*rt.shards+s] {
+			if counts[i] == 0 {
+				touched = append(touched, i)
+			}
+			counts[i]++
+		}
+	}
+	rt.touched[s] = touched
+	return touched
+}
+
+// ResetShard zeroes the counts recorded in shard s's touched list and
+// truncates the list, restoring FoldShard's precondition in O(touched).
+func (rt *Router) ResetShard(s int, counts []int32) {
+	for _, i := range rt.touched[s] {
+		counts[i] = 0
+	}
+	rt.touched[s] = rt.touched[s][:0]
+}
+
+// ResetCounts runs ResetShard over every shard, parallelized on the pool.
+func (rt *Router) ResetCounts(p *Pool, counts []int32) {
+	p.ParallelRange(rt.shards, func(_, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			rt.ResetShard(s, counts)
+		}
+	})
+}
+
+// Discard truncates every lane and touched list without writing any
+// counts array: the reset to pair with a wholesale counts clearing (e.g.
+// Tally.FullReset) when a run abandoned a round between fold and reset.
+func (rt *Router) Discard() {
+	rt.ResetLanes()
+	for s := range rt.touched {
+		rt.touched[s] = rt.touched[s][:0]
+	}
+}

@@ -31,15 +31,21 @@ func ExperimentDenseRegime(cfg SuiteConfig) (*Table, error) {
 	densities := []struct {
 		name  string
 		delta int
+		// pinCSR forces the materialized representation for the dense
+		// Ω(n)-degree points: under `-topology implicit` they would
+		// regenerate Δ = n/8 … n/2 Feistel rows at ~8× a CSR read per
+		// round, and at E10's fixed n the CSR adjacency is small anyway.
+		pinCSR bool
 	}{
-		{"log²n", regularDelta(n)},
-		{"n/8", n / 8},
-		{"n/2", n / 2},
-		{"complete", n},
+		{"log²n", regularDelta(n), false},
+		{"n/8", n / 8, true},
+		{"n/2", n / 2, true},
+		{"complete", n, false},
 	}
 	for _, dens := range densities {
 		dens := dens
 		topo := regularTopo(n, dens.delta, 10, uint64(dens.delta))
+		topo.ForceCSR = dens.pinCSR
 		if dens.delta >= n {
 			topo = sweep.Topo{Family: sweep.FamComplete, N: n, SeedKey: []uint64{10, uint64(dens.delta)}}
 		}

@@ -41,19 +41,25 @@ func ExperimentExpanderExtraction(cfg SuiteConfig) (*Table, error) {
 	densities := []struct {
 		name  string
 		delta int
+		// pinCSR: same rationale as E10 — the dense Ω(n)-degree points
+		// regenerate n/8 … n/2-wide Feistel rows at ~8× a CSR read per
+		// round under `-topology implicit`, so they stay materialized.
+		pinCSR bool
 	}{
-		{"log²n", regularDelta(n)},
-		{"n/8", n / 8},
-		{"n/2", n / 2},
+		{"log²n", regularDelta(n), false},
+		{"n/8", n / 8, true},
+		{"n/2", n / 2, true},
 	}
 	ramanujan := 2 * math.Sqrt(float64(d-1)) / float64(d)
 	for _, dens := range densities {
 		dens := dens
+		topo := regularTopo(n, dens.delta, 13, uint64(dens.delta))
+		topo.ForceCSR = dens.pinCSR
 		for _, variant := range []core.Variant{core.SAER, core.RAES} {
 			variant := variant
 			spec.Points = append(spec.Points, sweep.Point{
 				ID:       fmt.Sprintf("%s/%s", dens.name, variant),
-				Topology: regularTopo(n, dens.delta, 13, uint64(dens.delta)),
+				Topology: topo,
 				Variant:  variant,
 				Params:   core.Params{D: d, C: 4},
 				Options:  core.Options{TrackAssignments: true},

@@ -18,7 +18,7 @@ func forEachTrial(cfg Config, trials int, fn func(worker, trial int) error) erro
 		return nil
 	}
 	errs := make([]error, trials)
-	workers := min(cfg.Parallelism(), trials)
+	workers := concurrentTrials(cfg, trials)
 	if workers <= 1 {
 		for i := 0; i < trials; i++ {
 			errs[i] = fn(0, i)
@@ -49,21 +49,49 @@ func forEachTrial(cfg Config, trials int, fn func(worker, trial int) error) erro
 	return nil
 }
 
+// intraTrialMinClients is the point size from which one trial is big
+// enough to amortize intra-trial parallelism (the sharded round
+// pipeline's phase barriers); it matches the implicit-representation
+// threshold — the sizes whose dense rounds stream megabytes per phase.
+const intraTrialMinClients = ImplicitSizeThreshold
+
+// concurrentTrials is the number of trials that run at once: the trial
+// pool's worker count, the runners slice size, and the denominator of
+// trialWorkers' budget split — all three must agree, so they share this
+// one definition.
+func concurrentTrials(cfg Config, trials int) int {
+	return min(cfg.Parallelism(), max(trials, 1))
+}
+
+// trialWorkers splits the configured worker budget between trial-level
+// and intra-trial parallelism: many small points saturate the budget
+// with concurrent trials (each single-threaded — barriers cannot
+// amortize on quick instances), while few big points hand the spare
+// budget to each trial's Runner, whose sharded round pipeline turns it
+// into server-shard parallelism. The product of concurrent trials and
+// per-trial workers never exceeds cfg.Parallelism().
+func trialWorkers(cfg Config, trials int, g bipartite.Topology) int {
+	if g == nil || g.NumClients() < intraTrialMinClients {
+		return 1
+	}
+	return max(1, cfg.Parallelism()/concurrentTrials(cfg, trials))
+}
+
 // runPooledTrials runs independent Monte-Carlo trials of the same
 // (graph, variant, params, options) configuration concurrently on a
 // shared pool of reusable Runners: each pool worker lazily builds one
 // Runner and drives it through successive trials via Reseed, so graph
 // validation and state allocation happen once per worker instead of once
-// per trial. Every trial runs single-threaded (params.Workers is forced
-// to 1): at experiment sizes, trial-level parallelism beats intra-run
-// parallelism, which cannot amortize its barriers on quick instances.
-// Results are returned in trial order and are bit-for-bit identical to
-// fresh single-threaded runs (the determinism contract of core.Runner).
+// per trial. The worker budget is split by trialWorkers: small points
+// run each trial single-threaded, big points with spare budget run each
+// trial on a sharded multi-worker Runner. Results are returned in trial
+// order and are bit-for-bit identical to fresh single-threaded runs for
+// every split (the determinism contract of core.Runner).
 func runPooledTrials(cfg Config, trials int, g bipartite.Topology, variant core.Variant,
 	params core.Params, opts core.Options, seed func(trial int) uint64) ([]*core.Result, error) {
-	params.Workers = 1
+	params.Workers = trialWorkers(cfg, trials, g)
 	results := make([]*core.Result, trials)
-	runners := make([]*core.Runner, min(cfg.Parallelism(), max(trials, 1)))
+	runners := make([]*core.Runner, concurrentTrials(cfg, trials))
 	err := forEachTrial(cfg, trials, func(worker, i int) error {
 		r := runners[worker]
 		if r == nil {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/rng"
@@ -89,6 +90,84 @@ func TestRunPooledTrialsMatchesFreshRuns(t *testing.T) {
 				t.Fatalf("parallelism=%d trial=%d: pooled result diverges from fresh run:\n  fresh=%+v\n  pooled=%+v",
 					par, i, fresh[i], got[i])
 			}
+		}
+	}
+}
+
+func TestTrialWorkersSplit(t *testing.T) {
+	small, err := gen.RegularImplicit(512, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := gen.RegularImplicit(intraTrialMinClients, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name        string
+		g           interface{ NumClients() int }
+		parallelism int
+		trials      int
+		want        int
+	}{
+		{"small point stays trial-parallel", small, 8, 10, 1},
+		{"nil topology stays trial-parallel", nil, 8, 1, 1},
+		{"big point, many trials: budget goes to trials", big, 8, 10, 1},
+		{"big point, one trial: budget goes to the Runner", big, 8, 1, 8},
+		{"big point, split budget", big, 8, 3, 2},
+		{"single-worker budget", big, 1, 1, 1},
+	}
+	for _, tc := range cases {
+		cfg := Config{TrialParallelism: tc.parallelism}
+		var topo bipartite.Topology
+		if tc.g != nil {
+			topo = tc.g.(bipartite.Topology)
+		}
+		got := trialWorkers(cfg, tc.trials, topo)
+		if got != tc.want {
+			t.Errorf("%s: trialWorkers = %d, want %d", tc.name, got, tc.want)
+		}
+		if concurrent := min(tc.parallelism, max(tc.trials, 1)); got*concurrent > tc.parallelism {
+			t.Errorf("%s: split %d×%d exceeds the budget %d", tc.name, got, concurrent, tc.parallelism)
+		}
+	}
+}
+
+// TestRunPooledTrialsIntraTrialDeterminism pins the worker-budget split's
+// determinism: a big point whose trials run on multi-worker sharded
+// Runners must produce results bit-for-bit identical to fresh
+// single-threaded runs (up to the Params.Workers config echo).
+func TestRunPooledTrialsIntraTrialDeterminism(t *testing.T) {
+	g, err := gen.RegularImplicit(intraTrialMinClients, 12, 44)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := core.Params{D: 2, C: 4}
+	opts := core.Options{TrackLoads: true}
+	seed := func(trial int) uint64 { return 0xF00D + uint64(trial) }
+	const trials = 2
+	cfg := Config{TrialParallelism: 8}
+	if w := trialWorkers(cfg, trials, g); w <= 1 {
+		t.Fatalf("setup broken: split gave %d workers, want > 1", w)
+	}
+	got, err := runPooledTrials(cfg, trials, g, core.SAER, params, opts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		p := params
+		p.Workers = 1
+		p.Seed = seed(i)
+		fresh, err := core.Run(g, core.SAER, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gi := *got[i]
+		gi.Params.Workers = 0
+		fi := *fresh
+		fi.Params.Workers = 0
+		if !reflect.DeepEqual(&gi, &fi) {
+			t.Fatalf("trial %d: multi-worker pooled result diverges from fresh single-threaded run", i)
 		}
 	}
 }
