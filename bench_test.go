@@ -1,5 +1,5 @@
 // Package repro's top-level benchmark harness: one benchmark per
-// experiment table (E1–E14, matching DESIGN.md — each runs its full
+// experiment table (E1–E17, matching DESIGN.md — each runs its full
 // sweep.Spec through the shared engine in quick mode) plus
 // micro-benchmarks for the substrates (graph generation, protocol rounds,
 // baselines) and ablations for the design choices called out in DESIGN.md
@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/bipartite"
+	"repro/internal/churn"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gen"
@@ -374,9 +375,132 @@ func BenchmarkE8AlmostRegular(b *testing.B)     { benchExperiment(b, "E8") }
 func BenchmarkE9ThresholdSweep(b *testing.B)    { benchExperiment(b, "E9") }
 func BenchmarkE10Dense(b *testing.B)            { benchExperiment(b, "E10") }
 func BenchmarkE11AliveDecay(b *testing.B)       { benchExperiment(b, "E11") }
-func BenchmarkE12Dynamic(b *testing.B)          { benchExperiment(b, "E12") }
-func BenchmarkE13Expander(b *testing.B)         { benchExperiment(b, "E13") }
-func BenchmarkE14Demand(b *testing.B)           { benchExperiment(b, "E14") }
+
+// BenchmarkE12Dynamic benches the dynamic scenario per path: the E12
+// table now runs both the incremental churn path and the legacy rebuild
+// path, so the comparable unit for the bench-diff gate is one scenario,
+// not the doubled table (the old single-workload BenchmarkE12Dynamic
+// name would have compared a two-path run against a one-path baseline).
+func BenchmarkE12Dynamic(b *testing.B) {
+	for _, path := range []struct {
+		name    string
+		rebuild bool
+	}{{"incremental", false}, {"rebuild", true}} {
+		b.Run(path.name, func(b *testing.B) {
+			dc := experiments.DefaultDynamicConfig(experiments.QuickSuiteConfig())
+			dc.Rebuild = path.rebuild
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				outcomes, err := experiments.RunDynamicScenario(dc, uint64(i))
+				if err != nil || len(outcomes) != dc.Batches {
+					b.Fatalf("scenario failed: %v (%d outcomes)", err, len(outcomes))
+				}
+			}
+		})
+	}
+}
+func BenchmarkE13Expander(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14Demand(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15ChurnRate(b *testing.B)    { benchExperiment(b, "E15") }
+func BenchmarkE16FailureWaves(b *testing.B) { benchExperiment(b, "E16") }
+func BenchmarkE17Arrivals(b *testing.B)     { benchExperiment(b, "E17") }
+
+// BenchmarkChurnEpoch is the incremental-vs-rebuild ablation of the
+// churn subsystem (ROADMAP: "edge churn instead of full re-randomization
+// keeps epoch cost proportional to churn, not n·Δ"). One iteration is
+// one epoch of the E12-shaped metastable scenario at n = 2¹⁸ with 10%
+// of the clients rewiring per epoch: expiry, topology update, and the
+// protocol run on the carried loads. The incremental paths mutate one
+// churn.Topology in place (implicit backend: O(changed) epoch marks;
+// csr-patch backend: O(changed·Δ) arena writes) and reuse one Runner via
+// PatchTopology; the rebuild path is the legacy approach — a freshly
+// materialized trust-subset graph per epoch plus SwapTopology — whose
+// O(n·Δ) construction dominates the epoch. Results across the two
+// incremental backends are bit-for-bit identical (the equivalence suite
+// pins it); the rebuild path draws different graphs, so only its cost is
+// comparable. Numbers are recorded in PERFORMANCE.md.
+func BenchmarkChurnEpoch(b *testing.B) {
+	const n = 1 << 18
+	const delta = 16
+	const d, c = 2, 4.0
+	rewireCount := n / 10 // 10% edge churn per epoch
+
+	for _, backend := range []churn.Backend{churn.BackendImplicit, churn.BackendCSRPatch} {
+		b.Run(fmt.Sprintf("n=%d/incremental-%s", n, backend), func(b *testing.B) {
+			base, err := gen.TrustSubsetImplicit(n, n, delta, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			topo, err := churn.New(churn.Config{
+				Base: base, Sampler: churn.TrustSampler(n, delta), Seed: 2, Backend: backend,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sch, err := churn.NewScheduler(topo, churn.SchedulerConfig{
+				Variant: core.SAER, D: d, C: c, LoadExpiry: 0.5,
+			}, 3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := rng.New(4)
+			step := func() {
+				out, err := sch.Step(churn.EpochEvent{
+					Dt: 1, RedemandAll: true,
+					Rewire: topo.SamplePresent(src, rewireCount),
+				})
+				if err != nil || !out.Completed {
+					b.Fatalf("epoch failed: %v %+v", err, out)
+				}
+			}
+			step() // reach the metastable carried-load regime untimed
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				step()
+			}
+		})
+	}
+
+	b.Run(fmt.Sprintf("n=%d/rebuild", n), func(b *testing.B) {
+		src := rng.New(4)
+		loads := make([]int, n)
+		var runner *core.Runner
+		step := func() {
+			for u := range loads {
+				loads[u] -= loads[u] / 2
+			}
+			g, err := gen.TrustSubset(n, n, delta, src.Split())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if runner == nil {
+				runner, err = core.NewRunner(g, core.SAER,
+					core.Params{D: d, C: c, Seed: src.Uint64()},
+					core.Options{InitialLoads: loads, TrackLoads: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				if err := runner.SwapTopology(g); err != nil {
+					b.Fatal(err)
+				}
+				runner.Reseed(src.Uint64())
+			}
+			res := runner.Run()
+			if !res.Completed {
+				b.Fatalf("epoch failed: %v", res)
+			}
+			copy(loads, res.Loads)
+		}
+		step()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+	})
+}
 
 // TestExperimentSuiteQuick is the integration test that regenerates every
 // experiment table end-to-end (quick sizes) and fails if any experiment

@@ -1,5 +1,5 @@
 // Command saer-experiments regenerates the reproduction's experiment
-// tables (E1–E14, see DESIGN.md). By default it runs every experiment at
+// tables (E1–E17, see DESIGN.md). By default it runs every experiment at
 // full size and prints the tables to stdout; individual experiments,
 // quick mode, CSV export and a machine-readable JSON record stream are
 // selectable with flags.
@@ -33,7 +33,7 @@ func main() {
 		topology = flag.String("topology", "", "scaling-experiment graph storage: csr, implicit, implicit-csr (materialized twin of implicit), or empty for auto (implicit from n=65536 up)")
 		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E4); empty = all")
 		csvDir   = flag.String("csv-dir", "", "directory to write one CSV file per experiment table")
-		jsonOut  = flag.Bool("json", false, "stream machine-readable JSON records to stdout instead of rendered tables: one object per protocol trial, table row and note (baseline/scenario points emit rows only)")
+		jsonOut  = flag.Bool("json", false, "stream machine-readable JSON records to stdout instead of rendered tables: one object per protocol trial, tracked round (per-round series of the tracked experiments and the per-epoch rounds of E12/E15-E17), table row and note")
 		listOnly = flag.Bool("list", false, "list the available experiments and exit")
 	)
 	flag.Parse()

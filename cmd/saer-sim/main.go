@@ -1,6 +1,11 @@
 // Command saer-sim runs a single SAER or RAES execution on a generated
 // client–server topology and prints the measured outcome next to the
-// paper's bounds.
+// paper's bounds. With -churn-epochs it instead drives a continuous-time
+// churn scenario (internal/churn) over the generated graph: per epoch a
+// fraction of the clients rewires its admissible edges, a failure wave
+// can take out servers mid-scenario (with a selectable failed-load
+// policy), half the carried load expires, and every client re-places its
+// d balls — printing one line per epoch.
 //
 // Examples:
 //
@@ -8,17 +13,22 @@
 //	saer-sim -graph trust -n 4096 -delta 64 -protocol raes -track
 //	saer-sim -graph proximity -n 4096 -expected-degree 48 -rounds-csv rounds.csv
 //	saer-sim -n 1048576 -topology implicit   # million clients in O(n) memory
+//	saer-sim -n 65536 -topology implicit -churn-epochs 12 -churn-rewire 0.1
+//	saer-sim -n 4096 -churn-epochs 12 -churn-fail 0.25 -churn-policy reinject
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/bipartite"
+	"repro/internal/churn"
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/rng"
 	"repro/internal/trace"
 )
 
@@ -38,6 +48,13 @@ func main() {
 		engineMode  = flag.String("engine", "auto", "round-loop engine: auto, dense or sparse (identical results, different wall-clock)")
 		topoMode    = flag.String("topology", "csr", "graph storage: csr (materialized), implicit (O(n)-memory regenerative; families regular/erdos/trust/almost), or implicit-csr (the implicit sampler materialized — bit-for-bit identical runs to implicit)")
 		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
+		churnEpochs = flag.Int("churn-epochs", 0, "run a churn scenario of this many epochs instead of a single execution (0 = off)")
+		churnRewire = flag.Float64("churn-rewire", 0.1, "churn scenario: fraction of clients rewiring their edges per epoch")
+		churnExpiry = flag.Float64("churn-expiry", 0.5, "churn scenario: fraction of carried load expiring per epoch")
+		churnFail   = flag.Float64("churn-fail", 0, "churn scenario: fraction of servers failing one third in (recovering two thirds in; 0 = no wave)")
+		churnDemand = flag.Float64("churn-demand", 1, "churn scenario: fraction of present clients placing d fresh balls per epoch (below 1 leaves spare capacity for re-injection)")
+		churnPolicy = flag.String("churn-policy", "drop", "churn scenario: failed-load policy: drop, reinject or saturate")
+		churnStore  = flag.String("churn-backend", "implicit", "churn scenario: rewired-row storage: implicit (regenerate on demand) or csr-patch (patch arena); identical results")
 		trackFlag   = flag.Bool("track", false, "track per-round S_t / r_t / K_t series (costs O(edges) per round)")
 		roundsCSV   = flag.String("rounds-csv", "", "write the per-round series to this CSV file (implies -track)")
 		loadsCSV    = flag.String("loads-csv", "", "write the final per-server loads to this CSV file")
@@ -45,11 +62,145 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *topoMode, *seed, *workers, *shards, *sparseDiv, *maxRounds,
-		*trackFlag, *roundsCSV, *loadsCSV, *resultJSON); err != nil {
+	var err error
+	if *churnEpochs > 0 {
+		if *trackFlag || *roundsCSV != "" || *loadsCSV != "" || *resultJSON != "" {
+			fmt.Fprintln(os.Stderr, "saer-sim: -track, -rounds-csv, -loads-csv and -result-json apply to single runs and are not supported with -churn-epochs")
+			os.Exit(1)
+		}
+		err = runChurn(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *topoMode, *seed,
+			*workers, *shards, *sparseDiv, *maxRounds,
+			*churnEpochs, *churnRewire, *churnExpiry, *churnFail, *churnDemand, *churnPolicy, *churnStore)
+	} else {
+		err = run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *topoMode, *seed,
+			*workers, *shards, *sparseDiv, *maxRounds,
+			*trackFlag, *roundsCSV, *loadsCSV, *resultJSON)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "saer-sim:", err)
 		os.Exit(1)
 	}
+}
+
+// runChurn drives the continuous-time churn scenario over the generated
+// base graph: per-epoch rewiring at -churn-rewire (family-matched for
+// erdos bases, trust-subset rows otherwise), an optional
+// failure/recovery wave, load expiry, and per-epoch demand, printing
+// one line per epoch.
+func runChurn(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode, topoMode string, seed uint64,
+	workers, shards, sparseDiv, maxRounds, epochs int, rewireFrac, expiry, failFrac, demandFrac float64, policyName, backendName string) error {
+
+	if c <= 0 {
+		return fmt.Errorf("the churn scenario needs an explicit -c")
+	}
+	topology, err := cli.ParseTopologyMode(topoMode)
+	if err != nil {
+		return err
+	}
+	base, err := cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, ExpectedDegree: expectedDeg, Seed: seed}.BuildTopology(topology)
+	if err != nil {
+		return err
+	}
+	variant, err := cli.ParseProtocol(protocol)
+	if err != nil {
+		return err
+	}
+	engine, err := cli.ParseEngineMode(engineMode)
+	if err != nil {
+		return err
+	}
+	policy, err := churn.ParsePolicy(policyName)
+	if err != nil {
+		return err
+	}
+	backend, err := cli.ParseChurnBackend(backendName)
+	if err != nil {
+		return err
+	}
+	k := delta
+	if k <= 0 {
+		k = cli.DefaultDelta(n)
+	}
+	// Rewiring regenerates a client's row from the family's churn
+	// sampler: erdos graphs rewire as Erdős–Rényi rows of the same edge
+	// probability; every other family rewires as a k-server trust subset
+	// (for regular and trust bases that matches the base distribution;
+	// for almost/proximity/complete it is an approximation — the churned
+	// clients drift toward the trust-subset family, which the header
+	// states).
+	sampler := churn.TrustSampler(base.NumServers(), k)
+	samplerName := fmt.Sprintf("trust-subset k=%d", k)
+	if strings.ToLower(strings.TrimSpace(graphKind)) == "erdos" {
+		p := float64(k) / float64(base.NumServers())
+		sampler = churn.ErdosRenyiSampler(base.NumServers(), p)
+		samplerName = fmt.Sprintf("erdos p=%.3g", p)
+	}
+	topo, err := churn.New(churn.Config{
+		Base:    base,
+		Sampler: sampler,
+		Seed:    seed + 2,
+		Backend: backend,
+	})
+	if err != nil {
+		return err
+	}
+	sch, err := churn.NewScheduler(topo, churn.SchedulerConfig{
+		Variant: variant, D: d, C: c,
+		Workers: workers, Shards: shards, Engine: engine,
+		SparseSwitchDivisor: sparseDiv, MaxRounds: maxRounds,
+		LoadExpiry: expiry, Policy: policy,
+	}, seed+3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("churn scenario on %v\n", topo)
+	fmt.Printf("  rewiring sampler: %s\n", samplerName)
+	fmt.Printf("  %d epochs, rewire %.0f%%/epoch, load expiry %.0f%%/epoch, failure wave %.0f%% (policy %s), capacity %d\n\n",
+		epochs, rewireFrac*100, expiry*100, failFrac*100, policy, core.Params{D: d, C: c}.Capacity())
+	fmt.Printf("%-6s %-8s %-8s %-7s %-7s %-9s %-9s %-10s %-11s %s\n",
+		"epoch", "rewired", "failed", "rounds", "done", "max_load", "mean", "reinject", "unassigned", "burned_at_start")
+	src := rng.New(seed + 4)
+	var wave []int32
+	rewireCount := int(rewireFrac*float64(n) + 0.5)
+	demandCount := int(demandFrac*float64(n) + 0.5)
+	for e := 1; e <= epochs; e++ {
+		ev := churn.EpochEvent{Dt: 1}
+		if demandCount >= n {
+			ev.RedemandAll = true
+		} else if demandCount > 0 {
+			ev.Demand = topo.SamplePresent(src, demandCount)
+		}
+		if rewireCount > 0 {
+			ev.Rewire = topo.SamplePresent(src, rewireCount)
+		}
+		if failFrac > 0 {
+			switch e {
+			case epochs/3 + 1:
+				wave = topo.SampleLive(src, int(failFrac*float64(base.NumServers())+0.5))
+				ev.Fail = wave
+			case 2*epochs/3 + 1:
+				ev.Recover = wave
+			}
+		}
+		out, err := sch.Step(ev)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-6d %-8d %-8d %-7d %-7s %-9d %-9.2f %-10d %-11d %d\n",
+			out.Epoch, out.Rewired, out.FailedServers, out.Rounds, boolMark(out.Completed),
+			out.MaxLoad, out.MeanLoad, out.ReinjectedBalls, out.UnassignedBalls, out.BurnedAtStart)
+	}
+	if p := sch.PendingReinjections(); p > 0 {
+		fmt.Printf("\n%d balls still pending re-injection\n", p)
+	}
+	return nil
+}
+
+func boolMark(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "no"
 }
 
 func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode, topoMode string, seed uint64,

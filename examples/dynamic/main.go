@@ -6,12 +6,22 @@
 // rounds and the per-server capacity keeps holding even though servers
 // carry load left over from earlier batches.
 //
+// By default the scenario runs on the incremental churn subsystem
+// (internal/churn): one implicit topology whose clients rewire between
+// batches in O(n) marks, one Runner reused for every batch. The -rebuild
+// flag switches to the legacy path that builds a fresh materialized
+// graph per batch — same process, O(n·Δ) per step — which is the
+// baseline the incremental path is benchmarked against in
+// PERFORMANCE.md.
+//
 // Run with:
 //
 //	go run ./examples/dynamic
+//	go run ./examples/dynamic -rebuild
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -20,6 +30,9 @@ import (
 )
 
 func main() {
+	rebuild := flag.Bool("rebuild", false, "use the legacy full-rebuild path (fresh materialized graph per batch) instead of the incremental churn subsystem")
+	flag.Parse()
+
 	dc := experiments.DynamicConfig{
 		NumServers:    4096,
 		BatchClients:  4096, // every batch brings d new balls per server on average
@@ -28,11 +41,17 @@ func main() {
 		C:             4,
 		Delta:         144, // ≈ log²(4096)
 		ChurnFraction: 0.5, // half of each server's load expires between batches
+		Rebuild:       *rebuild,
 	}
 	capacity := core.Params{D: dc.D, C: dc.C}.Capacity()
 
+	path := "incremental (internal/churn: O(n) rewire marks per batch, one reused Runner)"
+	if dc.Rebuild {
+		path = "rebuild (legacy: fresh materialized graph per batch)"
+	}
 	fmt.Printf("dynamic scenario: %d servers, %d batches of %d clients (d=%d), %d%% churn\n",
 		dc.NumServers, dc.Batches, dc.BatchClients, dc.D, int(dc.ChurnFraction*100))
+	fmt.Printf("path: %s\n", path)
 	fmt.Printf("per-server capacity: %d requests; completion bound per batch: %d rounds\n\n",
 		capacity, core.CompletionBound(dc.BatchClients))
 
@@ -53,5 +72,6 @@ func main() {
 	fmt.Println("  - every batch settles in a handful of rounds despite leftover load;")
 	fmt.Println("  - the max load never exceeds the c·d capacity (the invariant is per-server and local);")
 	fmt.Println("  - with 50% churn the mean load stabilizes instead of growing without bound —")
-	fmt.Println("    the metastable regime the paper conjectures in its future-work section.")
+	fmt.Println("    the metastable regime the paper conjectures in its future-work section;")
+	fmt.Println("  - both paths model the same process: compare with/without -rebuild.")
 }

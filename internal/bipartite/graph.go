@@ -240,13 +240,20 @@ type DegreeStats struct {
 
 // Stats computes DegreeStats in a single pass.
 func (g *Graph) Stats() DegreeStats {
+	return DegreeStatsOf(g.numClients, g.numServers, g.ClientDegree, g.ServerDegree)
+}
+
+// DegreeStatsOf computes DegreeStats from degree accessors. It is the
+// shared implementation behind Graph.Stats and the implicit topologies
+// that carry exact degree tables (gen.Implicit.DegreeStats).
+func DegreeStatsOf(numClients, numServers int, clientDeg, serverDeg func(int) int) DegreeStats {
 	st := DegreeStats{
 		MinClientDegree: math.MaxInt,
 		MinServerDegree: math.MaxInt,
 	}
 	totalC := 0
-	for v := 0; v < g.numClients; v++ {
-		d := g.ClientDegree(v)
+	for v := 0; v < numClients; v++ {
+		d := clientDeg(v)
 		totalC += d
 		if d < st.MinClientDegree {
 			st.MinClientDegree = d
@@ -256,8 +263,8 @@ func (g *Graph) Stats() DegreeStats {
 		}
 	}
 	totalS := 0
-	for u := 0; u < g.numServers; u++ {
-		d := g.ServerDegree(u)
+	for u := 0; u < numServers; u++ {
+		d := serverDeg(u)
 		totalS += d
 		if d < st.MinServerDegree {
 			st.MinServerDegree = d
@@ -266,11 +273,11 @@ func (g *Graph) Stats() DegreeStats {
 			st.MaxServerDegree = d
 		}
 	}
-	if g.numClients > 0 {
-		st.MeanClientDeg = float64(totalC) / float64(g.numClients)
+	if numClients > 0 {
+		st.MeanClientDeg = float64(totalC) / float64(numClients)
 	}
-	if g.numServers > 0 {
-		st.MeanServerDeg = float64(totalS) / float64(g.numServers)
+	if numServers > 0 {
+		st.MeanServerDeg = float64(totalS) / float64(numServers)
 	}
 	if st.MinClientDegree == math.MaxInt {
 		st.MinClientDegree = 0
@@ -283,8 +290,8 @@ func (g *Graph) Stats() DegreeStats {
 	} else {
 		st.RegularityRatio = math.Inf(1)
 	}
-	if g.numClients > 1 {
-		logn := math.Log2(float64(g.numClients))
+	if numClients > 1 {
+		logn := math.Log2(float64(numClients))
 		st.Eta = float64(st.MinClientDegree) / (logn * logn)
 	} else {
 		st.Eta = math.Inf(1)

@@ -26,6 +26,9 @@ type RowCache struct {
 	buf []int32
 	// cached lists the clients with entries, so Invalidate is O(cached).
 	cached []int32
+	// version is the topology version the cached rows were regenerated
+	// from (see bipartite.Versioned). Static topologies leave it zero.
+	version uint64
 }
 
 // NewRowCache returns an empty cache for a topology with numClients
@@ -71,6 +74,16 @@ func (c *RowCache) CachedRow(v int) ([]int32, bool) {
 
 // CachedEdges returns the number of row entries currently held.
 func (c *RowCache) CachedEdges() int { return len(c.buf) }
+
+// SetVersion stamps the cache with the topology version its rows were
+// regenerated from. Callers caching rows of a Versioned topology stamp
+// the cache right after Cache and use ValidFor to detect staleness
+// instead of re-deriving it from their own bookkeeping.
+func (c *RowCache) SetVersion(v uint64) { c.version = v }
+
+// ValidFor reports whether the cached rows were regenerated from
+// topology version v.
+func (c *RowCache) ValidFor(v uint64) bool { return c.version == v }
 
 // Invalidate drops every cached row, keeping the allocations for reuse.
 func (c *RowCache) Invalidate() {

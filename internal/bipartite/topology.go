@@ -35,6 +35,12 @@ type Topology interface {
 	// materialized storage may instead return an internal aliasing slice
 	// when buf is empty; in every case the caller must treat the result
 	// as read-only and valid only until the next call that reuses buf.
+	// Callers that feed a returned slice back as a later call's scratch
+	// buffer (the engines' per-worker row buffers do) must only do so
+	// against implementations that append — an aliasing return would let
+	// that later append write through into the topology's own storage.
+	// The engines special-case *Graph (the one aliasing implementation)
+	// onto a separate zero-copy path for exactly this reason.
 	// The neighbor order is a fixed property of the topology: repeated
 	// calls for the same v yield the same sequence.
 	AppendClientNeighbors(v int, buf []int32) []int32
@@ -42,6 +48,45 @@ type Topology interface {
 	// (non-empty sides, no isolated clients). Implicit implementations
 	// may answer from construction-time guarantees in O(1).
 	Validate() error
+}
+
+// Versioned is implemented by mutable topologies whose adjacency can be
+// patched in place between protocol runs (see internal/churn). The
+// version is a monotone counter bumped on every mutation batch; caches
+// that hold regenerated rows (bipartite.RowCache, the route lanes of
+// engine.Router) key their validity on it, and core.Runner.PatchTopology
+// re-binds a Runner to the mutated graph by comparing versions.
+type Versioned interface {
+	Topology
+	// TopologyVersion returns the current mutation counter. Two calls
+	// return the same value iff no mutation happened in between.
+	TopologyVersion() uint64
+}
+
+// DegreeStatser is implemented by topologies that can report exact
+// degree statistics without materializing their edges — either because
+// the family's degrees are fixed by construction (implicit regular) or
+// because the constructor recorded a per-server degree table (implicit
+// almost-regular). It is what lets experiments whose threshold constant
+// depends on measured server degrees (E8's Lemma-19 c) run on implicit
+// topologies.
+type DegreeStatser interface {
+	// DegreeStats returns the exact statistics and true, or ok=false when
+	// the implementation cannot answer without materialization.
+	DegreeStats() (DegreeStats, bool)
+}
+
+// TopologyStats returns exact degree statistics for t when available:
+// materialized graphs measure them directly, implicit topologies answer
+// through DegreeStatser.
+func TopologyStats(t Topology) (DegreeStats, bool) {
+	switch g := t.(type) {
+	case *Graph:
+		return g.Stats(), true
+	case DegreeStatser:
+		return g.DegreeStats()
+	}
+	return DegreeStats{}, false
 }
 
 // Graph implements Topology.

@@ -1,0 +1,41 @@
+// Package churn is the dynamic-topology subsystem of the reproduction:
+// it makes the client–server admissibility graph a first-class evolving
+// object instead of something rebuilt from scratch whenever it changes.
+//
+// The paper's future-work section conjectures that SAER stays metastable
+// when clients and servers come and go; experiment E12 historically
+// approximated that by re-randomizing the whole graph between batches —
+// an O(n·Δ) rebuild per step. This package replaces the rebuild with
+// O(changed-edges) updates:
+//
+//   - Topology is a mutable, versioned bipartite.Topology layered over a
+//     base graph. Per-client edge rewiring regenerates a client's row
+//     from a deterministic per-(epoch, client) stream (the same
+//     Feistel/rng.StreamAt machinery the implicit topologies in
+//     internal/gen use), clients arrive and depart without touching the
+//     rest of the graph, and servers fail and recover with their edges
+//     filtered out of every row they appear in. Two backends store the
+//     rewired rows: BackendImplicit keeps only the rewire epoch and
+//     regenerates rows on demand (O(1) state per churned client), while
+//     BackendCSRPatch materializes them into a compacting patch arena
+//     (CSR-style row storage for the churned subset only). The two
+//     backends describe the identical edge multiset in the identical
+//     order, so protocol results are bit-for-bit independent of the
+//     choice — the same contract the CSR/implicit twin representations
+//     obey, extended to mutation histories.
+//
+//   - Scheduler drives a continuous-time epoch loop over the sharded
+//     core.Runner pipeline: each epoch advances the clock, expires a
+//     fraction of the carried load, applies the epoch's churn events
+//     (arrivals, departures, rewires, failures, recoveries), assembles
+//     the epoch's demand, and runs the protocol on the patched topology
+//     via Runner.PatchTopology + Reseed — reusing one Runner and one
+//     graph for the whole scenario. Failure policies decide what happens
+//     to the load a failing server carried: drop it, re-inject it as new
+//     demand, or push it onto the surviving servers.
+//
+// Experiments E15 (edge-churn-rate sweep), E16 (failure/recovery waves)
+// and E17 (Poisson vs batch arrivals) are built on this package, and E12
+// runs on it by default (its legacy full-rebuild path remains behind
+// DynamicConfig.Rebuild).
+package churn

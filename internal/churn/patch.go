@@ -1,0 +1,95 @@
+package churn
+
+// rowPatch is the storage of the CSR-patch backend: the rewired rows —
+// and only those — live in one contiguous arena with per-entry offsets,
+// exactly like a CSR row block restricted to the churned clients.
+// Re-rewiring a client appends a fresh entry and abandons the old one;
+// the arena compacts itself once more than half of it is dead, so the
+// storage stays proportional to the *live* patched edges while updates
+// remain O(row) appends. Reads are safe from multiple goroutines; all
+// mutations happen between protocol runs on the scheduler goroutine.
+type rowPatch struct {
+	// pos[v] is the index of client v's live entry, or -1.
+	pos []int32
+	// owner, start, end describe the entries: entry e holds
+	// arena[start[e]:end[e]] and belongs to client owner[e]. An entry is
+	// live iff pos[owner[e]] == e (re-rewiring re-points pos).
+	owner []int32
+	start []int32
+	end   []int32
+	arena []int32
+	// garbage counts the arena words held by dead entries.
+	garbage int
+}
+
+// compactMinWords keeps tiny patches from compacting over and over: the
+// arena must hold at least this many dead words before a compaction is
+// worth its copy.
+const compactMinWords = 1 << 12
+
+func newRowPatch(numClients int) *rowPatch {
+	pos := make([]int32, numClients)
+	for v := range pos {
+		pos[v] = -1
+	}
+	return &rowPatch{pos: pos}
+}
+
+// row returns client v's patched row and whether one is stored. The
+// returned slice aliases the arena and is read-only; it stays valid
+// until the next mutation.
+func (p *rowPatch) row(v int) ([]int32, bool) {
+	e := p.pos[v]
+	if e < 0 {
+		return nil, false
+	}
+	return p.arena[p.start[e]:p.end[e]], true
+}
+
+// set stores row as client v's patched row, replacing any previous one.
+func (p *rowPatch) set(v int32, row []int32) {
+	if e := p.pos[v]; e >= 0 {
+		p.garbage += int(p.end[e] - p.start[e])
+		p.pos[v] = -1
+	}
+	if p.garbage > len(p.arena)/2 && p.garbage >= compactMinWords {
+		p.compact()
+	}
+	e := int32(len(p.owner))
+	p.owner = append(p.owner, v)
+	p.start = append(p.start, int32(len(p.arena)))
+	p.arena = append(p.arena, row...)
+	p.end = append(p.end, int32(len(p.arena)))
+	p.pos[v] = e
+}
+
+// words returns the number of arena words currently allocated (live +
+// dead); tests use it to pin the compaction bound.
+func (p *rowPatch) words() int { return len(p.arena) }
+
+// compact rewrites the arena keeping only the live entries, in entry
+// order (which preserves every live row's contents and resets the
+// garbage count to zero).
+func (p *rowPatch) compact() {
+	liveWords := len(p.arena) - p.garbage
+	arena := make([]int32, 0, liveWords)
+	n := 0
+	for e := range p.owner {
+		v := p.owner[e]
+		if p.pos[v] != int32(e) {
+			continue // dead entry
+		}
+		s := int32(len(arena))
+		arena = append(arena, p.arena[p.start[e]:p.end[e]]...)
+		p.owner[n] = v
+		p.start[n] = s
+		p.end[n] = int32(len(arena))
+		p.pos[v] = int32(n)
+		n++
+	}
+	p.owner = p.owner[:n]
+	p.start = p.start[:n]
+	p.end = p.end[:n]
+	p.arena = arena
+	p.garbage = 0
+}

@@ -1,0 +1,326 @@
+package churn
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func mustTrustBase(t *testing.T, n, m, k int, seed uint64) *gen.Implicit {
+	t.Helper()
+	base, err := gen.TrustSubsetImplicit(n, m, k, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func mustTopology(t *testing.T, cfg Config) *Topology {
+	t.Helper()
+	topo, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func backends() []Backend { return []Backend{BackendImplicit, BackendCSRPatch} }
+
+// row reads client v's current row through the public contract.
+func row(t *Topology, v int) []int32 {
+	return append([]int32(nil), t.AppendClientNeighbors(v, nil)...)
+}
+
+// TestChurnBackendRowEquivalence applies the same mutation history to
+// both backends and checks every row stays identical at every step —
+// the storage is a pure representation knob, never an outcome knob.
+func TestChurnBackendRowEquivalence(t *testing.T) {
+	const n, m, k = 120, 100, 7
+	mk := func(b Backend) *Topology {
+		return mustTopology(t, Config{
+			Base: mustTrustBase(t, n, m, k, 11), Sampler: TrustSampler(m, k), Seed: 42, Backend: b,
+		})
+	}
+	a, b := mk(BackendImplicit), mk(BackendCSRPatch)
+	check := func(stage string) {
+		t.Helper()
+		for v := 0; v < n; v++ {
+			ra, rb := row(a, v), row(b, v)
+			if !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("%s: row %d diverges between backends: %v vs %v", stage, v, ra, rb)
+			}
+		}
+	}
+	check("initial")
+	step := func(stage string, f func(*Topology)) {
+		f(a)
+		f(b)
+		check(stage)
+	}
+	step("rewire", func(tp *Topology) { tp.Rewire(1, []int32{3, 7, 90, 3}) })
+	step("fail", func(tp *Topology) {
+		if err := tp.FailServers([]int32{0, 1, 2, 3, 4, 5, 50, 51}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	step("rewire-under-failures", func(tp *Topology) { tp.Rewire(2, []int32{7, 8, 9}) })
+	step("recover", func(tp *Topology) { tp.RecoverServers([]int32{2, 3, 50}) })
+	step("rewire-again", func(tp *Topology) { tp.Rewire(5, []int32{3, 10, 11}) })
+	if a.TopologyVersion() != b.TopologyVersion() {
+		t.Fatalf("versions diverge: %d vs %d", a.TopologyVersion(), b.TopologyVersion())
+	}
+}
+
+// TestChurnRewireAllEquivalence is the ChurnFraction = 1 cross-check:
+// after rewiring every client at epoch e, the topology must describe
+// exactly the from-scratch trust-subset graph seeded with EpochSeed(e) —
+// row for row — and a protocol run on it must be bit-for-bit identical
+// to a run on that fresh graph, for both backends.
+func TestChurnRewireAllEquivalence(t *testing.T) {
+	const n, m, k = 180, 160, 9
+	for _, backend := range backends() {
+		topo := mustTopology(t, Config{
+			Base: mustTrustBase(t, n, m, k, 77), Sampler: TrustSampler(m, k), Seed: 5, Backend: backend,
+		})
+		// An intermediate history must not matter once everything rewires.
+		topo.Rewire(1, []int32{0, 5, 17})
+		topo.Rewire(2, []int32{5, 40})
+		topo.RewireAll(9)
+		fresh, err := gen.TrustSubsetImplicit(n, m, k, topo.EpochSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			got := row(topo, v)
+			want := append([]int32(nil), fresh.AppendClientNeighbors(v, nil)...)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v: row %d: got %v want %v", backend, v, got, want)
+			}
+		}
+		p := core.Params{D: 2, C: 3, Seed: 999, Workers: 2}
+		opts := core.Options{TrackRounds: true, TrackLoads: true}
+		onChurn, err := core.Run(topo, core.SAER, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		onFresh, err := core.Run(fresh, core.SAER, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(onChurn, onFresh) {
+			t.Fatalf("%v: run on fully-rewired topology diverges from run on the fresh graph", backend)
+		}
+	}
+}
+
+// TestChurnFailureFilterAndFallback pins the failure semantics: failed
+// servers vanish from rows (order preserved), a fully-failed
+// neighborhood falls back to exactly one live server, and recovery
+// restores the original row.
+func TestChurnFailureFilterAndFallback(t *testing.T) {
+	const n, m, k = 40, 10, 3
+	for _, backend := range backends() {
+		topo := mustTopology(t, Config{
+			Base: mustTrustBase(t, n, m, k, 3), Sampler: TrustSampler(m, k), Seed: 8, Backend: backend,
+		})
+		v := 13
+		topo.Rewire(1, []int32{int32(v)}) // exercise the rewired path too
+		orig := row(topo, v)
+		if len(orig) != k {
+			t.Fatalf("expected a %d-edge row, got %v", k, orig)
+		}
+		// Partial failure: drop the middle neighbor only.
+		if err := topo.FailServers([]int32{orig[1]}); err != nil {
+			t.Fatal(err)
+		}
+		got := row(topo, v)
+		want := []int32{orig[0], orig[2]}
+		if orig[0] == orig[1] || orig[2] == orig[1] { // parallel edges to the failed server
+			want = nil
+			for _, u := range orig {
+				if u != orig[1] {
+					want = append(want, u)
+				}
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: filtered row %v, want %v", backend, got, want)
+		}
+		// Total failure of the neighborhood: fallback to one live server.
+		rest := []int32{}
+		for _, u := range orig {
+			if u != orig[1] {
+				rest = append(rest, u)
+			}
+		}
+		if err := topo.FailServers(rest); err != nil {
+			t.Fatal(err)
+		}
+		got = row(topo, v)
+		if len(got) != 1 || topo.FailedServer(int(got[0])) {
+			t.Fatalf("%v: fallback row %v is not a single live server", backend, got)
+		}
+		if d := topo.ClientDegree(v); d != 1 {
+			t.Fatalf("%v: ClientDegree %d disagrees with fallback row", backend, d)
+		}
+		// Recovery restores the original row exactly.
+		topo.RecoverServers(append(rest, orig[1]))
+		if got := row(topo, v); !reflect.DeepEqual(got, orig) {
+			t.Fatalf("%v: row after recovery %v, want %v", backend, got, orig)
+		}
+	}
+}
+
+// TestChurnFailAllRefused guards the last-server invariant.
+func TestChurnFailAllRefused(t *testing.T) {
+	topo := mustTopology(t, Config{
+		Base: mustTrustBase(t, 10, 4, 2, 1), Sampler: TrustSampler(4, 2), Seed: 1, Backend: BackendImplicit,
+	})
+	if err := topo.FailServers([]int32{0, 1, 2, 3}); err == nil {
+		t.Fatal("failing every server was accepted")
+	}
+	if err := topo.FailServers([]int32{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.FailServers([]int32{3}); err == nil {
+		t.Fatal("failing the last live server was accepted")
+	}
+	if topo.NumFailed() != 3 {
+		t.Fatalf("refused batch mutated state: %d failed", topo.NumFailed())
+	}
+}
+
+// TestChurnPresence pins arrival/departure bookkeeping: presence counts,
+// fresh rows on arrival, and version bumps on every mutation.
+func TestChurnPresence(t *testing.T) {
+	const n, m, k = 30, 20, 4
+	topo := mustTopology(t, Config{
+		Base: mustTrustBase(t, n, m, k, 2), Sampler: TrustSampler(m, k), Seed: 7, Backend: BackendCSRPatch,
+	})
+	if topo.NumPresent() != n {
+		t.Fatalf("expected all %d clients present, got %d", n, topo.NumPresent())
+	}
+	v0 := topo.TopologyVersion()
+	topo.Depart([]int32{1, 2, 2, 5})
+	if topo.NumPresent() != n-3 || topo.Present(2) || !topo.Present(3) {
+		t.Fatalf("departure bookkeeping wrong: present=%d", topo.NumPresent())
+	}
+	baseRow := row(topo, 2)
+	topo.Arrive(4, []int32{2})
+	if !topo.Present(2) || topo.NumPresent() != n-2 {
+		t.Fatal("arrival bookkeeping wrong")
+	}
+	if topo.RewireEpoch(2) != 4 {
+		t.Fatalf("arrival did not rewire: epoch %d", topo.RewireEpoch(2))
+	}
+	if reflect.DeepEqual(row(topo, 2), baseRow) {
+		t.Log("note: re-arrived client drew its base row again (possible but astronomically unlikely)")
+	}
+	if topo.TopologyVersion() == v0 {
+		t.Fatal("mutations did not bump the version")
+	}
+	got := topo.AppendPresentClients(nil)
+	if len(got) != topo.NumPresent() {
+		t.Fatalf("AppendPresentClients returned %d of %d", len(got), topo.NumPresent())
+	}
+}
+
+// TestRowPatchCompaction re-rewires the same clients many times and
+// checks the patch arena stays proportional to the live patched edges
+// instead of the full rewrite history.
+func TestRowPatchCompaction(t *testing.T) {
+	const n, m, k = 64, 64, 16
+	topo := mustTopology(t, Config{
+		Base: mustTrustBase(t, n, m, k, 6), Sampler: TrustSampler(m, k), Seed: 9, Backend: BackendCSRPatch,
+	})
+	clients := make([]int32, n)
+	for v := range clients {
+		clients[v] = int32(v)
+	}
+	for epoch := 1; epoch <= 200; epoch++ {
+		topo.Rewire(epoch, clients)
+	}
+	live := n * k
+	if w := topo.patch.words(); w > 2*live+compactMinWords {
+		t.Fatalf("patch arena holds %d words for %d live edges after 200 full rewrites", w, live)
+	}
+	// Rows must survive compaction.
+	fresh, err := gen.TrustSubsetImplicit(n, m, k, topo.EpochSeed(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < n; v++ {
+		want := append([]int32(nil), fresh.AppendClientNeighbors(v, nil)...)
+		if got := row(topo, v); !reflect.DeepEqual(got, want) {
+			t.Fatalf("row %d corrupted by compaction: got %v want %v", v, got, want)
+		}
+	}
+}
+
+// TestChurnMaterializedBase runs the read path over a materialized CSR
+// base (the aliasing AppendClientNeighbors case) with and without
+// failures, against the implicit base as reference.
+func TestChurnMaterializedBase(t *testing.T) {
+	const n, m, k = 90, 80, 6
+	impl := mustTrustBase(t, n, m, k, 21)
+	csr, err := impl.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustTopology(t, Config{Base: impl, Sampler: TrustSampler(m, k), Seed: 4, Backend: BackendImplicit})
+	b := mustTopology(t, Config{Base: csr, Sampler: TrustSampler(m, k), Seed: 4, Backend: BackendImplicit})
+	step := func(f func(*Topology)) {
+		f(a)
+		f(b)
+		for v := 0; v < n; v++ {
+			if ra, rb := row(a, v), row(b, v); !reflect.DeepEqual(ra, rb) {
+				t.Fatalf("row %d diverges between implicit and CSR base: %v vs %v", v, ra, rb)
+			}
+		}
+	}
+	step(func(*Topology) {})
+	step(func(tp *Topology) { tp.Rewire(1, []int32{1, 2, 3}) })
+	step(func(tp *Topology) {
+		if err := tp.FailServers([]int32{5, 6, 7, 8, 9, 10}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A scratch buffer with existing content must be appended to, not
+	// overwritten, in both the aliasing and the filtering paths.
+	buf := []int32{-7}
+	got := b.AppendClientNeighbors(3, buf)
+	if got[0] != -7 || len(got) < 2 {
+		t.Fatalf("prefix of caller buffer clobbered: %v", got)
+	}
+}
+
+// TestChurnSamplers sanity-checks the two rewiring samplers: pure
+// functions of (epochSeed, v), correct degree, in-range values.
+func TestChurnSamplers(t *testing.T) {
+	const m = 50
+	ts := TrustSampler(m, 5)
+	er := ErdosRenyiSampler(m, 0.1)
+	for _, s := range []Sampler{ts, er} {
+		a := s.Row(123, 7, nil)
+		b := s.Row(123, 7, nil)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatal("sampler is not a pure function of (epochSeed, v)")
+		}
+		if len(a) == 0 || len(a) > s.MaxDegree {
+			t.Fatalf("row length %d outside (0, %d]", len(a), s.MaxDegree)
+		}
+		for _, u := range a {
+			if u < 0 || int(u) >= m {
+				t.Fatalf("out-of-range server %d", u)
+			}
+		}
+		if reflect.DeepEqual(a, s.Row(124, 7, nil)) && len(a) > 2 {
+			t.Fatal("distinct epoch seeds produced the same row")
+		}
+	}
+	if got := ts.Row(9, 3, nil); len(got) != 5 {
+		t.Fatalf("trust sampler degree %d, want 5", len(got))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/bipartite"
+	"repro/internal/churn"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/rng"
@@ -187,6 +188,19 @@ func (s GraphSpec) BuildTopology(mode TopologyMode) (bipartite.Topology, error) 
 		return t.Materialize()
 	default:
 		return nil, fmt.Errorf("cli: unknown topology mode %d", int(mode))
+	}
+}
+
+// ParseChurnBackend maps a churn-backend name to its selector (see
+// churn.Backend; both backends produce bit-for-bit identical runs).
+func ParseChurnBackend(name string) (churn.Backend, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "implicit", "":
+		return churn.BackendImplicit, nil
+	case "csr-patch":
+		return churn.BackendCSRPatch, nil
+	default:
+		return churn.BackendImplicit, fmt.Errorf("cli: unknown churn backend %q (want implicit or csr-patch)", name)
 	}
 }
 

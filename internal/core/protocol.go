@@ -95,6 +95,14 @@ type Runner struct {
 	rowCache      *bipartite.RowCache
 	rowCacheBuilt bool
 
+	// versioned is non-nil when topo is mutable (bipartite.Versioned);
+	// topoVersion is the version the Runner's caches were last synced to.
+	// PatchTopology re-binds after an in-place mutation; beginRound
+	// additionally re-checks the version so a mutation that skipped
+	// PatchTopology can never serve stale cached rows or route lanes.
+	versioned   bipartite.Versioned
+	topoVersion uint64
+
 	pool     *engine.Pool
 	capacity int32
 	d        int
@@ -268,6 +276,13 @@ func (r *Runner) bindTopology(topo bipartite.Topology) {
 		r.rowCache.Invalidate()
 	}
 	r.rowCacheBuilt = false
+	r.versioned, _ = topo.(bipartite.Versioned)
+	if r.versioned != nil {
+		r.topoVersion = r.versioned.TopologyVersion()
+		if r.router != nil {
+			r.router.SyncTopologyVersion(r.topoVersion)
+		}
+	}
 }
 
 // SwapTopology replaces the Runner's topology with one of identical
@@ -285,6 +300,23 @@ func (r *Runner) SwapTopology(topo bipartite.Topology) error {
 			r.topo.NumClients(), r.topo.NumServers(), topo.NumClients(), topo.NumServers())
 	}
 	r.bindTopology(topo)
+	return nil
+}
+
+// PatchTopology re-binds the Runner to its current topology after an
+// in-place mutation (a churn.Topology whose edges were rewired, or whose
+// clients/servers arrived, departed, failed or recovered between
+// epochs). It is SwapTopology's counterpart for topologies that mutate
+// instead of being replaced: the graph is revalidated, the degree bound
+// refreshed, and the version-keyed caches (frontier row cache, route
+// lanes) invalidated when the topology version moved. Dimensions cannot
+// change, and as with SwapTopology the caller must Reseed before the
+// next Run.
+func (r *Runner) PatchTopology() error {
+	if err := r.topo.Validate(); err != nil {
+		return fmt.Errorf("%w: %v", ErrInvalidGraph, err)
+	}
+	r.bindTopology(r.topo)
 	return nil
 }
 
@@ -389,6 +421,25 @@ func (r *Runner) Reseed(seed uint64) {
 // threshold. The switch is monotone: alive counts never increase, so a
 // run crosses the threshold at most once.
 func (r *Runner) beginRound() {
+	// Mutable topologies: a version moved since the last bind means rows
+	// changed under the Runner (a mutation that skipped PatchTopology);
+	// drop the version-keyed caches so no stale row or route lane is ever
+	// served. With the PatchTopology contract honored this never fires.
+	// The row cache carries its own version stamp (SetVersion below), so
+	// its staleness check survives even if the Runner's bookkeeping and
+	// the cache ever disagree.
+	if r.versioned != nil {
+		if v := r.versioned.TopologyVersion(); v != r.topoVersion {
+			r.topoVersion = v
+			if r.router != nil {
+				r.router.SyncTopologyVersion(v)
+			}
+		}
+		if r.rowCacheBuilt && !r.rowCache.ValidFor(r.topoVersion) {
+			r.rowCache.Invalidate()
+			r.rowCacheBuilt = false
+		}
+	}
 	r.roundEpoch++
 	if r.roundEpoch == 0 {
 		// uint8 wraparound: every 255 rounds the stamps are cleared so a
@@ -419,6 +470,7 @@ func (r *Runner) beginRound() {
 			r.rowCache = bipartite.NewRowCache(r.topo.NumClients())
 		}
 		r.rowCache.Cache(r.topo, r.frontier)
+		r.rowCache.SetVersion(r.topoVersion)
 		r.rowCacheBuilt = true
 	}
 }

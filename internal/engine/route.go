@@ -35,6 +35,10 @@ type Router struct {
 	// incremented; ResetShard consumes it to restore the zero-counts
 	// precondition in O(touched).
 	touched [][]int32
+	// topoVersion is the topology version the lanes were last synced to
+	// (see bipartite.Versioned and SyncTopologyVersion). Static
+	// topologies leave it zero.
+	topoVersion uint64
 }
 
 // NewRouter returns a Router for `workers` phase-A workers over a counts
@@ -128,6 +132,21 @@ func (rt *Router) ResetCounts(p *Pool, counts []int32) {
 			rt.ResetShard(s, counts)
 		}
 	})
+}
+
+// SyncTopologyVersion is the router's invalidation hook for mutable
+// (versioned) topologies: when the version differs from the last synced
+// one, any buffered lanes and touched lists describe destinations drawn
+// from rows that no longer exist, so they are discarded. It reports
+// whether an invalidation happened. Callers with a static topology never
+// need to call this.
+func (rt *Router) SyncTopologyVersion(v uint64) bool {
+	if rt.topoVersion == v {
+		return false
+	}
+	rt.topoVersion = v
+	rt.Discard()
+	return true
 }
 
 // Discard truncates every lane and touched list without writing any

@@ -17,8 +17,11 @@ import (
 // irregularity (ρ, ∆min, heavy degree), the c prescribed by Lemma 19 for
 // that ρ, and the usual completion/load outcomes. The prescribed c
 // depends on the *measured* server degrees (ρ is a property of the
-// sampled graph, not the configuration), so the topology is pinned to
-// CSR and the parameters are derived from the built graph's statistics.
+// sampled graph, not the configuration); the implicit almost-regular
+// topology records an exact per-server degree table at construction
+// (gen.Implicit.DegreeStats), so the derivation works on every
+// representation and the sweep extends into the implicit sizes — E8 no
+// longer pins ForceCSR.
 func ExperimentAlmostRegular(cfg SuiteConfig) (*Table, error) {
 	spec := sweep.Spec{
 		ID:    "E8",
@@ -28,7 +31,7 @@ func ExperimentAlmostRegular(cfg SuiteConfig) (*Table, error) {
 	}
 
 	d := 2
-	for _, n := range sizes(cfg) {
+	for _, n := range largeSizes(cfg, 1<<18) {
 		n := n
 		// The engine calls ParamsFrom before the point's trials and Render
 		// after them, on the same built graph, so the O(n) degree scan and
@@ -42,10 +45,14 @@ func ExperimentAlmostRegular(cfg SuiteConfig) (*Table, error) {
 		spec.Points = append(spec.Points, sweep.Point{
 			ID: fmt.Sprintf("n=%d", n),
 			Topology: sweep.Topo{Family: sweep.FamAlmostRegular, N: n,
-				Almost: gen.DefaultAlmostRegularConfig(n), SeedKey: []uint64{8, uint64(n)}, ForceCSR: true},
+				Almost: gen.DefaultAlmostRegularConfig(n), SeedKey: []uint64{8, uint64(n)}},
 			Variant: core.SAER,
 			ParamsFrom: func(cfg SuiteConfig, g bipartite.Topology) (core.Params, error) {
-				st = g.(*bipartite.Graph).Stats()
+				var ok bool
+				st, ok = bipartite.TopologyStats(g)
+				if !ok {
+					return core.Params{}, fmt.Errorf("almost-regular topology %v reports no exact degree statistics", g)
+				}
 				c = core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d)
 				cRun = min(c, 64)
 				return core.Params{D: d, C: cRun}, nil

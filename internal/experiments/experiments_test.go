@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -18,8 +19,8 @@ func quickCfg() SuiteConfig {
 
 func TestRegistryCompleteAndOrdered(t *testing.T) {
 	exps := All()
-	if len(exps) != 14 {
-		t.Fatalf("registry has %d experiments, want 14", len(exps))
+	if len(exps) != 17 {
+		t.Fatalf("registry has %d experiments, want 17", len(exps))
 	}
 	for i, e := range exps {
 		want := "E" + strconv.Itoa(i+1)
@@ -264,6 +265,107 @@ func TestExperimentE14Demand(t *testing.T) {
 	}
 }
 
+func TestExperimentE15ChurnRate(t *testing.T) {
+	tb, err := ExperimentChurnRate(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E15")
+	if len(tb.Rows) != len(e15Fractions) {
+		t.Fatalf("expected one row per rewiring fraction, got %d", len(tb.Rows))
+	}
+	maxLoad := indexOf(tb.Columns, "max_load_max")
+	capCol := indexOf(tb.Columns, "cap")
+	for _, row := range tb.Rows {
+		if parseFloat(t, row[maxLoad]) > parseFloat(t, row[capCol]) {
+			t.Errorf("load cap violated under edge churn: %v", row)
+		}
+	}
+}
+
+func TestExperimentE16FailureWaves(t *testing.T) {
+	tb, err := ExperimentFailureWaves(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E16")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("expected one row per policy, got %d", len(tb.Rows))
+	}
+	maxLoad := indexOf(tb.Columns, "max_load_max")
+	capCol := indexOf(tb.Columns, "cap")
+	reinjected := indexOf(tb.Columns, "reinjected_total")
+	policyCol := indexOf(tb.Columns, "policy")
+	for _, row := range tb.Rows {
+		if parseFloat(t, row[maxLoad]) > parseFloat(t, row[capCol]) {
+			t.Errorf("load cap violated under failures: %v", row)
+		}
+		if row[policyCol] != "reinject" && row[reinjected] != "0" {
+			t.Errorf("policy %q re-injected balls: %v", row[policyCol], row)
+		}
+	}
+}
+
+func TestExperimentE17Arrivals(t *testing.T) {
+	tb, err := ExperimentArrivalProcesses(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb, "E17")
+	if len(tb.Rows) != 4 {
+		t.Fatalf("expected batch/poisson × two occupancies, got %d rows", len(tb.Rows))
+	}
+	maxLoad := indexOf(tb.Columns, "max_load_max")
+	capCol := indexOf(tb.Columns, "cap")
+	arrived := indexOf(tb.Columns, "arrivals_total")
+	for _, row := range tb.Rows {
+		if parseFloat(t, row[maxLoad]) > parseFloat(t, row[capCol]) {
+			t.Errorf("load cap violated under arrivals: %v", row)
+		}
+		if parseFloat(t, row[arrived]) == 0 {
+			t.Errorf("no clients ever arrived: %v", row)
+		}
+	}
+}
+
+// TestE12IncrementalPathEquivalence pins the acceptance criterion that
+// the incremental E12 scenario is deterministic across worker and shard
+// counts: the same scenario stepped with multi-worker sharded Runners
+// must produce exactly the single-worker outcomes. (The churn package's
+// TestChurnSchedulerEquivalence covers the full matrix; this covers the
+// E12 configuration specifically.)
+func TestE12IncrementalPathEquivalence(t *testing.T) {
+	dc := DefaultDynamicConfig(quickCfg())
+	dc.TrackRounds = true
+	ref, err := RunDynamicScenario(dc, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range ref {
+		if !o.Completed {
+			t.Fatalf("reference batch %d did not complete", o.Batch)
+		}
+	}
+	for _, workers := range []int{2, 4} {
+		for _, shards := range []int{0, 1, 3, 8} {
+			run := dc
+			run.Workers = workers
+			run.Shards = shards
+			got, err := RunDynamicScenario(run, 4242)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalDynamicOutcomes(ref, got) {
+				t.Fatalf("incremental scenario diverges at workers=%d shards=%d", workers, shards)
+			}
+		}
+	}
+}
+
+func equalDynamicOutcomes(a, b []DynamicBatchOutcome) bool {
+	return reflect.DeepEqual(a, b)
+}
+
 func TestAssignmentDegreeCheckHelper(t *testing.T) {
 	cfg := quickCfg()
 	g, err := buildRegular(256, 20, cfg.TrialSeed(99))
@@ -335,7 +437,7 @@ func parseFloat(t *testing.T, s string) float64 {
 // (E3/E4/E6/E9, plus E5's trust-subset and almost-regular families and
 // the E1/E2 scaling sweeps).
 func TestExperimentTopologyEquivalence(t *testing.T) {
-	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E9"} {
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E8", "E9"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			exp, err := ByID(id)

@@ -28,9 +28,38 @@ func TestJSONRecordGolden(t *testing.T) {
 	if _, err := ExperimentCompletionScaling(cfg); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join("testdata", "e1_quick_records.golden")
+	compareGolden(t, "e1_quick_records.golden", buf.Bytes())
+}
+
+// TestJSONRecordGoldenDynamic pins the record stream of the dynamic
+// experiment E12, which additionally exercises the "round" record type:
+// with a recorder attached the scenario tracks its per-round series and
+// streams one round record per (path, batch, round), each tagged with
+// its epoch. The incremental path runs through the churn subsystem, so
+// this golden also pins that the scenario is deterministic end to end.
+func TestJSONRecordGoldenDynamic(t *testing.T) {
+	cfg := QuickSuiteConfig()
+	cfg.Trials = 2
+	cfg.TrialParallelism = 3 // the stream must not depend on parallelism
+	var buf bytes.Buffer
+	cfg.Records = sweep.NewRecorder(&buf)
+	if _, err := ExperimentDynamic(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"type":"round"`)) {
+		t.Fatal("E12 stream contains no round records")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"epoch":`)) {
+		t.Fatal("E12 round records carry no epoch tags")
+	}
+	compareGolden(t, "e12_quick_records.golden", buf.Bytes())
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
 	if *updateGolden {
-		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -38,7 +67,7 @@ func TestJSONRecordGolden(t *testing.T) {
 	if err != nil {
 		t.Fatalf("reading golden file (run with -update-golden to create it): %v", err)
 	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Errorf("JSON record stream drifted from the golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	if !bytes.Equal(got, want) {
+		t.Errorf("JSON record stream drifted from the golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
 	}
 }

@@ -33,6 +33,9 @@ func All() []Experiment {
 		{"E12", "Dynamic arrivals", "Section 4 future work: metastable behaviour under churn", ExperimentDynamic},
 		{"E13", "Expander extraction", "Extension: the assignment subgraph is bounded-degree and expanding (Becchetti et al.)", ExperimentExpanderExtraction},
 		{"E14", "Heterogeneous demand", "Section 2.2 general ≤ d case and heavy/skewed demand regimes", ExperimentHeterogeneousDemand},
+		{"E15", "Edge-churn-rate sweep", "Extension: metastability vs per-epoch rewiring fraction (churn subsystem)", ExperimentChurnRate},
+		{"E16", "Failure/recovery waves", "Extension: server failures under drop/reinject/saturate load policies", ExperimentFailureWaves},
+		{"E17", "Arrival processes", "Extension: Poisson vs batch client arrivals at equal mean rate", ExperimentArrivalProcesses},
 	}
 	sort.Slice(exps, func(i, j int) bool { return lessID(exps[i].ID, exps[j].ID) })
 	return exps
@@ -49,7 +52,11 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
 }
 
-// lessID orders "E1" < "E2" < ... < "E10" < "E12" numerically.
+// lessID orders experiment identifiers by their numeric component:
+// "E1" < "E2" < ... < "E9" < "E10" < ... < "E14" < "E15" < "E16" < "E17"
+// (lexicographic ordering would wrongly sort "E15" before "E2"); equal
+// numbers fall back to the string ordering. TestLessIDNumericOrder pins
+// this, including that E15–E17 sort after E14.
 func lessID(a, b string) bool {
 	na, nb := idNumber(a), idNumber(b)
 	if na != nb {

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"sort"
+	"testing"
+)
+
+// TestLessIDNumericOrder pins lessID's numeric ordering, in particular
+// that the churn experiments E15–E17 sort after E14 (lexicographically
+// "E15" < "E2", which is exactly the bug lessID exists to avoid) and
+// that sorting a shuffled registry-style ID list restores E1..E17.
+func TestLessIDNumericOrder(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"E1", "E2", true},
+		{"E9", "E10", true},
+		{"E10", "E12", true},
+		{"E14", "E15", true},
+		{"E15", "E16", true},
+		{"E16", "E17", true},
+		{"E2", "E15", true},  // lexicographically false
+		{"E15", "E2", false}, // lexicographically true
+		{"E17", "E14", false},
+		{"E15", "E15", false},
+	}
+	for _, tc := range cases {
+		if got := lessID(tc.a, tc.b); got != tc.want {
+			t.Errorf("lessID(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+	ids := []string{"E15", "E2", "E17", "E10", "E1", "E16", "E9", "E14", "E12",
+		"E3", "E4", "E5", "E6", "E7", "E8", "E11", "E13"}
+	sort.Slice(ids, func(i, j int) bool { return lessID(ids[i], ids[j]) })
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+		"E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("sorted IDs diverge at %d: got %v", i, ids)
+		}
+	}
+}

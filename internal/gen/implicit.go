@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/bipartite"
 	"repro/internal/rng"
@@ -39,6 +40,20 @@ type Implicit struct {
 	degree func(v int) int
 	// row appends N(v) to buf in the topology's canonical order.
 	row func(v int, buf []int32) []int32
+
+	// serverDegFn computes the exact per-server degree table for the
+	// families whose threshold prescriptions need measured server degrees
+	// (almost-regular, for E8's Lemma-19 c). The O(n·Δ) row pass runs
+	// lazily on the first DegreeStats call (serverDegOnce), so callers
+	// that never ask for statistics keep the constructor's original cost.
+	// Nil when the family records no table.
+	serverDegFn   func() []int32
+	serverDegOnce sync.Once
+	serverDeg     []int32
+	// uniformServerDeg, when > 0, states that every server has exactly
+	// this degree (regular: the union of perfect matchings). It answers
+	// DegreeStats in O(n) without a table.
+	uniformServerDeg int
 }
 
 var _ bipartite.Topology = (*Implicit)(nil)
@@ -90,6 +105,29 @@ func (t *Implicit) NumEdges() int {
 func (t *Implicit) Materialize() (*bipartite.Graph, error) {
 	return bipartite.Materialize(t)
 }
+
+// DegreeStats returns the exact degree statistics of the topology when
+// the family can answer without materializing: regular families know
+// every degree by construction, and almost-regular computes its exact
+// per-server degree table on the first call (one O(n·Δ) row pass,
+// memoized through sync.Once — safe under concurrent readers). ok is
+// false for the families that do not (Erdős–Rényi, trust-subset), whose
+// server degrees would need a materialization-grade scan per use.
+func (t *Implicit) DegreeStats() (bipartite.DegreeStats, bool) {
+	var sdeg func(int) int
+	switch {
+	case t.serverDegFn != nil:
+		t.serverDegOnce.Do(func() { t.serverDeg = t.serverDegFn() })
+		sdeg = func(u int) int { return int(t.serverDeg[u]) }
+	case t.uniformServerDeg > 0:
+		sdeg = func(int) int { return t.uniformServerDeg }
+	default:
+		return bipartite.DegreeStats{}, false
+	}
+	return bipartite.DegreeStatsOf(t.numClients, t.numServers, t.degree, sdeg), true
+}
+
+var _ bipartite.DegreeStatser = (*Implicit)(nil)
 
 // String returns a short human-readable summary.
 func (t *Implicit) String() string {
@@ -191,7 +229,10 @@ func RegularImplicit(n, delta int, seed uint64) (*Implicit, error) {
 		numServers: n,
 		minDeg:     delta,
 		maxDeg:     delta,
-		degree:     func(int) int { return delta },
+		// A union of delta perfect matchings gives every server degree
+		// exactly delta, so exact statistics need no table.
+		uniformServerDeg: delta,
+		degree:           func(int) int { return delta },
 		row: func(v int, buf []int32) []int32 {
 			for k := range perms {
 				buf = append(buf, int32(perms[k].apply(uint64(v))))
@@ -204,12 +245,13 @@ func RegularImplicit(n, delta int, seed uint64) (*Implicit, error) {
 // ---------------------------------------------------------------------------
 // Erdős–Rényi via per-client skip-sampling.
 
-// erRow appends client v's G(n, m, p) row — each server present
+// ErdosRenyiRow appends client v's G(n, m, p) row — each server present
 // independently with probability p, in ascending order — drawn from the
 // client's private stream, with the ensure-clients fallback edge when the
 // row would be empty. It is the row sampler shared by the implicit
-// topology and its materialized twin.
-func erRow(s *rng.Stream, numServers int, p float64, ensure bool, buf []int32) []int32 {
+// topology, its materialized twin, and the churn subsystem's
+// Erdős–Rényi rewiring sampler (internal/churn).
+func ErdosRenyiRow(s *rng.Stream, numServers int, p float64, ensure bool, buf []int32) []int32 {
 	start := len(buf)
 	if p >= 1 {
 		for u := 0; u < numServers; u++ {
@@ -249,7 +291,7 @@ func ErdosRenyiImplicit(numClients, numServers int, p float64, ensureClients boo
 	}
 	row := func(v int, buf []int32) []int32 {
 		s := rng.StreamAt(seed, v)
-		return erRow(&s, numServers, p, ensureClients, buf)
+		return ErdosRenyiRow(&s, numServers, p, ensureClients, buf)
 	}
 	degrees := make([]int32, numClients)
 	minDeg, maxDeg := numServers+1, 0
@@ -319,7 +361,7 @@ func distinctRow(s *rng.Stream, pool, k int, buf []int32) []int32 {
 // AlmostRegularImplicit returns the implicit counterpart of the paper's
 // almost-regular example: every client samples its BaseDegree (heavy
 // clients: HeavyDegree) servers without replacement from the ordinary
-// pool via the O(k) Feistel partial shuffle (sampleRow), regenerated on
+// pool via the O(k) Feistel partial shuffle (SampleRow), regenerated on
 // demand from the client's O(1)-derivable stream — which keeps even the
 // Θ(√n)-degree heavy clients' per-round regeneration linear in their
 // degree; the cfg.LightServers low-degree servers attach to LightDegree
@@ -353,7 +395,7 @@ func AlmostRegularImplicit(cfg AlmostRegularConfig, seed uint64) (*Implicit, err
 	var clients []int32
 	for u := pool; u < n; u++ {
 		s := rng.StreamAt(seed^0x94d049bb133111eb, n+u)
-		clients = sampleRow(&s, n, cfg.LightDegree, clients[:0])
+		clients = SampleRow(&s, n, cfg.LightDegree, clients[:0])
 		for _, v := range clients {
 			extraOf[v] = append(extraOf[v], int32(u))
 		}
@@ -370,17 +412,34 @@ func AlmostRegularImplicit(cfg AlmostRegularConfig, seed uint64) (*Implicit, err
 	}
 	row := func(v int, buf []int32) []int32 {
 		s := rng.StreamAt(seed, v)
-		buf = sampleRow(&s, pool, baseDeg(v), buf)
+		buf = SampleRow(&s, pool, baseDeg(v), buf)
 		return append(buf, extraOf[int32(v)]...)
 	}
+	// The exact per-server degree table: one O(n·Δ) row pass, run lazily
+	// on the first DegreeStats call. Lemma 19's prescribed c depends on
+	// the *measured* ∆max(S) of the sampled graph, so carrying the table
+	// is what lets E8 derive its threshold without materializing the
+	// edges (memory stays O(n)); every other caller skips the pass.
+	serverDegFn := func() []int32 {
+		serverDeg := make([]int32, n)
+		rowBuf := make([]int32, 0, maxDeg)
+		for v := 0; v < n; v++ {
+			rowBuf = row(v, rowBuf[:0])
+			for _, u := range rowBuf {
+				serverDeg[u]++
+			}
+		}
+		return serverDeg
+	}
 	return &Implicit{
-		kind:       fmt.Sprintf("almost-regular base=%d heavy=%dx%d light=%dx%d", cfg.BaseDegree, cfg.HeavyClients, cfg.HeavyDegree, cfg.LightServers, cfg.LightDegree),
-		numClients: n,
-		numServers: n,
-		minDeg:     minDeg,
-		maxDeg:     maxDeg,
-		degree:     func(v int) int { return baseDeg(v) + len(extraOf[int32(v)]) },
-		row:        row,
+		kind:        fmt.Sprintf("almost-regular base=%d heavy=%dx%d light=%dx%d", cfg.BaseDegree, cfg.HeavyClients, cfg.HeavyDegree, cfg.LightServers, cfg.LightDegree),
+		numClients:  n,
+		numServers:  n,
+		minDeg:      minDeg,
+		maxDeg:      maxDeg,
+		serverDegFn: serverDegFn,
+		degree:      func(v int) int { return baseDeg(v) + len(extraOf[int32(v)]) },
+		row:         row,
 	}, nil
 }
 

@@ -12,7 +12,7 @@ import (
 // duplicates against a linear scan of the row drawn so far (distinctRow
 // in implicit.go, kept as the test reference), which costs O(k²) per
 // regeneration — quadratic in the degree, the reason heavy Θ(√n)-degree
-// clients and trust-subset families could not go implicit. sampleRow
+// clients and trust-subset families could not go implicit. SampleRow
 // replaces it with a partial shuffle over a keyed permutation: the row is
 // the image of 0, 1, …, k−1 under a Feistel permutation of [0, pool)
 // keyed from the client's stream, so each regeneration costs O(k) Feistel
@@ -20,13 +20,15 @@ import (
 // no per-row dedup state at all — a k-subset in pseudo-random order,
 // exactly like the prefix of a Fisher–Yates shuffle of the pool.
 
-// sampleRow appends k distinct values from [0, pool) to buf, drawn as
+// SampleRow appends k distinct values from [0, pool) to buf, drawn as
 // the first k images of a pseudo-random permutation keyed by the next
 // value of s. It panics if k > pool (mirroring rng.Source.Sample's
-// contract: fewer than k distinct values exist).
-func sampleRow(s *rng.Stream, pool, k int, buf []int32) []int32 {
+// contract: fewer than k distinct values exist). It is exported for the
+// churn subsystem (internal/churn), whose per-(epoch, client) rewiring
+// samplers regenerate rows through exactly this machinery.
+func SampleRow(s *rng.Stream, pool, k int, buf []int32) []int32 {
 	if k > pool {
-		panic("gen: sampleRow called with k > pool")
+		panic("gen: SampleRow called with k > pool")
 	}
 	f := newFeistel(pool, s.Uint64())
 	for i := 0; i < k; i++ {
@@ -61,7 +63,7 @@ func TrustSubsetImplicit(numClients, numServers, k int, seed uint64) (*Implicit,
 		degree:     func(int) int { return k },
 		row: func(v int, buf []int32) []int32 {
 			s := rng.StreamAt(seed, v)
-			return sampleRow(&s, numServers, k, buf)
+			return SampleRow(&s, numServers, k, buf)
 		},
 	}, nil
 }

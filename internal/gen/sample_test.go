@@ -19,7 +19,7 @@ func TestSampleRowNoDuplicates(t *testing.T) {
 	for _, tc := range cases {
 		for seed := uint64(0); seed < 5; seed++ {
 			s := rng.StreamAt(seed, 0)
-			row := sampleRow(&s, tc.pool, tc.k, nil)
+			row := SampleRow(&s, tc.pool, tc.k, nil)
 			if len(row) != tc.k {
 				t.Fatalf("pool=%d k=%d seed=%d: row length %d", tc.pool, tc.k, seed, len(row))
 			}
@@ -40,11 +40,11 @@ func TestSampleRowNoDuplicates(t *testing.T) {
 func TestSampleRowPanicsWhenKExceedsPool(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("sampleRow accepted k > pool")
+			t.Fatal("SampleRow accepted k > pool")
 		}
 	}()
 	s := rng.StreamAt(1, 0)
-	sampleRow(&s, 4, 5, nil)
+	SampleRow(&s, 4, 5, nil)
 }
 
 // TestSampleRowDeterministicFromStreamAt is the regeneration contract:
@@ -56,8 +56,8 @@ func TestSampleRowDeterministicFromStreamAt(t *testing.T) {
 	for client := 0; client < 50; client++ {
 		s1 := rng.StreamAt(0xFACE, client)
 		s2 := rng.StreamAt(0xFACE, client)
-		a := sampleRow(&s1, pool, k, nil)
-		b := sampleRow(&s2, pool, k, nil)
+		a := SampleRow(&s1, pool, k, nil)
+		b := SampleRow(&s2, pool, k, nil)
 		for i := range a {
 			if a[i] != b[i] {
 				t.Fatalf("client %d: regenerated row diverges at slot %d: %d vs %d", client, i, a[i], b[i])
@@ -66,8 +66,8 @@ func TestSampleRowDeterministicFromStreamAt(t *testing.T) {
 	}
 	s1 := rng.StreamAt(0xFACE, 1)
 	s2 := rng.StreamAt(0xFACE, 2)
-	a := sampleRow(&s1, pool, k, nil)
-	b := sampleRow(&s2, pool, k, nil)
+	a := SampleRow(&s1, pool, k, nil)
+	b := SampleRow(&s2, pool, k, nil)
 	same := true
 	for i := range a {
 		if a[i] != b[i] {
@@ -97,7 +97,7 @@ func TestSampleRowUniformCoverage(t *testing.T) {
 		name string
 		row  func(s *rng.Stream, buf []int32) []int32
 	}{
-		{"feistel-partial-shuffle", func(s *rng.Stream, buf []int32) []int32 { return sampleRow(s, pool, k, buf) }},
+		{"feistel-partial-shuffle", func(s *rng.Stream, buf []int32) []int32 { return SampleRow(s, pool, k, buf) }},
 		{"dup-scan-reference", func(s *rng.Stream, buf []int32) []int32 { return distinctRow(s, pool, k, buf) }},
 	}
 	for _, sp := range samplers {
@@ -199,7 +199,7 @@ func BenchmarkRowSamplers(b *testing.B) {
 			buf := make([]int32, 0, tc.k)
 			for i := 0; i < b.N; i++ {
 				s := rng.StreamAt(7, i)
-				buf = sampleRow(&s, tc.pool, tc.k, buf[:0])
+				buf = SampleRow(&s, tc.pool, tc.k, buf[:0])
 			}
 		})
 		b.Run("dup-scan/"+tc.name, func(b *testing.B) {

@@ -319,6 +319,39 @@ func (r *Source) Binomial(n int, p float64) int {
 	return count
 }
 
+// Poisson returns a sample from Poisson(lambda). Knuth's product method
+// is applied to chunks of at most 30 (e^-λ underflows for large λ, and
+// Poisson variables are additive, so summing chunk samples is exact).
+// It is intended for the arrival processes of the churn scenarios, where
+// λ is the per-epoch arrival rate — at most a few thousand.
+func (r *Source) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	const chunk = 30
+	count := 0
+	for lambda > chunk {
+		count += r.poissonKnuth(chunk)
+		lambda -= chunk
+	}
+	return count + r.poissonKnuth(lambda)
+}
+
+// poissonKnuth samples Poisson(lambda) for lambda small enough that
+// e^-lambda stays comfortably above the subnormal range.
+func (r *Source) poissonKnuth(lambda float64) int {
+	limit := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= limit {
+			return k
+		}
+		k++
+	}
+}
+
 // Geometric returns the number of Bernoulli(p) failures before the first
 // success (support {0, 1, 2, ...}). It panics if p <= 0 or p > 1.
 func (r *Source) Geometric(p float64) int {

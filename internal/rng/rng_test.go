@@ -466,3 +466,31 @@ func TestStreamFloat64Range(t *testing.T) {
 		t.Errorf("Float64 mean %.4f, want about 0.5", mean)
 	}
 }
+
+// TestPoisson checks determinism and that chunked sampling tracks the
+// target mean for small and large lambda.
+func TestPoisson(t *testing.T) {
+	if New(1).Poisson(0) != 0 || New(1).Poisson(-3) != 0 {
+		t.Fatal("non-positive lambda must sample 0")
+	}
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Poisson(12.5) != b.Poisson(12.5) {
+			t.Fatal("Poisson is not deterministic in the seed")
+		}
+	}
+	src := New(42)
+	for _, lambda := range []float64{0.5, 4, 30, 200, 1500} {
+		const trials = 4000
+		sum := 0
+		for i := 0; i < trials; i++ {
+			sum += src.Poisson(lambda)
+		}
+		mean := float64(sum) / trials
+		// Poisson std is sqrt(lambda); allow six standard errors.
+		tol := 6 * math.Sqrt(lambda/trials)
+		if math.Abs(mean-lambda) > tol {
+			t.Errorf("lambda=%v: sample mean %v off by more than %v", lambda, mean, tol)
+		}
+	}
+}

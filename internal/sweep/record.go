@@ -11,10 +11,13 @@ import (
 
 // Record is one line of the machine-readable output stream: the engine
 // emits a "table" header when a spec starts, one "trial" record per
-// protocol trial (in trial order, after the point's trials complete), one
-// "row" record per rendered table row, and one "note" record per table
-// note. The schema is pinned by the golden-file test in
-// internal/experiments; extend it by adding fields, never by renaming.
+// protocol trial (in trial order, after the point's trials complete),
+// one "round" record per entry of a tracked trial's per-round series
+// (after the trial's record; scenario experiments additionally tag each
+// record with the epoch it belongs to), one "row" record per rendered
+// table row, and one "note" record per table note. The schema is pinned
+// by the golden-file tests in internal/experiments; extend it by adding
+// fields, never by renaming.
 type Record struct {
 	Type       string `json:"type"`
 	Experiment string `json:"experiment"`
@@ -39,6 +42,24 @@ type Record struct {
 	MaxLoad         *int     `json:"max_load,omitempty"`
 	BurnedServers   *int     `json:"burned_servers,omitempty"`
 	UnassignedBalls *int     `json:"unassigned_balls,omitempty"`
+
+	// Round-series fields (type "round"): one record per protocol round
+	// of a tracked trial (core.RoundStats). Epoch tags the scenario
+	// epoch the round belongs to for the dynamic experiments
+	// (E12/E15–E17); plain tracked trials omit it. The neighborhood
+	// statistics (S_t, r_t, K_t) are present only when the run tracked
+	// neighborhoods.
+	Epoch            *int     `json:"epoch,omitempty"`
+	Round            *int     `json:"round,omitempty"`
+	AliveBalls       *int     `json:"alive_balls,omitempty"`
+	RequestsSent     *int     `json:"requests_sent,omitempty"`
+	RequestsAccepted *int     `json:"requests_accepted,omitempty"`
+	NewlyBurned      *int     `json:"newly_burned,omitempty"`
+	BurnedTotal      *int     `json:"burned_total,omitempty"`
+	Saturated        *int     `json:"saturated,omitempty"`
+	MaxNbrBurnedFrac *float64 `json:"max_nbr_burned_frac,omitempty"`
+	MaxNbrReceived   *int     `json:"max_nbr_received,omitempty"`
+	MaxKt            *float64 `json:"max_kt,omitempty"`
 
 	// Row and note payloads.
 	Cells []string `json:"cells,omitempty"`
@@ -96,6 +117,57 @@ func (r *Recorder) trial(expID, point string, trial int, seed uint64, res *core.
 		BurnedServers:   &res.BurnedServers,
 		UnassignedBalls: &res.UnassignedBalls,
 	})
+}
+
+// RoundSeries streams one "round" record per entry of a trial's
+// per-round series (the closing of ROADMAP's per-round-series item: a
+// -json consumer can reconstruct every tracked trial's S_t/alive-ball
+// trajectory without rerunning). epoch < 0 omits the epoch field — the
+// engine uses that form automatically for every protocol trial whose
+// Result carries a PerRound series; scenario experiments (E12, E15–E17)
+// call it from their Render, which runs sequentially in point order, so
+// the stream stays deterministic for every trial parallelism. The
+// neighborhood fields are emitted only when the series actually tracked
+// neighborhoods (K_t is positive from the first round whenever requests
+// flow, so an all-zero K_t series means tracking was off).
+func (r *Recorder) RoundSeries(expID, point string, trial, epoch int, rounds []core.RoundStats) {
+	if r == nil {
+		return
+	}
+	tracked := false
+	for i := range rounds {
+		if rounds[i].MaxKt != 0 || rounds[i].MaxNeighborhoodBurnedFrac != 0 || rounds[i].MaxNeighborhoodReceived != 0 {
+			tracked = true
+			break
+		}
+	}
+	for i := range rounds {
+		rs := rounds[i]
+		tr := trial
+		rec := Record{
+			Type:             "round",
+			Experiment:       expID,
+			Point:            point,
+			Trial:            &tr,
+			Round:            &rs.Round,
+			AliveBalls:       &rs.AliveBalls,
+			RequestsSent:     &rs.RequestsSent,
+			RequestsAccepted: &rs.RequestsAccepted,
+			NewlyBurned:      &rs.NewlyBurned,
+			BurnedTotal:      &rs.BurnedTotal,
+			Saturated:        &rs.SaturatedThisRound,
+		}
+		if epoch >= 0 {
+			ep := epoch
+			rec.Epoch = &ep
+		}
+		if tracked {
+			rec.MaxNbrBurnedFrac = &rs.MaxNeighborhoodBurnedFrac
+			rec.MaxNbrReceived = &rs.MaxNeighborhoodReceived
+			rec.MaxKt = &rs.MaxKt
+		}
+		r.emit(rec)
+	}
 }
 
 // rows records table rows [from, len(t.Rows)) rendered for a point.

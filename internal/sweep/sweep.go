@@ -333,6 +333,9 @@ func runPoint(cfg Config, expID string, p *Point, g bipartite.Topology) (*Outcom
 	out.Results = results
 	for i, r := range results {
 		cfg.Records.trial(expID, p.ID, i, seed(i), r)
+		if len(r.PerRound) > 0 {
+			cfg.Records.RoundSeries(expID, p.ID, i, -1, r.PerRound)
+		}
 	}
 	return out, nil
 }
