@@ -228,6 +228,49 @@ func BenchmarkLateRoundTail(b *testing.B) {
 	}
 }
 
+// BenchmarkScaleFullRun is the multi-core scaling curve scripts/scale.sh
+// records (BENCH_SCALE_<date>.json, rendered in PERFORMANCE.md): one full
+// SAER run at n = 2²⁰ on an implicit topology with Params.Workers = 0, so
+// a `go test -cpu 1,2,4` sweep governs the worker count through
+// GOMAXPROCS. The sub-benchmarks separate the scheduler's contributions:
+// the autotuned work-stealing default, stealing forced off (static chunk
+// deal), and the unsharded single-lane pipeline.
+func BenchmarkScaleFullRun(b *testing.B) {
+	const n = 1 << 20
+	const delta = 16
+	impl, err := gen.RegularImplicit(n, delta, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		opts core.Options
+	}{
+		{"auto", core.Options{}},
+		{"steal=off", core.Options{Steal: core.StealOff}},
+		{"shards=1", core.Options{Shards: 1}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			r, err := core.NewRunner(impl, core.SAER, core.Params{D: 2, C: 4}, cfg.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One untimed run grows the route lanes and frontier buffers to
+			// steady state, as in BenchmarkShardedRound1.
+			r.Reseed(0)
+			r.Run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reseed(uint64(i))
+				if res := r.Run(); !res.Completed {
+					b.Fatalf("run did not complete: %v", res)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationWorkers quantifies the parallel-engine design choice:
 // identical runs with 1, 2, 4 and GOMAXPROCS workers (results are
 // identical by construction; only wall-clock changes).

@@ -7,11 +7,18 @@
 // Usage:
 //
 //	benchjson parse [-in bench.txt] [-out bench.json]
+//	benchjson scale [-in bench.txt] [-out scale.json]
 //	benchjson diff -base old.json -new new.json [-max-regress 0.25]
 //
 // parse reads benchmark text (stdin by default) and writes a JSON array
 // of {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} objects,
 // one per benchmark line, preserving repeats from -count > 1.
+//
+// scale reads the output of a `go test -bench -cpu 1,2,4` sweep and
+// writes per-benchmark scaling curves: one object per suffix-stripped
+// name with {cpus, ns_per_op, speedup} points, min ns/op per CPU count,
+// speedups anchored on the 1-CPU point. scripts/scale.sh commits the
+// result as BENCH_SCALE_<date>.json.
 //
 // diff compares the fastest (minimum) ns/op per benchmark name — the
 // repeat- and noise-tolerant statistic — after stripping the trailing
@@ -35,6 +42,8 @@ func main() {
 	switch os.Args[1] {
 	case "parse":
 		err = runParse(os.Args[2:])
+	case "scale":
+		err = runScale(os.Args[2:])
 	case "diff":
 		err = runDiff(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
@@ -54,5 +63,6 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   benchjson parse [-in bench.txt] [-out bench.json]
+  benchjson scale [-in bench.txt] [-out scale.json]
   benchjson diff -base old.json -new new.json [-max-regress 0.25]`)
 }

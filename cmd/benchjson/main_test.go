@@ -217,3 +217,76 @@ func TestRunDiffRoundTripsRealSnapshot(t *testing.T) {
 		t.Errorf("self-diff summary missing:\n%s", out.String())
 	}
 }
+
+const sampleScaleText = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkScaleFullRun/auto         	       2	 500000000 ns/op
+BenchmarkScaleFullRun/auto         	       2	 490000000 ns/op
+BenchmarkScaleFullRun/auto-2       	       4	 260000000 ns/op
+BenchmarkScaleFullRun/auto-4       	       8	 140000000 ns/op
+BenchmarkScaleFullRun/steal=off    	       2	 520000000 ns/op
+BenchmarkScaleFullRun/steal=off-2  	       3	 300000000 ns/op
+BenchmarkScaleFullRun/best-of-2    	       5	 100000000 ns/op
+PASS
+ok  	repro	42.0s
+`
+
+func TestScaleCurves(t *testing.T) {
+	entries, err := parseBench(strings.NewReader(sampleScaleText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	curves := scaleCurves(entries)
+	if len(curves) != 3 {
+		t.Fatalf("got %d curves, want 3: %+v", len(curves), curves)
+	}
+	// Curves are sorted by name: auto, best-of-2, steal=off.
+	auto := curves[0]
+	if auto.Name != "BenchmarkScaleFullRun/auto" || len(auto.Curve) != 3 {
+		t.Fatalf("auto curve wrong: %+v", auto)
+	}
+	if auto.Curve[0].CPUs != 1 || auto.Curve[0].NsPerOp != 490000000 {
+		t.Errorf("1-CPU point should keep the min of repeats: %+v", auto.Curve[0])
+	}
+	if auto.Curve[0].Speedup != 1 {
+		t.Errorf("1-CPU speedup %v, want 1", auto.Curve[0].Speedup)
+	}
+	if got := auto.Curve[2]; got.CPUs != 4 || got.Speedup <= 3.4 || got.Speedup >= 3.6 {
+		t.Errorf("4-CPU point wrong (want speedup 490/140 = 3.5): %+v", got)
+	}
+	// A sub-benchmark whose name ends in a digit segment only loses a
+	// suffix when one was appended: best-of-2 ran on 1 CPU, so its raw
+	// name carries no GOMAXPROCS suffix, but normalizeName still strips
+	// the "-2" — the curve keys on the normalized name with cpus=1.
+	best := curves[1]
+	if best.Name != "BenchmarkScaleFullRun/best-of" && best.Name != "BenchmarkScaleFullRun/best-of-2" {
+		t.Fatalf("unexpected curve name: %q", best.Name)
+	}
+	so := curves[2]
+	if so.Name != "BenchmarkScaleFullRun/steal=off" || len(so.Curve) != 2 {
+		t.Fatalf("steal=off curve wrong: %+v", so)
+	}
+	if so.Curve[1].CPUs != 2 || so.Curve[1].Speedup == 0 {
+		t.Errorf("steal=off 2-CPU point wrong: %+v", so.Curve[1])
+	}
+}
+
+func TestRunScaleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "scale.txt")
+	out := filepath.Join(dir, "scale.json")
+	if err := os.WriteFile(in, []byte(sampleScaleText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runScale([]string{"-in", in, "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"cpus": 4`) || !strings.Contains(string(data), `"speedup"`) {
+		t.Errorf("scale JSON missing expected fields:\n%s", data)
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// ScalePoint is one CPU count's measurement of a benchmark: the minimum
+// ns/op across repeats and the speedup relative to the same benchmark's
+// 1-CPU point (0 when no 1-CPU point was recorded).
+type ScalePoint struct {
+	CPUs    int     `json:"cpus"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// ScaleCurve is a benchmark's multi-core scaling curve: its points in
+// increasing CPU order, keyed by the suffix-stripped name.
+type ScaleCurve struct {
+	Name  string       `json:"name"`
+	Curve []ScalePoint `json:"curve"`
+}
+
+// cpusOf splits a raw benchmark name into its base name and the CPU
+// count the testing package encoded as a trailing -GOMAXPROCS suffix
+// (absent means 1 — the 1-CPU run of a -cpu 1,2,4 sweep carries no
+// suffix). Only an all-digit final segment counts, so sub-benchmarks
+// named with dashes survive.
+func cpusOf(name string) (string, int) {
+	base := normalizeName(name)
+	if base == name {
+		return name, 1
+	}
+	cpus, err := strconv.Atoi(name[len(base)+1:])
+	if err != nil || cpus <= 0 {
+		return name, 1
+	}
+	return base, cpus
+}
+
+// scaleCurves groups entries by suffix-stripped name into per-benchmark
+// scaling curves: min ns/op per (name, cpus), speedups anchored on each
+// curve's 1-CPU point, curves sorted by name and points by CPU count.
+func scaleCurves(entries []Entry) []ScaleCurve {
+	type key struct {
+		name string
+		cpus int
+	}
+	best := make(map[key]float64)
+	for _, e := range entries {
+		name, cpus := cpusOf(e.Name)
+		k := key{name, cpus}
+		if cur, ok := best[k]; !ok || e.NsPerOp < cur {
+			best[k] = e.NsPerOp
+		}
+	}
+	byName := make(map[string][]ScalePoint)
+	for k, ns := range best {
+		byName[k.name] = append(byName[k.name], ScalePoint{CPUs: k.cpus, NsPerOp: ns})
+	}
+	out := make([]ScaleCurve, 0, len(byName))
+	for name, pts := range byName {
+		sort.Slice(pts, func(i, j int) bool { return pts[i].CPUs < pts[j].CPUs })
+		var oneCPU float64
+		for _, p := range pts {
+			if p.CPUs == 1 {
+				oneCPU = p.NsPerOp
+			}
+		}
+		for i := range pts {
+			if oneCPU > 0 && pts[i].NsPerOp > 0 {
+				pts[i].Speedup = oneCPU / pts[i].NsPerOp
+			}
+		}
+		out = append(out, ScaleCurve{Name: name, Curve: pts})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// writeScaleJSON renders curves like writeJSON renders entries (a JSON
+// array, two-space indented, trailing newline).
+func writeScaleJSON(w io.Writer, curves []ScaleCurve) error {
+	if curves == nil {
+		curves = []ScaleCurve{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(curves)
+}
+
+// runScale is the `benchjson scale` subcommand: it reads the text output
+// of a `go test -bench -cpu 1,2,4` sweep and writes per-benchmark
+// scaling curves (min ns/op and speedup per CPU count) as JSON — the
+// BENCH_SCALE_<date>.json format scripts/scale.sh commits.
+func runScale(args []string) error {
+	fs := flag.NewFlagSet("scale", flag.ContinueOnError)
+	in := fs.String("in", "", "benchmark text input (default stdin)")
+	out := fs.String("out", "", "JSON output (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	entries, err := parseBench(r)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark lines in input")
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return writeScaleJSON(w, scaleCurves(entries))
+}

@@ -46,6 +46,8 @@ func main() {
 		shards      = flag.Int("shards", 0, "server shards of the dense round pipeline (0 = worker count, 1 = unsharded; identical results, different locality)")
 		sparseDiv   = flag.Int("sparse-divisor", 0, "EngineAuto sparse-switch threshold: go sparse when active clients <= n/divisor (0 = default 4; identical results)")
 		engineMode  = flag.String("engine", "auto", "round-loop engine: auto, dense or sparse (identical results, different wall-clock)")
+		stealMode   = flag.String("steal", "auto", "work-stealing round schedule: auto (on when workers > 1), on or off (identical results, different wall-clock)")
+		autotune    = flag.String("autotune", "on", "adaptive shard-width and sparse-switch selection from n, delta, m and the measured cache: on or off (explicit -shards/-sparse-divisor always win; identical results)")
 		topoMode    = flag.String("topology", "csr", "graph storage: csr (materialized), implicit (O(n)-memory regenerative; families regular/erdos/trust/almost), or implicit-csr (the implicit sampler materialized — bit-for-bit identical runs to implicit)")
 		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
 		churnEpochs = flag.Int("churn-epochs", 0, "run a churn scenario of this many epochs instead of a single execution (0 = off)")
@@ -68,11 +70,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "saer-sim: -track, -rounds-csv, -loads-csv and -result-json apply to single runs and are not supported with -churn-epochs")
 			os.Exit(1)
 		}
-		err = runChurn(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *topoMode, *seed,
+		err = runChurn(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *stealMode, *autotune, *topoMode, *seed,
 			*workers, *shards, *sparseDiv, *maxRounds,
 			*churnEpochs, *churnRewire, *churnExpiry, *churnFail, *churnDemand, *churnPolicy, *churnStore)
 	} else {
-		err = run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *topoMode, *seed,
+		err = run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *stealMode, *autotune, *topoMode, *seed,
 			*workers, *shards, *sparseDiv, *maxRounds,
 			*trackFlag, *roundsCSV, *loadsCSV, *resultJSON)
 	}
@@ -87,7 +89,7 @@ func main() {
 // erdos bases, trust-subset rows otherwise), an optional
 // failure/recovery wave, load expiry, and per-epoch demand, printing
 // one line per epoch.
-func runChurn(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode, topoMode string, seed uint64,
+func runChurn(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode, stealMode, autotuneMode, topoMode string, seed uint64,
 	workers, shards, sparseDiv, maxRounds, epochs int, rewireFrac, expiry, failFrac, demandFrac float64, policyName, backendName string) error {
 
 	if c <= 0 {
@@ -106,6 +108,14 @@ func runChurn(graphKind string, n, delta, expectedDeg, d int, c float64, protoco
 		return err
 	}
 	engine, err := cli.ParseEngineMode(engineMode)
+	if err != nil {
+		return err
+	}
+	steal, err := cli.ParseStealMode(stealMode)
+	if err != nil {
+		return err
+	}
+	tune, err := cli.ParseAutotuneMode(autotuneMode)
 	if err != nil {
 		return err
 	}
@@ -147,6 +157,7 @@ func runChurn(graphKind string, n, delta, expectedDeg, d int, c float64, protoco
 	sch, err := churn.NewScheduler(topo, churn.SchedulerConfig{
 		Variant: variant, D: d, C: c,
 		Workers: workers, Shards: shards, Engine: engine,
+		Steal: steal, Autotune: tune,
 		SparseSwitchDivisor: sparseDiv, MaxRounds: maxRounds,
 		LoadExpiry: expiry, Policy: policy,
 	}, seed+3)
@@ -203,7 +214,7 @@ func boolMark(b bool) string {
 	return "no"
 }
 
-func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode, topoMode string, seed uint64,
+func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode, stealMode, autotuneMode, topoMode string, seed uint64,
 	workers, shards, sparseDiv, maxRounds int, track bool, roundsCSV, loadsCSV, resultJSON string) error {
 
 	topology, err := cli.ParseTopologyMode(topoMode)
@@ -241,8 +252,18 @@ func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, en
 	if err != nil {
 		return err
 	}
+	steal, err := cli.ParseStealMode(stealMode)
+	if err != nil {
+		return err
+	}
+	tune, err := cli.ParseAutotuneMode(autotuneMode)
+	if err != nil {
+		return err
+	}
 	opts := core.Options{
 		Engine:              engine,
+		Steal:               steal,
+		Autotune:            tune,
 		Shards:              shards,
 		SparseSwitchDivisor: sparseDiv,
 		TrackRounds:         track || roundsCSV != "",

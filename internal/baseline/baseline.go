@@ -92,7 +92,39 @@ func finalize(r *Result, loads []int32) {
 	r.MeanLoad = float64(sum) / float64(len(loads))
 }
 
-func validateInput(g *bipartite.Graph, d int) error {
+// rowReader reads client neighborhoods from any Topology representation:
+// a materialized *Graph returns its CSR row directly (zero copy, honoring
+// the aliasing contract of AppendClientNeighbors — the row is never fed
+// back as a scratch buffer), implicit topologies regenerate into one
+// reusable scratch buffer. The baselines are sequential, so a single
+// reader per run suffices.
+type rowReader struct {
+	g       bipartite.Topology
+	csr     *bipartite.Graph
+	scratch []int32
+}
+
+func newRowReader(g bipartite.Topology) *rowReader {
+	r := &rowReader{g: g}
+	if csr, ok := g.(*bipartite.Graph); ok {
+		r.csr = csr
+	} else {
+		r.scratch = make([]int32, 0, g.MaxClientDegree())
+	}
+	return r
+}
+
+// row returns client v's neighbors; the slice is read-only and valid
+// only until the next call.
+func (r *rowReader) row(v int) []int32 {
+	if r.csr != nil {
+		return r.csr.ClientNeighbors(v)
+	}
+	r.scratch = r.g.AppendClientNeighbors(v, r.scratch[:0])
+	return r.scratch
+}
+
+func validateInput(g bipartite.Topology, d int) error {
 	if d <= 0 {
 		return fmt.Errorf("baseline: request number d must be positive, got %d", d)
 	}
@@ -104,15 +136,16 @@ func validateInput(g *bipartite.Graph, d int) error {
 
 // OneChoice assigns every ball to a single uniformly random admissible
 // server, one ball at a time.
-func OneChoice(g *bipartite.Graph, d int, seed uint64) (*Result, error) {
+func OneChoice(g bipartite.Topology, d int, seed uint64) (*Result, error) {
 	if err := validateInput(g, d); err != nil {
 		return nil, err
 	}
 	src := rng.New(seed)
+	rows := newRowReader(g)
 	loads := make([]int32, g.NumServers())
 	res := &Result{Algorithm: "one-choice", Sequential: true, Completed: true}
 	for v := 0; v < g.NumClients(); v++ {
-		nbrs := g.ClientNeighbors(v)
+		nbrs := rows.row(v)
 		for i := 0; i < d; i++ {
 			u := nbrs[src.Intn(len(nbrs))]
 			loads[u]++
@@ -128,7 +161,7 @@ func OneChoice(g *bipartite.Graph, d int, seed uint64) (*Result, error) {
 // probes k admissible servers chosen independently and uniformly at random
 // (with replacement, as in the paper's protocol model) and joins the one
 // with the smallest current load, ties broken toward the first probed.
-func GreedyBestOfK(g *bipartite.Graph, d, k int, seed uint64) (*Result, error) {
+func GreedyBestOfK(g bipartite.Topology, d, k int, seed uint64) (*Result, error) {
 	if err := validateInput(g, d); err != nil {
 		return nil, err
 	}
@@ -136,10 +169,11 @@ func GreedyBestOfK(g *bipartite.Graph, d, k int, seed uint64) (*Result, error) {
 		return nil, fmt.Errorf("baseline: GreedyBestOfK needs k > 0, got %d", k)
 	}
 	src := rng.New(seed)
+	rows := newRowReader(g)
 	loads := make([]int32, g.NumServers())
 	res := &Result{Algorithm: fmt.Sprintf("greedy-best-of-%d", k), Sequential: true, Completed: true}
 	for v := 0; v < g.NumClients(); v++ {
-		nbrs := g.ClientNeighbors(v)
+		nbrs := rows.row(v)
 		for i := 0; i < d; i++ {
 			best := nbrs[src.Intn(len(nbrs))]
 			for probe := 1; probe < k; probe++ {
@@ -162,16 +196,17 @@ func GreedyBestOfK(g *bipartite.Graph, d, k int, seed uint64) (*Result, error) {
 // uniformly random server among the least-loaded servers of the client's
 // whole neighborhood. The work charged is proportional to the neighborhood
 // size, reflecting the load queries the client must issue.
-func GreedyFullScan(g *bipartite.Graph, d int, seed uint64) (*Result, error) {
+func GreedyFullScan(g bipartite.Topology, d int, seed uint64) (*Result, error) {
 	if err := validateInput(g, d); err != nil {
 		return nil, err
 	}
 	src := rng.New(seed)
+	rows := newRowReader(g)
 	loads := make([]int32, g.NumServers())
 	res := &Result{Algorithm: "greedy-full-scan", Sequential: true, Completed: true}
 	var ties []int32
 	for v := 0; v < g.NumClients(); v++ {
-		nbrs := g.ClientNeighbors(v)
+		nbrs := rows.row(v)
 		for i := 0; i < d; i++ {
 			minLoad := int32(math.MaxInt32)
 			ties = ties[:0]
@@ -202,7 +237,7 @@ func GreedyFullScan(g *bipartite.Graph, d int, seed uint64) (*Result, error) {
 // loaded. Since all commitments happen in parallel, collisions are not
 // prevented, which is exactly the weakness that motivates threshold-based
 // protocols.
-func ParallelOneShotKChoice(g *bipartite.Graph, d, k int, seed uint64) (*Result, error) {
+func ParallelOneShotKChoice(g bipartite.Topology, d, k int, seed uint64) (*Result, error) {
 	if err := validateInput(g, d); err != nil {
 		return nil, err
 	}
@@ -211,6 +246,7 @@ func ParallelOneShotKChoice(g *bipartite.Graph, d, k int, seed uint64) (*Result,
 	}
 	n := g.NumClients()
 	streams := rng.NewStreams(seed, n)
+	rows := newRowReader(g)
 	loads := make([]int32, g.NumServers())
 	committed := make([]int32, g.NumServers())
 	res := &Result{Algorithm: fmt.Sprintf("parallel-1shot-%d-choice", k), Sequential: false, Completed: true}
@@ -219,7 +255,7 @@ func ParallelOneShotKChoice(g *bipartite.Graph, d, k int, seed uint64) (*Result,
 		// Snapshot the loads visible to this wave.
 		copy(loads, committed)
 		for v := 0; v < n; v++ {
-			nbrs := g.ClientNeighbors(v)
+			nbrs := rows.row(v)
 			src := &streams[v]
 			best := nbrs[src.Intn(len(nbrs))]
 			for probe := 1; probe < k; probe++ {
@@ -242,7 +278,7 @@ func ParallelOneShotKChoice(g *bipartite.Graph, d, k int, seed uint64) (*Result,
 // the lowest-numbered requests, an arbitrary fair rule) and rejects the
 // rest, which retry in the next round. maxRounds caps the execution
 // (0 selects 16·⌈log₂ n⌉+64).
-func ParallelThreshold(g *bipartite.Graph, d, threshold, maxRounds int, seed uint64) (*Result, error) {
+func ParallelThreshold(g bipartite.Topology, d, threshold, maxRounds int, seed uint64) (*Result, error) {
 	if err := validateInput(g, d); err != nil {
 		return nil, err
 	}
@@ -258,6 +294,7 @@ func ParallelThreshold(g *bipartite.Graph, d, threshold, maxRounds int, seed uin
 		}
 	}
 	streams := rng.NewStreams(seed, n)
+	rows := newRowReader(g)
 	loads := make([]int32, m)
 	alive := make([]int32, n)
 	for v := range alive {
@@ -281,7 +318,7 @@ func ParallelThreshold(g *bipartite.Graph, d, threshold, maxRounds int, seed uin
 			if a == 0 {
 				continue
 			}
-			nbrs := g.ClientNeighbors(v)
+			nbrs := rows.row(v)
 			src := &streams[v]
 			for i := int32(0); i < a; i++ {
 				u := nbrs[src.Intn(len(nbrs))]

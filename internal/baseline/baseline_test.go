@@ -2,6 +2,7 @@ package baseline
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -197,6 +198,45 @@ func TestBaselinesRejectIsolatedClients(t *testing.T) {
 	}
 	if _, err := ParallelThreshold(bad, 2, 2, 0, 1); err == nil {
 		t.Error("ParallelThreshold accepted isolated client")
+	}
+}
+
+// TestBaselinesBackendEquivalence is the representation contract the E7
+// port relies on: every baseline must produce bit-for-bit identical
+// results on an implicit topology and on its materialized CSR twin,
+// since the rowReader regenerates exactly the rows the CSR stores.
+func TestBaselinesBackendEquivalence(t *testing.T) {
+	const n, delta, d = 1024, 24, 2
+	impl, err := gen.RegularImplicit(n, delta, 0x707)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csr, err := bipartite.Materialize(impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := []struct {
+		name string
+		run  func(g bipartite.Topology) (*Result, error)
+	}{
+		{"one-choice", func(g bipartite.Topology) (*Result, error) { return OneChoice(g, d, 5) }},
+		{"greedy-best-of-2", func(g bipartite.Topology) (*Result, error) { return GreedyBestOfK(g, d, 2, 5) }},
+		{"greedy-full-scan", func(g bipartite.Topology) (*Result, error) { return GreedyFullScan(g, d, 5) }},
+		{"parallel-1shot", func(g bipartite.Topology) (*Result, error) { return ParallelOneShotKChoice(g, d, 2, 5) }},
+		{"parallel-threshold", func(g bipartite.Topology) (*Result, error) { return ParallelThreshold(g, d, 4, 0, 5) }},
+	}
+	for _, tc := range runs {
+		a, err := tc.run(impl)
+		if err != nil {
+			t.Fatalf("%s implicit: %v", tc.name, err)
+		}
+		b, err := tc.run(csr)
+		if err != nil {
+			t.Fatalf("%s csr: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: implicit and CSR results diverge:\n  implicit=%v\n  csr=%v", tc.name, a, b)
+		}
 	}
 }
 

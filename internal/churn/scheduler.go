@@ -61,13 +61,16 @@ type SchedulerConfig struct {
 	// threshold constant).
 	D int
 	C float64
-	// Workers, Shards, Engine, SparseSwitchDivisor and MaxRounds are
-	// passed through to the protocol runs; results are bit-for-bit
-	// independent of the first four (core.Runner's contract).
+	// Workers, Shards, Engine, SparseSwitchDivisor, Steal, Autotune and
+	// MaxRounds are passed through to the protocol runs; results are
+	// bit-for-bit independent of all but MaxRounds (core.Runner's
+	// contract).
 	Workers             int
 	Shards              int
 	Engine              core.EngineMode
 	SparseSwitchDivisor int
+	Steal               core.StealMode
+	Autotune            core.AutotuneMode
 	MaxRounds           int
 	// LoadExpiry is the fraction of every live server's carried load
 	// that expires at the start of each epoch (sessions ending): the
@@ -304,6 +307,8 @@ func (s *Scheduler) Step(e EpochEvent) (*EpochOutcome, error) {
 			Engine:              s.cfg.Engine,
 			Shards:              s.cfg.Shards,
 			SparseSwitchDivisor: s.cfg.SparseSwitchDivisor,
+			Steal:               s.cfg.Steal,
+			Autotune:            s.cfg.Autotune,
 			InitialLoads:        s.loads,
 			RequestCounts:       s.reqs,
 			TrackLoads:          true,

@@ -17,6 +17,7 @@ type scenarioConfig struct {
 	workers int
 	shards  int
 	engine  core.EngineMode
+	steal   core.StealMode
 }
 
 // runTestScenario executes the shared ten-epoch scenario — exercising
@@ -40,7 +41,7 @@ func runTestScenario(t *testing.T, sc scenarioConfig) []*EpochOutcome {
 	}
 	sch, err := NewScheduler(topo, SchedulerConfig{
 		Variant: core.SAER, D: 2, C: 3,
-		Workers: sc.workers, Shards: sc.shards, Engine: sc.engine,
+		Workers: sc.workers, Shards: sc.shards, Engine: sc.engine, Steal: sc.steal,
 		LoadExpiry: 0.5, Policy: PolicyReinject, TrackRounds: true,
 	}, 0x77)
 	if err != nil {
@@ -80,11 +81,12 @@ func runTestScenario(t *testing.T, sc scenarioConfig) []*EpochOutcome {
 // TestChurnSchedulerEquivalence is the churn subsystem's determinism
 // contract: the shared scenario's outcome series — including per-round
 // protocol series — must be bit-for-bit identical across topology
-// backends × engine modes × worker counts × shard counts. The reference
-// is the implicit backend on the dense single-worker unsharded path.
+// backends × engine modes × worker counts × shard counts × steal
+// schedules. The reference is the implicit backend on the dense
+// single-worker unsharded static-schedule path.
 func TestChurnSchedulerEquivalence(t *testing.T) {
 	ref := runTestScenario(t, scenarioConfig{
-		backend: BackendImplicit, workers: 1, shards: 1, engine: core.EngineDense,
+		backend: BackendImplicit, workers: 1, shards: 1, engine: core.EngineDense, steal: core.StealOff,
 	})
 	for _, o := range ref {
 		if o.Rounds == 0 && o.DemandBalls > 0 {
@@ -95,18 +97,21 @@ func TestChurnSchedulerEquivalence(t *testing.T) {
 	if p := runtime.GOMAXPROCS(0); p > 3 {
 		workerCounts = append(workerCounts, p)
 	}
+	stealModes := []core.StealMode{core.StealAuto, core.StealOn, core.StealOff}
 	for _, backend := range backends() {
 		for _, engine := range []core.EngineMode{core.EngineDense, core.EngineSparse, core.EngineAuto} {
-			for _, workers := range workerCounts {
-				got := runTestScenario(t, scenarioConfig{backend: backend, workers: workers, shards: 1, engine: engine})
-				if !reflect.DeepEqual(got, ref) {
-					t.Fatalf("scenario diverges: backend=%v engine=%d workers=%d", backend, engine, workers)
+			for _, steal := range stealModes {
+				for _, workers := range workerCounts {
+					got := runTestScenario(t, scenarioConfig{backend: backend, workers: workers, shards: 1, engine: engine, steal: steal})
+					if !reflect.DeepEqual(got, ref) {
+						t.Fatalf("scenario diverges: backend=%v engine=%d workers=%d steal=%d", backend, engine, workers, steal)
+					}
 				}
-			}
-			for _, shards := range []int{2, 3, 8} {
-				got := runTestScenario(t, scenarioConfig{backend: backend, workers: 2, shards: shards, engine: engine})
-				if !reflect.DeepEqual(got, ref) {
-					t.Fatalf("scenario diverges: backend=%v engine=%d shards=%d", backend, engine, shards)
+				for _, shards := range []int{2, 3, 8} {
+					got := runTestScenario(t, scenarioConfig{backend: backend, workers: 2, shards: shards, engine: engine, steal: steal})
+					if !reflect.DeepEqual(got, ref) {
+						t.Fatalf("scenario diverges: backend=%v engine=%d shards=%d steal=%d", backend, engine, shards, steal)
+					}
 				}
 			}
 		}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestAutotuneDeterminism pins AutotuneKnobs as a pure function of
+// (n, Δ, m, workers, representation, probe): the golden table below is
+// computed with a fixed probe, so it holds on every machine, and a
+// repeated call must return the identical knobs. The exact values are
+// part of the contract deliberately — a heuristic change must show up as
+// a diff here (and in PERFORMANCE.md's crossover tables), never as a
+// silent behavior shift.
+func TestAutotuneDeterminism(t *testing.T) {
+	cache := engine.CacheInfo{L2: 2 << 20, LLC: 8 << 20}
+	cases := []struct {
+		name         string
+		n, delta, m  int
+		workers      int
+		implicitRows bool
+		want         TunedKnobs
+	}{
+		// Quick-mode instances: tally far below L2, single worker — the
+		// tuner must leave everything at the legacy defaults.
+		{"quick-csr", 2048, 121, 2048, 1, false, TunedKnobs{Shards: 1, SparseSwitchDivisor: 4}},
+		{"quick-implicit-small-delta", 2048, 16, 2048, 1, true, TunedKnobs{Shards: 1, SparseSwitchDivisor: 4}},
+		// Implicit rows with a large degree on a large instance:
+		// regeneration costs Θ(Δ) per visit, so the run leaves the dense
+		// scan earlier (divisor 2).
+		{"implicit-big-delta", 1 << 16, 256, 1 << 16, 1, true, TunedKnobs{Shards: 1, SparseSwitchDivisor: 2}},
+		// …but below the n = 2¹⁶ gate the dense scan is cheap and the
+		// earlier switch only thrashes the row cache (E16's churn
+		// scenario shape: +37% wall-clock before the gate existed).
+		{"implicit-big-delta-small-n", 1 << 12, 144, 1 << 12, 1, true, TunedKnobs{Shards: 1, SparseSwitchDivisor: 4}},
+		// Tally exactly at the L2 boundary (2¹⁸ cells × 8 B = 2 MiB):
+		// sharding on one worker is not yet worth it.
+		{"l2-boundary", 1 << 18, 16, 1 << 18, 1, false, TunedKnobs{Shards: 1, SparseSwitchDivisor: 4}},
+		// Tally past L2: single-worker runs shard for cache blocking
+		// (window = L2/2 = 2¹⁷ cells) and switch to sparse earlier.
+		{"past-l2-2^20", 1 << 20, 16, 1 << 20, 1, false, TunedKnobs{Shards: 8, SparseSwitchDivisor: 2}},
+		{"past-l2-2^22", 1 << 22, 484, 1 << 22, 1, true, TunedKnobs{Shards: 32, SparseSwitchDivisor: 2}},
+		// Multi-worker runs always shard at least as finely as the worker
+		// count (phase-B parallelism)…
+		{"parallel-small", 1 << 16, 256, 1 << 16, 4, false, TunedKnobs{Shards: 4, SparseSwitchDivisor: 4}},
+		// …and at least as finely as the cache asks when m outgrows it.
+		{"parallel-large", 1 << 22, 484, 1 << 22, 4, true, TunedKnobs{Shards: 32, SparseSwitchDivisor: 2}},
+		// Tiny n with a large server side: the shard count is capped so
+		// each shard still amortizes its fold.
+		{"tiny-n-cap", 1024, 8, 1 << 20, 1, false, TunedKnobs{Shards: 4, SparseSwitchDivisor: 2}},
+	}
+	for _, tc := range cases {
+		got := AutotuneKnobs(tc.n, tc.delta, tc.m, tc.workers, tc.implicitRows, cache)
+		if got != tc.want {
+			t.Errorf("%s: AutotuneKnobs(n=%d, Δ=%d, m=%d, workers=%d, implicit=%v) = %+v, want %+v",
+				tc.name, tc.n, tc.delta, tc.m, tc.workers, tc.implicitRows, got, tc.want)
+		}
+		again := AutotuneKnobs(tc.n, tc.delta, tc.m, tc.workers, tc.implicitRows, cache)
+		if again != got {
+			t.Errorf("%s: AutotuneKnobs is not deterministic: %+v then %+v", tc.name, got, again)
+		}
+	}
+	// A degenerate probe must fall back to the conservative default
+	// instead of dividing by zero or disabling sharding.
+	if got := AutotuneKnobs(1<<20, 16, 1<<20, 1, false, engine.CacheInfo{}); got.Shards < 2 {
+		t.Errorf("zero probe: expected sharding at m=2^20, got %+v", got)
+	}
+}
+
+// TestAutotuneKnobsAreResultNeutral runs the same instance with autotune
+// on and off and with adversarial explicit knobs, expecting bit-for-bit
+// identical results — the tuner may only move wall-clock.
+func TestAutotuneKnobsAreResultNeutral(t *testing.T) {
+	g := regularGraph(t, 1024, 36, 17)
+	p := Params{D: 2, C: 2.5, Seed: 0xAB}
+	ref, err := Run(g, SAER, p, Options{Autotune: AutotuneOff, TrackRounds: true, TrackLoads: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []Options{
+		{Autotune: AutotuneOn, TrackRounds: true, TrackLoads: true},
+		{Autotune: AutotuneOn, Shards: 5, TrackRounds: true, TrackLoads: true},
+		{Autotune: AutotuneOn, SparseSwitchDivisor: 16, TrackRounds: true, TrackLoads: true},
+		{Autotune: AutotuneOff, Shards: 5, SparseSwitchDivisor: 16, TrackRounds: true, TrackLoads: true},
+	} {
+		got, err := Run(g, SAER, p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(normalizedResult(got), normalizedResult(ref)) {
+			t.Errorf("opts %+v: result differs from autotune-off reference", opts)
+		}
+	}
+}

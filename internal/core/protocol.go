@@ -107,16 +107,24 @@ type Runner struct {
 	capacity int32
 	d        int
 
-	// router is non-nil when the dense rounds run the sharded
-	// route/apply pipeline (effective shard count > 1): phase A buckets
-	// ball destinations into per-(worker, shard) lanes and phase B folds
-	// each shard into the tally's merged view with shard-local writes,
+	// router is non-nil when the rounds run the sharded route/apply
+	// pipeline (effective shard count > 1): phase A buckets ball
+	// destinations into per-(worker, shard) lanes and phase B folds each
+	// shard into the stamped tally's merged view with shard-local writes,
 	// replacing the per-worker dense tally and its O(m × workers)
-	// merge/reset passes.
+	// merge/reset passes. The tally is in stamped mode for the Runner's
+	// whole lifetime then (two-level SPA: per-shard lanes below, epoch-
+	// guarded merged counts above), so sparse rounds route through the
+	// same lanes instead of allocating per-worker sparse buffers and the
+	// round-end reset is an O(1) epoch advance.
 	router *engine.Router
 
+	// steal selects the work-stealing chunk scheduler for the round
+	// phases (Options.Steal, resolved).
+	steal bool
+
 	// switchDivisor is EngineAuto's density threshold
-	// (Options.SparseSwitchDivisor, defaulted).
+	// (Options.SparseSwitchDivisor, defaulted or autotuned).
 	switchDivisor int
 
 	// Per-client state.
@@ -145,13 +153,19 @@ type Runner struct {
 
 	// Sparse-engine state. frontier is the sorted list of clients that
 	// still hold alive balls; it is rebuilt in place every sparse round
-	// from the per-worker survivor buffers (frontBuf), whose concatenation
-	// in worker order preserves the sorted order for every worker count.
-	// Dense update phases also collect survivors into frontBuf
-	// (frontierCollected), so the auto-mode switch needs no extra scan.
+	// from the per-chunk survivor buffers (frontBuf), whose concatenation
+	// in chunk index order preserves the sorted order for every worker
+	// count and steal schedule: chunks are contiguous ascending index
+	// ranges whose boundaries are a pure function of (range, workers),
+	// regardless of which worker executed them. frontChunks records how
+	// many chunks the last collection used (== the worker count under the
+	// static scheduler, where chunk and worker coincide). Dense update
+	// phases also collect survivors into frontBuf (frontierCollected), so
+	// the auto-mode switch needs no extra scan.
 	sparse            bool
 	frontier          []int32
 	frontBuf          [][]int32
+	frontChunks       int
 	frontierCollected bool
 	activeClients     int
 
@@ -187,6 +201,12 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 	}
 	if opts.SparseSwitchDivisor < 0 {
 		return nil, fmt.Errorf("core: SparseSwitchDivisor must be non-negative, got %d", opts.SparseSwitchDivisor)
+	}
+	if opts.Autotune != AutotuneOn && opts.Autotune != AutotuneOff {
+		return nil, fmt.Errorf("core: unknown autotune mode %d", int(opts.Autotune))
+	}
+	if opts.Steal != StealAuto && opts.Steal != StealOn && opts.Steal != StealOff {
+		return nil, fmt.Errorf("core: unknown steal mode %d", int(opts.Steal))
 	}
 	n := topo.NumClients()
 	m := topo.NumServers()
@@ -238,10 +258,20 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 		r.assignments = make([][]int32, n)
 	}
 	r.switchDivisor = opts.SparseSwitchDivisor
+	targetShards := opts.Shards
+	if opts.Autotune == AutotuneOn && (targetShards == 0 || r.switchDivisor == 0) {
+		_, isCSR := topo.(*bipartite.Graph)
+		tuned := AutotuneKnobs(n, topo.MaxClientDegree(), m, pool.Workers(), !isCSR, engine.DetectCache())
+		if targetShards == 0 {
+			targetShards = tuned.Shards
+		}
+		if r.switchDivisor == 0 {
+			r.switchDivisor = tuned.SparseSwitchDivisor
+		}
+	}
 	if r.switchDivisor == 0 {
 		r.switchDivisor = defaultSparseSwitchDivisor
 	}
-	targetShards := opts.Shards
 	if targetShards == 0 {
 		targetShards = pool.Workers()
 	}
@@ -249,6 +279,20 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 		if rt := engine.NewRouter(pool.Workers(), targetShards, m); rt.Shards() > 1 {
 			r.router = rt
 		}
+	}
+	if r.router != nil {
+		// The routed pipeline keeps the tally stamped for the Runner's
+		// whole lifetime: folds detect first touches by epoch stamp, so
+		// no zeroing pass ever streams the counts array.
+		r.tally.BeginStamped()
+	}
+	switch opts.Steal {
+	case StealOn:
+		r.steal = true
+	case StealOff:
+		r.steal = false
+	default:
+		r.steal = pool.Workers() > 1
 	}
 	r.bindTopology(topo)
 	r.resetState()
@@ -339,6 +383,51 @@ func (r *Runner) neighbors(worker, v int) []int32 {
 	return buf
 }
 
+// parallel runs fn over [0, n) on the scheduler the run is configured
+// for: work-stealing chunk deques when stealing is on, the static
+// one-shard-per-worker split otherwise. Under the static split the chunk
+// index equals the worker index, so chunk-indexed outputs (survivor
+// buffers) work identically on both schedulers; worker-indexed scratch
+// (tally locals, partial sums) is always owned by a single goroutine.
+// Callers accumulate partials with +=, since one worker may execute many
+// chunks.
+func (r *Runner) parallel(n int, fn func(worker, chunk, lo, hi int)) {
+	if r.steal {
+		r.pool.StealRange(n, fn)
+		return
+	}
+	r.pool.ParallelRange(n, func(worker, lo, hi int) { fn(worker, worker, lo, hi) })
+}
+
+// parallelShards is parallel for ranges of heavyweight items (router
+// shards): chunk granularity 1, no chunk-indexed outputs.
+func (r *Runner) parallelShards(n int, fn func(worker, lo, hi int)) {
+	if r.steal {
+		r.pool.StealRangeGrain(n, 1, func(worker, _, lo, hi int) { fn(worker, lo, hi) })
+		return
+	}
+	r.pool.ParallelRange(n, fn)
+}
+
+// chunkCount returns how many chunk-indexed output lanes parallel(n, ·)
+// can produce, for sizing frontBuf.
+func (r *Runner) chunkCount(n int) int {
+	if r.steal {
+		return r.pool.NumChunks(n)
+	}
+	return r.pool.Workers()
+}
+
+// ensureFrontBuf grows the chunk-indexed survivor buffers to nc lanes.
+func (r *Runner) ensureFrontBuf(nc int) {
+	for len(r.frontBuf) < nc {
+		r.frontBuf = append(r.frontBuf, nil)
+	}
+	for c := 0; c < nc; c++ {
+		r.frontBuf[c] = r.frontBuf[c][:0]
+	}
+}
+
 // resetState reinitializes all mutable per-run state, allowing the Runner
 // to be reused for another trial with the same parameters. It must leave
 // the Runner in exactly the state NewRunner produces — including the
@@ -378,9 +467,9 @@ func (r *Runner) resetState() {
 		// The tally is reused across trials; a run that exited through the
 		// starved-client break leaves the current round's counts in it, so
 		// it must be cleared here rather than trusting the round loop's
-		// resets. The same exit leaves the router's lanes and touched
-		// lists populated; with the counts cleared wholesale above they
-		// are discarded rather than replayed through ResetShard.
+		// resets (for a stamped routed tally this is an O(1) epoch
+		// advance). The same exit leaves the router's lanes and touched
+		// lists populated; they are discarded wholesale.
 		r.tally.FullReset(r.pool)
 		if r.router != nil {
 			r.router.Discard()
@@ -452,11 +541,17 @@ func (r *Runner) beginRound() {
 		if r.opts.Engine == EngineSparse || r.activeClients*r.switchDivisor <= r.topo.NumClients() {
 			r.buildFrontier()
 			r.sparse = true
-			// The previous round left the local buffers clean — via the
-			// dense Reset, via resetState, or (sharded rounds) by never
-			// writing them at all — which is the precondition of
-			// BeginSparse.
-			r.tally.BeginSparse()
+			// A routed runner keeps counting through its stamped lanes —
+			// sparse rounds only change which clients phase A walks — so
+			// the per-worker sparse buffers (O(m × workers) memory) are
+			// never allocated. Unrouted runners switch the tally into
+			// sparse accumulation: the previous round left the local
+			// buffers clean — via the dense Reset, via resetState, or by
+			// never writing them at all — which is BeginSparse's
+			// precondition.
+			if r.router == nil {
+				r.tally.BeginSparse()
+			}
 		}
 	}
 	// Late-round frontier row cache: on implicit topologies, once the
@@ -477,30 +572,32 @@ func (r *Runner) beginRound() {
 
 // buildFrontier compacts the indices of clients with alive balls into
 // r.frontier, sorted ascending. When the previous dense update phase has
-// already collected the survivors into the per-worker buffers, they are
+// already collected the survivors into the per-chunk buffers, they are
 // just concatenated; otherwise (first round of an EngineSparse run, or a
 // sparse start due to mostly-zero RequestCounts) the clients are scanned.
-// In both cases workers cover contiguous ascending shards, so the
-// concatenation in worker order yields the same sorted list for every
-// worker count.
+// In both cases chunks cover contiguous ascending index ranges whose
+// boundaries depend only on (n, workers), so the concatenation in chunk
+// index order yields the same sorted list for every worker count and
+// every steal schedule.
 func (r *Runner) buildFrontier() {
 	if !r.frontierCollected {
-		for w := range r.frontBuf {
-			r.frontBuf[w] = r.frontBuf[w][:0]
-		}
-		r.pool.ParallelRange(r.topo.NumClients(), func(worker, lo, hi int) {
-			buf := r.frontBuf[worker]
+		n := r.topo.NumClients()
+		nc := r.chunkCount(n)
+		r.ensureFrontBuf(nc)
+		r.parallel(n, func(_, chunk, lo, hi int) {
+			buf := r.frontBuf[chunk]
 			for v := lo; v < hi; v++ {
 				if r.alive[v] > 0 {
 					buf = append(buf, int32(v))
 				}
 			}
-			r.frontBuf[worker] = buf
+			r.frontBuf[chunk] = buf
 		})
+		r.frontChunks = nc
 	}
 	r.frontier = r.frontier[:0]
-	for w := range r.frontBuf {
-		r.frontier = append(r.frontier, r.frontBuf[w]...)
+	for c := 0; c < r.frontChunks; c++ {
+		r.frontier = append(r.frontier, r.frontBuf[c]...)
 	}
 	r.activeClients = len(r.frontier)
 }
@@ -539,11 +636,12 @@ func (r *Runner) Run() *Result {
 		sent := r.phaseClients()
 		var touched []int32
 		switch {
+		case r.router != nil:
+			// Sharded rounds (dense and sparse alike) have no merge step:
+			// phase B folds each shard's route lanes into the stamped
+			// merged view itself.
 		case r.sparse:
 			touched = r.tally.SparseMerge()
-		case r.router != nil:
-			// Sharded dense rounds have no merge step: phase B folds each
-			// shard's route lanes into the merged view itself.
 		default:
 			r.tally.Merge(r.pool)
 		}
@@ -583,12 +681,12 @@ func (r *Runner) Run() *Result {
 			}
 		}
 		switch {
+		case r.router != nil:
+			// O(1): the stamped counts are invalidated by advancing the
+			// epoch — no pass over the tally, however large m is.
+			r.tally.StampedReset()
 		case r.sparse:
 			r.tally.SparseReset()
-		case r.router != nil:
-			// O(touched) instead of O(m × workers): zero exactly the counts
-			// phase B folded, shard-parallel.
-			r.router.ResetCounts(r.pool, r.tally.Merged())
 		default:
 			r.tally.Reset(r.pool)
 		}
@@ -657,27 +755,41 @@ func (r *Runner) clientStepRoute(worker, v int, lanes [][]int32, shift uint) int
 
 // phaseClients is phase 1: every client with alive balls draws a uniform
 // destination in its neighborhood for each of them. Returns the number of
-// requests submitted. The dense paths scan all n clients — routing each
-// ball to its server shard when the pipeline is sharded, bumping the
-// worker's tally otherwise; the sparse path walks only the active
-// frontier.
+// requests submitted. The dense paths scan all n clients, the sparse
+// paths walk only the active frontier; routed runs bucket each ball's
+// destination into the owning server shard's lane either way, while
+// unrouted runs bump the worker's tally (dense local or sparse SPA).
+// Every path draws from the per-client streams in the same per-client
+// order, so the choices are schedule-independent; the per-worker sent
+// partials are order-independent sums.
 func (r *Runner) phaseClients() int64 {
 	for w := range r.partialSent {
 		r.partialSent[w] = 0
 	}
 	switch {
+	case r.router != nil && r.sparse:
+		r.router.ResetLanes()
+		shift := r.router.Shift()
+		r.parallel(len(r.frontier), func(worker, _, lo, hi int) {
+			lanes := r.router.Lanes(worker)
+			var sent int64
+			for idx := lo; idx < hi; idx++ {
+				sent += r.clientStepRoute(worker, int(r.frontier[idx]), lanes, shift)
+			}
+			r.partialSent[worker] += sent
+		})
 	case r.sparse:
-		r.pool.ParallelRange(len(r.frontier), func(worker, lo, hi int) {
+		r.parallel(len(r.frontier), func(worker, _, lo, hi int) {
 			var sent int64
 			for idx := lo; idx < hi; idx++ {
 				sent += r.clientStep(worker, int(r.frontier[idx]), nil)
 			}
-			r.partialSent[worker] = sent
+			r.partialSent[worker] += sent
 		})
 	case r.router != nil:
 		r.router.ResetLanes()
 		shift := r.router.Shift()
-		r.pool.ParallelRange(r.topo.NumClients(), func(worker, lo, hi int) {
+		r.parallel(r.topo.NumClients(), func(worker, _, lo, hi int) {
 			lanes := r.router.Lanes(worker)
 			var sent int64
 			for v := lo; v < hi; v++ {
@@ -686,10 +798,10 @@ func (r *Runner) phaseClients() int64 {
 				}
 				sent += r.clientStepRoute(worker, v, lanes, shift)
 			}
-			r.partialSent[worker] = sent
+			r.partialSent[worker] += sent
 		})
 	default:
-		r.pool.ParallelRange(r.topo.NumClients(), func(worker, lo, hi int) {
+		r.parallel(r.topo.NumClients(), func(worker, _, lo, hi int) {
 			local := r.tally.Local(worker)
 			var sent int64
 			for v := lo; v < hi; v++ {
@@ -698,7 +810,7 @@ func (r *Runner) phaseClients() int64 {
 				}
 				sent += r.clientStep(worker, v, local)
 			}
-			r.partialSent[worker] = sent
+			r.partialSent[worker] += sent
 		})
 	}
 	var total int64
@@ -748,26 +860,27 @@ func (r *Runner) serverStep(u, recv int32) (newlyBurned, saturated bool) {
 // phaseServers is phase 2: every server that received requests applies the
 // variant's threshold rule. Returns how many servers became burned and how
 // many rejected the round while not burned. The unsharded dense path scans
-// all m servers; the sharded dense path has each shard owner fold its
-// route lanes into the merged counts (writes confined to the shard's
-// contiguous server window) and step exactly the servers the fold
-// touched; the sparse path visits only the touched-server list produced
-// by the sparse tally merge. Iteration order differs across those paths
-// and across worker/shard counts, but it never leaks into results: each
-// server's update depends only on its own state, and the per-worker
-// burned/saturated tallies are order-independent sums.
+// all m servers; the routed path (dense and sparse rounds alike) has each
+// shard owner fold its route lanes into the stamped merged counts (writes
+// confined to the shard's contiguous server window) and step exactly the
+// servers the fold touched; the unrouted sparse path visits only the
+// touched-server list produced by the sparse tally merge. Iteration order
+// differs across those paths and across worker/shard counts and steal
+// schedules, but it never leaks into results: each server's update
+// depends only on its own state, and the per-worker burned/saturated
+// tallies are order-independent sums.
 func (r *Runner) phaseServers(touched []int32) (newlyBurned, saturated int) {
 	for w := range r.partialBurned {
 		r.partialBurned[w] = 0
 		r.partialSat[w] = 0
 	}
 	switch {
-	case !r.sparse && r.router != nil:
+	case r.router != nil:
 		counts := r.tally.Merged()
-		r.pool.ParallelRange(r.router.Shards(), func(worker, lo, hi int) {
+		r.parallelShards(r.router.Shards(), func(worker, lo, hi int) {
 			var nb, sat int64
 			for s := lo; s < hi; s++ {
-				for _, u := range r.router.FoldShard(s, counts) {
+				for _, u := range r.router.FoldShard(s, r.tally) {
 					b, sflag := r.serverStep(u, counts[u])
 					if b {
 						nb++
@@ -777,11 +890,11 @@ func (r *Runner) phaseServers(touched []int32) (newlyBurned, saturated int) {
 					}
 				}
 			}
-			r.partialBurned[worker] = nb
-			r.partialSat[worker] = sat
+			r.partialBurned[worker] += nb
+			r.partialSat[worker] += sat
 		})
 	case r.sparse:
-		r.pool.ParallelRange(len(touched), func(worker, lo, hi int) {
+		r.parallel(len(touched), func(worker, _, lo, hi int) {
 			var nb, sat int64
 			for idx := lo; idx < hi; idx++ {
 				u := touched[idx]
@@ -793,12 +906,12 @@ func (r *Runner) phaseServers(touched []int32) (newlyBurned, saturated int) {
 					sat++
 				}
 			}
-			r.partialBurned[worker] = nb
-			r.partialSat[worker] = sat
+			r.partialBurned[worker] += nb
+			r.partialSat[worker] += sat
 		})
 	default:
 		received := r.tally.Merged()
-		r.pool.ParallelRange(r.topo.NumServers(), func(worker, lo, hi int) {
+		r.parallel(r.topo.NumServers(), func(worker, _, lo, hi int) {
 			var nb, sat int64
 			for u := lo; u < hi; u++ {
 				recv := received[u]
@@ -813,8 +926,8 @@ func (r *Runner) phaseServers(touched []int32) (newlyBurned, saturated int) {
 					sat++
 				}
 			}
-			r.partialBurned[worker] = nb
-			r.partialSat[worker] = sat
+			r.partialBurned[worker] += nb
+			r.partialSat[worker] += sat
 		})
 	}
 	for w := range r.partialBurned {
@@ -846,20 +959,20 @@ func (r *Runner) updateClientStep(v int) (got, rem int32) {
 // phaseUpdateClients lets every client count which of its requests were
 // accepted and update its alive-ball count. Returns the number of accepted
 // requests and the total number of balls still alive. The sparse path
-// additionally rebuilds the frontier in place from the per-worker survivor
-// buffers; the dense path counts the remaining active clients so that
-// beginRound can decide when to switch.
+// additionally rebuilds the frontier in place from the per-chunk survivor
+// buffers (concatenated in chunk index order, which preserves sortedness
+// for every steal schedule); the dense path counts the remaining active
+// clients so that beginRound can decide when to switch.
 func (r *Runner) phaseUpdateClients() (accepted, alive int64) {
 	for w := range r.partialAccepted {
 		r.partialAccepted[w] = 0
 		r.partialAlive[w] = 0
 	}
 	if r.sparse {
-		for w := range r.frontBuf {
-			r.frontBuf[w] = r.frontBuf[w][:0]
-		}
-		r.pool.ParallelRange(len(r.frontier), func(worker, lo, hi int) {
-			buf := r.frontBuf[worker]
+		nc := r.chunkCount(len(r.frontier))
+		r.ensureFrontBuf(nc)
+		r.parallel(len(r.frontier), func(worker, chunk, lo, hi int) {
+			buf := r.frontBuf[chunk]
 			var acc, still int64
 			for idx := lo; idx < hi; idx++ {
 				v := r.frontier[idx]
@@ -870,13 +983,13 @@ func (r *Runner) phaseUpdateClients() (accepted, alive int64) {
 				acc += int64(got)
 				still += int64(rem)
 			}
-			r.frontBuf[worker] = buf
-			r.partialAccepted[worker] = acc
-			r.partialAlive[worker] = still
+			r.frontBuf[chunk] = buf
+			r.partialAccepted[worker] += acc
+			r.partialAlive[worker] += still
 		})
 		r.frontier = r.frontier[:0]
-		for w := range r.frontBuf {
-			r.frontier = append(r.frontier, r.frontBuf[w]...)
+		for c := 0; c < nc; c++ {
+			r.frontier = append(r.frontier, r.frontBuf[c]...)
 		}
 		r.activeClients = len(r.frontier)
 	} else {
@@ -884,13 +997,16 @@ func (r *Runner) phaseUpdateClients() (accepted, alive int64) {
 		// decides to switch to the sparse engine; a forced-dense run can
 		// never switch, so it skips the collection entirely.
 		collect := r.opts.Engine != EngineDense
+		nc := 0
 		if collect {
-			for w := range r.frontBuf {
-				r.frontBuf[w] = r.frontBuf[w][:0]
-			}
+			nc = r.chunkCount(r.topo.NumClients())
+			r.ensureFrontBuf(nc)
 		}
-		r.pool.ParallelRange(r.topo.NumClients(), func(worker, lo, hi int) {
-			buf := r.frontBuf[worker]
+		r.parallel(r.topo.NumClients(), func(worker, chunk, lo, hi int) {
+			var buf []int32
+			if collect {
+				buf = r.frontBuf[chunk]
+			}
 			var acc, still int64
 			for v := lo; v < hi; v++ {
 				if r.alive[v] == 0 {
@@ -903,15 +1019,18 @@ func (r *Runner) phaseUpdateClients() (accepted, alive int64) {
 				acc += int64(got)
 				still += int64(rem)
 			}
-			r.frontBuf[worker] = buf
-			r.partialAccepted[worker] = acc
-			r.partialAlive[worker] = still
+			if collect {
+				r.frontBuf[chunk] = buf
+			}
+			r.partialAccepted[worker] += acc
+			r.partialAlive[worker] += still
 		})
 		if collect {
 			r.frontierCollected = true
+			r.frontChunks = nc
 			active := 0
-			for _, buf := range r.frontBuf {
-				active += len(buf)
+			for c := 0; c < nc; c++ {
+				active += len(r.frontBuf[c])
 			}
 			r.activeClients = active
 		}

@@ -124,9 +124,26 @@ type Options struct {
 	// SparseSwitchDivisor overrides EngineAuto's density threshold: the
 	// run switches to the sparse frontier path once
 	// activeClients × divisor ≤ numClients (larger values switch later).
-	// Zero selects the default of 4. Results are independent of the value;
-	// only wall-clock changes.
+	// Zero selects the autotuned value (or the static default of 4 when
+	// Autotune is off). Results are independent of the value; only
+	// wall-clock changes.
 	SparseSwitchDivisor int
+	// Autotune selects whether the unset performance knobs — Shards and
+	// SparseSwitchDivisor — are derived per instance from (n, Δ, m,
+	// workers) and a measured-once cache-size probe (see AutotuneKnobs)
+	// instead of the static defaults. The zero value is AutotuneOn;
+	// explicitly set knobs always win over the tuner. Like every other
+	// knob in this struct's performance group, results are bit-for-bit
+	// independent of it.
+	Autotune AutotuneMode
+	// Steal selects the scheduler for the round loop's entity ranges:
+	// work-stealing chunk deques (late sparse rounds and skewed churn
+	// frontiers keep all workers busy) versus the static one-shard-per-
+	// worker split. The zero value is StealAuto: stealing on multi-worker
+	// runs, the static split on single-worker runs (where a deque would
+	// be pure overhead). Results are bit-for-bit independent of the
+	// schedule — see the determinism contract in engine.StealRange.
+	Steal StealMode
 	// TrackRounds records a RoundStats entry per round.
 	TrackRounds bool
 	// TrackNeighborhoods additionally computes S_t, r_t and K_t per round

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// CacheInfo describes the cache hierarchy the autotuner sizes its shard
+// windows against. Sizes are in bytes; zero means unknown.
+type CacheInfo struct {
+	// L2 is the per-core mid-level cache — the level the sharded round
+	// pipeline blocks its fold windows to, since it is the largest cache
+	// that is private (not shared with sibling cores that may be running
+	// other trials).
+	L2 int
+	// LLC is the last-level cache. On shared VMs sysfs reports the whole
+	// socket's LLC regardless of how many cores the guest actually owns,
+	// so tuning decisions key on L2 and treat LLC as advisory only.
+	LLC int
+}
+
+// defaultCacheInfo is the fallback when the probe finds nothing (non-
+// Linux, sysfs unavailable): a conservative small L2 so the tuner shards
+// earlier rather than later — oversharding costs a few percent, blowing
+// the cache costs integer factors.
+var defaultCacheInfo = CacheInfo{L2: 256 << 10, LLC: 8 << 20}
+
+var (
+	cacheOnce   sync.Once
+	cacheProbed CacheInfo
+)
+
+// DetectCache probes the cache hierarchy once per process and caches the
+// result. The probe reads the Linux sysfs cpu0 cache directory (static
+// files; no measurement loop), so it is cheap, deterministic for the
+// lifetime of the machine, and degrades to a fixed conservative default
+// where sysfs is absent. Autotuned knobs are therefore a pure function
+// of (instance, probe) — the property TestAutotuneDeterminism pins.
+func DetectCache() CacheInfo {
+	cacheOnce.Do(func() {
+		cacheProbed = probeSysfsCache("/sys/devices/system/cpu/cpu0/cache")
+	})
+	return cacheProbed
+}
+
+// probeSysfsCache reads the per-level size files under dir (one index*
+// subdirectory per cache). Unified/data caches only; the largest level-2
+// size wins L2 and the largest deeper level wins LLC.
+func probeSysfsCache(dir string) CacheInfo {
+	info := defaultCacheInfo
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return info
+	}
+	foundL2, foundLLC := 0, 0
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "index") {
+			continue
+		}
+		base := dir + "/" + e.Name()
+		typ, err := os.ReadFile(base + "/type")
+		if err != nil {
+			continue
+		}
+		switch strings.TrimSpace(string(typ)) {
+		case "Unified", "Data":
+		default:
+			continue
+		}
+		level := readSysfsInt(base + "/level")
+		size := readSysfsSize(base + "/size")
+		if size <= 0 {
+			continue
+		}
+		switch {
+		case level == 2 && size > foundL2:
+			foundL2 = size
+		case level > 2 && size > foundLLC:
+			foundLLC = size
+		}
+	}
+	if foundL2 > 0 {
+		info.L2 = foundL2
+	}
+	if foundLLC > 0 {
+		info.LLC = foundLLC
+	}
+	return info
+}
+
+func readSysfsInt(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	v, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// readSysfsSize parses sysfs cache sizes of the form "48K", "2048K",
+// "16M" (or a bare byte count) into bytes.
+func readSysfsSize(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0
+	}
+	s := strings.TrimSpace(string(b))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil || v <= 0 {
+		return 0
+	}
+	return v * mult
+}

@@ -22,6 +22,23 @@ import (
 // calls to ParallelRange on the same Pool must not overlap.
 type Pool struct {
 	workers int
+
+	// deques are the per-worker chunk queues of the work-stealing
+	// scheduler (see steal.go), allocated on first StealRange use.
+	deques []chunkDeque
+
+	// ChunkDelay, when non-nil, is invoked before every chunk a
+	// StealRange worker executes. It exists solely so tests can skew the
+	// steal schedule (stall one worker and force the others to steal its
+	// chunks) and assert that results stay bit-for-bit identical.
+	ChunkDelay func(worker, chunk int)
+
+	// Reusable per-worker reduction accumulators: ReduceInt64 and
+	// ReduceMaxFloat64 run once or more per round, and a fresh
+	// per-call slice shows up as steady-state garbage in the churn
+	// epoch loop.
+	partialI64 []int64
+	partialF64 []float64
 }
 
 // NewPool returns a Pool with the requested number of workers. A value of
@@ -91,7 +108,24 @@ func (p *Pool) ReduceInt64(n int, fn func(worker, lo, hi int) int64) int64 {
 	if n <= 0 {
 		return 0
 	}
-	partial := make([]int64, p.workers)
+	if p.workers == 1 || n < 2*p.workers {
+		// The inline path needs no per-worker accumulators at all —
+		// shards run sequentially, and workers with an empty shard are
+		// skipped entirely.
+		var total int64
+		for w := 0; w < p.workers; w++ {
+			lo, hi := p.shard(n, w)
+			if lo < hi {
+				total += fn(w, lo, hi)
+			}
+		}
+		return total
+	}
+	if p.partialI64 == nil {
+		p.partialI64 = make([]int64, p.workers)
+	}
+	partial := p.partialI64
+	clear(partial)
 	p.ParallelRange(n, func(w, lo, hi int) {
 		partial[w] += fn(w, lo, hi)
 	})
@@ -108,7 +142,22 @@ func (p *Pool) ReduceMaxFloat64(n int, def float64, fn func(worker, lo, hi int) 
 	if n <= 0 {
 		return def
 	}
-	partial := make([]float64, p.workers)
+	if p.workers == 1 || n < 2*p.workers {
+		out := def
+		for w := 0; w < p.workers; w++ {
+			lo, hi := p.shard(n, w)
+			if lo < hi {
+				if v := fn(w, lo, hi); v > out {
+					out = v
+				}
+			}
+		}
+		return out
+	}
+	if p.partialF64 == nil {
+		p.partialF64 = make([]float64, p.workers)
+	}
+	partial := p.partialF64
 	for w := range partial {
 		partial[w] = def
 	}
@@ -133,7 +182,7 @@ func (p *Pool) ReduceMaxFloat64(n int, def float64, fn func(worker, lo, hi int) 
 // any synchronization, then Merge folds them into the shared slice in a
 // second (also parallel) pass sharded by index rather than by worker.
 //
-// The Tally has two operating modes:
+// The Tally has three operating modes:
 //
 //   - Dense (the default): workers write through Local(w) and the
 //     Merge/Reset pair costs O(size × workers) per round. This layout is
@@ -147,16 +196,29 @@ func (p *Pool) ReduceMaxFloat64(n int, def float64, fn func(worker, lo, hi int) 
 //     written, or zeroed — advancing the epoch invalidates every stamp in
 //     O(1).
 //
-// Both modes produce identical merged counts for identical adds, so a
-// caller may switch from dense to sparse mid-run (after a dense Reset)
-// without observable effect. Switching back requires FullReset.
+//   - Stamped: after BeginStamped, the merged view itself is epoch-
+//     guarded — a cell's count is valid only while its merged stamp
+//     matches the epoch, and StampedReset invalidates every count in
+//     O(1). This is the global level of the two-level SPA tally used by
+//     the sharded round pipeline: Router.FoldShard writes counts straight
+//     into the merged view, detecting first touches by stamp instead of
+//     requiring pre-zeroed cells, so the per-worker local buffers (and
+//     their O(size × workers) memory) are never allocated and no zeroing
+//     pass ever streams the full counts array — the tally's resident set
+//     per fold is one shard window even when size outgrows L2.
+//
+// All modes produce identical counts (via ReceivedAt) for identical adds,
+// so a caller may switch from dense to sparse mid-run (after a dense
+// Reset) without observable effect. Switching back requires FullReset.
 type Tally struct {
 	size   int
 	local  [][]int32
 	merged []int32
 
-	// Sparse-mode state, allocated lazily by BeginSparse.
+	// Sparse/stamped-mode state, allocated lazily by BeginSparse and
+	// BeginStamped.
 	sparse      bool
+	stamped     bool
 	epoch       uint32
 	stamps      [][]uint32 // stamps[w][i] == epoch ⇔ local[w][i] is current
 	touched     [][]int32  // per-worker list of cells stamped this epoch
@@ -246,22 +308,17 @@ func (t *Tally) IsSparse() bool { return t.sparse }
 // BeginSparse switches the tally into sparse mode. The local buffers must
 // be clean (i.e. a dense Reset, FullReset, or NewTally must precede it),
 // which the protocol guarantees by switching only at a round boundary.
+// Per-worker stamp and local buffers are allocated lazily by the first
+// SparseAdd of each worker, so workers that never touch a sparse range
+// (the common case once the frontier has collapsed below the chunk size)
+// never pay the O(size) allocation.
 func (t *Tally) BeginSparse() {
 	if t.stamps == nil {
 		t.stamps = make([][]uint32, len(t.local))
-		for w := range t.stamps {
-			t.stamps[w] = make([]uint32, t.size)
-		}
 		t.touched = make([][]int32, len(t.local))
-		t.mergedStamp = make([]uint32, t.size)
 	}
-	// SparseAdd indexes the local buffers directly, so any lazily deferred
-	// allocations are forced here (a run whose dense rounds went through a
-	// Router reaches this point with every multi-worker local still nil).
-	for w := range t.local {
-		if t.local[w] == nil {
-			t.local[w] = make([]int32, t.size)
-		}
+	if t.mergedStamp == nil {
+		t.mergedStamp = make([]uint32, t.size)
 	}
 	t.sparse = true
 	t.advanceEpoch()
@@ -271,11 +328,19 @@ func (t *Tally) BeginSparse() {
 // first touch of a cell in the current epoch the stale count is replaced
 // rather than cleared in advance, which is what makes reset O(1).
 func (t *Tally) SparseAdd(w int, i int32) {
-	if t.stamps[w][i] == t.epoch {
+	stamps := t.stamps[w]
+	if stamps == nil {
+		stamps = make([]uint32, t.size)
+		t.stamps[w] = stamps
+		if t.local[w] == nil {
+			t.local[w] = make([]int32, t.size)
+		}
+	}
+	if stamps[i] == t.epoch {
 		t.local[w][i]++
 		return
 	}
-	t.stamps[w][i] = t.epoch
+	stamps[i] = t.epoch
 	t.local[w][i] = 1
 	t.touched[w] = append(t.touched[w], i)
 }
@@ -304,11 +369,11 @@ func (t *Tally) SparseMerge() []int32 {
 	return t.mergedTouch
 }
 
-// ReceivedAt returns the merged count of cell i as of the last merge. It
-// is valid in both modes: in sparse mode a cell not touched this epoch
-// reads as zero without having been zeroed.
+// ReceivedAt returns the merged count of cell i as of the last merge (or
+// fold). It is valid in every mode: in sparse and stamped modes a cell
+// not touched this epoch reads as zero without having been zeroed.
 func (t *Tally) ReceivedAt(i int32) int32 {
-	if t.sparse {
+	if t.sparse || t.stamped {
 		if t.mergedStamp[i] != t.epoch {
 			return 0
 		}
@@ -340,14 +405,46 @@ func (t *Tally) advanceEpoch() {
 	}
 }
 
-// FullReset restores the tally to its post-NewTally dense state: all
-// counts zeroed, sparse mode off, touched lists truncated. The epoch is
-// not rewound, so stamps from earlier sparse use stay invalid. It is the
-// reset to use between independent runs that reuse the same Tally.
+// IsStamped reports whether the tally is currently in stamped mode.
+func (t *Tally) IsStamped() bool { return t.stamped }
+
+// BeginStamped switches the merged view into epoch-guarded (stamped)
+// mode: a cell's count is valid only while its merged stamp matches the
+// current epoch, so folds that write counts directly into the merged view
+// (Router.FoldShard) detect first touches by stamp instead of requiring
+// pre-zeroed cells, and StampedReset invalidates everything in O(1).
+// Stamped mode is a property of the caller's pipeline (the sharded round
+// loop), not of one run: it persists across FullReset.
+func (t *Tally) BeginStamped() {
+	if t.mergedStamp == nil {
+		t.mergedStamp = make([]uint32, t.size)
+	}
+	t.stamped = true
+	t.advanceEpoch()
+}
+
+// StampedReset invalidates every merged count by advancing the epoch.
+// Cost: O(1), independent of size — the stamped replacement for both the
+// dense O(size) Reset and the router's per-shard touched-list zeroing.
+func (t *Tally) StampedReset() {
+	t.advanceEpoch()
+}
+
+// FullReset restores the tally to a clean state between independent runs
+// that reuse the same Tally: counts invalidated, sparse mode off, touched
+// lists truncated. In stamped mode invalidation is a single epoch advance
+// (no pass over the counts, which stay epoch-guarded); in dense/sparse
+// mode all buffers are zeroed and the tally returns to its post-NewTally
+// dense state. The epoch is never rewound, so stamps from earlier use
+// stay invalid.
 func (t *Tally) FullReset(p *Pool) {
-	t.Reset(p)
 	t.sparse = false
 	for w := range t.touched {
 		t.touched[w] = t.touched[w][:0]
 	}
+	if t.stamped {
+		t.advanceEpoch()
+		return
+	}
+	t.Reset(p)
 }

@@ -2,8 +2,8 @@ package engine
 
 import "math/bits"
 
-// Router is the substrate of the sharded dense round pipeline (see the
-// round loop in internal/core): instead of every phase-A worker bumping a
+// Router is the substrate of the sharded round pipeline (see the round
+// loop in internal/core): instead of every phase-A worker bumping a
 // private size-wide tally that a later pass folds, workers bucket each
 // event's destination cell into per-(worker, shard) route lanes, and
 // phase-B shard owners fold one shard's lanes at a time into the shared
@@ -11,7 +11,11 @@ import "math/bits"
 // that owns the shard and land inside one contiguous 2^shift-cell window,
 // so they are cache-blocked; and because only routed cells are ever
 // written, the O(size × workers) dense merge and reset passes disappear —
-// folding and resetting cost O(routed events) and O(touched cells).
+// folding costs O(routed events), and with the stamped tally (the global
+// level of the two-level SPA accumulator, see Tally.BeginStamped) the
+// round-end reset is a single O(1) epoch advance: no zeroing pass ever
+// streams the counts array, so the pipeline's per-round resident set is
+// one shard window even when the tally itself outgrows L2.
 //
 // Shards are contiguous cell ranges of width 2^shift: routing in the
 // phase-A inner loop is a single shift (ShardOf). The width is derived
@@ -32,8 +36,7 @@ type Router struct {
 	// round. Truncated (capacity kept) by ResetLanes.
 	lanes [][]int32
 	// touched[s] is the duplicate-free list of cells shard s's last fold
-	// incremented; ResetShard consumes it to restore the zero-counts
-	// precondition in O(touched).
+	// incremented — reused across rounds for its capacity.
 	touched [][]int32
 	// topoVersion is the topology version the lanes were last synced to
 	// (see bipartite.Versioned and SyncTopologyVersion). Static
@@ -97,41 +100,31 @@ func (rt *Router) ResetLanes() {
 	}
 }
 
-// FoldShard folds every worker's lane of shard s into counts and returns
-// the shard's duplicate-free touched list (cells whose count went
-// 0 → positive). The shard's counts must be zero beforehand — ResetShard
-// (or a wholesale clearing like Tally.FullReset paired with Discard)
-// restores that — because first touches are detected by counts[i] == 0.
-func (rt *Router) FoldShard(s int, counts []int32) []int32 {
+// FoldShard folds every worker's lane of shard s into the stamped tally's
+// merged view and returns the shard's duplicate-free touched list (cells
+// first stamped this epoch). The tally must be in stamped mode
+// (Tally.BeginStamped): a first touch is detected by the cell's merged
+// stamp differing from the current epoch, so the shard's counts may hold
+// arbitrary stale values — no zeroing pass ever precedes a fold, and the
+// round-end reset is the O(1) Tally.StampedReset. Shard owners call
+// FoldShard for distinct s concurrently: a cell belongs to exactly one
+// shard, so each (count, stamp) pair is written by exactly one goroutine.
+func (rt *Router) FoldShard(s int, t *Tally) []int32 {
 	touched := rt.touched[s][:0]
+	counts, stamps, epoch := t.merged, t.mergedStamp, t.epoch
 	for w := 0; w < rt.workers; w++ {
 		for _, i := range rt.lanes[w*rt.shards+s] {
-			if counts[i] == 0 {
+			if stamps[i] == epoch {
+				counts[i]++
+			} else {
+				stamps[i] = epoch
+				counts[i] = 1
 				touched = append(touched, i)
 			}
-			counts[i]++
 		}
 	}
 	rt.touched[s] = touched
 	return touched
-}
-
-// ResetShard zeroes the counts recorded in shard s's touched list and
-// truncates the list, restoring FoldShard's precondition in O(touched).
-func (rt *Router) ResetShard(s int, counts []int32) {
-	for _, i := range rt.touched[s] {
-		counts[i] = 0
-	}
-	rt.touched[s] = rt.touched[s][:0]
-}
-
-// ResetCounts runs ResetShard over every shard, parallelized on the pool.
-func (rt *Router) ResetCounts(p *Pool, counts []int32) {
-	p.ParallelRange(rt.shards, func(_, lo, hi int) {
-		for s := lo; s < hi; s++ {
-			rt.ResetShard(s, counts)
-		}
-	})
 }
 
 // SyncTopologyVersion is the router's invalidation hook for mutable
@@ -149,9 +142,9 @@ func (rt *Router) SyncTopologyVersion(v uint64) bool {
 	return true
 }
 
-// Discard truncates every lane and touched list without writing any
-// counts array: the reset to pair with a wholesale counts clearing (e.g.
-// Tally.FullReset) when a run abandoned a round between fold and reset.
+// Discard truncates every lane and touched list without touching the
+// tally: the reset to pair with Tally.FullReset when a run abandoned a
+// round between fold and reset.
 func (rt *Router) Discard() {
 	rt.ResetLanes()
 	for s := range rt.touched {

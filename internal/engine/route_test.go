@@ -35,14 +35,24 @@ func TestRouterGeometry(t *testing.T) {
 	}
 }
 
+// stampedTally builds a stamped Tally of the given size, the mode
+// FoldShard requires.
+func stampedTally(size int) *Tally {
+	ta := NewTally(NewPool(1), size)
+	ta.BeginStamped()
+	return ta
+}
+
 // TestRouterFoldMatchesDense drives random routed rounds through
-// FoldShard/ResetShard and checks counts and touched lists against a
-// plain dense accumulation.
+// FoldShard on a stamped tally and checks counts and touched lists
+// against a plain dense accumulation. Between rounds only StampedReset
+// runs — the counts are never zeroed, which is exactly the stale-value
+// situation the epoch stamps must mask.
 func TestRouterFoldMatchesDense(t *testing.T) {
 	const size = 500
 	const workers = 3
 	rt := NewRouter(workers, 4, size)
-	counts := make([]int32, size)
+	ta := stampedTally(size)
 	src := rng.New(7)
 	for round := 0; round < 5; round++ {
 		rt.ResetLanes()
@@ -58,7 +68,7 @@ func TestRouterFoldMatchesDense(t *testing.T) {
 		ref := denseReference(size, adds)
 		var touchedTotal int
 		for s := 0; s < rt.Shards(); s++ {
-			touched := rt.FoldShard(s, counts)
+			touched := rt.FoldShard(s, ta)
 			touchedTotal += len(touched)
 			seen := make(map[int32]bool, len(touched))
 			for _, i := range touched {
@@ -74,8 +84,8 @@ func TestRouterFoldMatchesDense(t *testing.T) {
 		}
 		distinct := 0
 		for i := int32(0); i < size; i++ {
-			if counts[i] != ref[i] {
-				t.Fatalf("round %d: counts[%d] = %d, want %d", round, i, counts[i], ref[i])
+			if got := ta.ReceivedAt(i); got != ref[i] {
+				t.Fatalf("round %d: ReceivedAt(%d) = %d, want %d", round, i, got, ref[i])
 			}
 			if ref[i] > 0 {
 				distinct++
@@ -84,12 +94,10 @@ func TestRouterFoldMatchesDense(t *testing.T) {
 		if touchedTotal != distinct {
 			t.Fatalf("round %d: %d touched cells, want %d", round, touchedTotal, distinct)
 		}
-		for s := 0; s < rt.Shards(); s++ {
-			rt.ResetShard(s, counts)
-		}
+		ta.StampedReset()
 		for i := int32(0); i < size; i++ {
-			if counts[i] != 0 {
-				t.Fatalf("round %d: counts[%d] = %d after reset", round, i, counts[i])
+			if got := ta.ReceivedAt(i); got != 0 {
+				t.Fatalf("round %d: ReceivedAt(%d) = %d after StampedReset", round, i, got)
 			}
 		}
 	}
@@ -97,27 +105,32 @@ func TestRouterFoldMatchesDense(t *testing.T) {
 
 func TestRouterDiscard(t *testing.T) {
 	rt := NewRouter(2, 2, 64)
-	counts := make([]int32, 64)
+	ta := stampedTally(64)
+	pool := NewPool(2)
 	lanes := rt.Lanes(0)
 	for _, i := range []int32{1, 1, 40, 63} {
 		lanes[rt.ShardOf(i)] = append(lanes[rt.ShardOf(i)], i)
 	}
 	for s := 0; s < rt.Shards(); s++ {
-		rt.FoldShard(s, counts)
+		rt.FoldShard(s, ta)
 	}
-	// Simulate the early-exit path: counts are cleared wholesale, the
-	// Router is discarded, and the next round must start clean.
-	clear(counts)
+	// Simulate the early-exit path: the tally is fully reset (an epoch
+	// advance in stamped mode), the Router is discarded, and the next
+	// round must start clean.
+	ta.FullReset(pool)
+	if !ta.IsStamped() {
+		t.Fatal("FullReset dropped stamped mode")
+	}
 	rt.Discard()
 	rt.ResetLanes()
 	for s := 0; s < rt.Shards(); s++ {
-		if got := rt.FoldShard(s, counts); len(got) != 0 {
+		if got := rt.FoldShard(s, ta); len(got) != 0 {
 			t.Fatalf("shard %d folded %v after Discard", s, got)
 		}
 	}
-	for i, c := range counts {
-		if c != 0 {
-			t.Fatalf("counts[%d] = %d after Discard + empty fold", i, c)
+	for i := int32(0); i < 64; i++ {
+		if got := ta.ReceivedAt(i); got != 0 {
+			t.Fatalf("ReceivedAt(%d) = %d after Discard + empty fold", i, got)
 		}
 	}
 }
@@ -130,7 +143,7 @@ func TestQuickRouterInvariance(t *testing.T) {
 		target := 1 + int(tRaw%9)
 		size := 16 + int(sizeRaw)
 		rt := NewRouter(workers, target, size)
-		counts := make([]int32, size)
+		ta := stampedTally(size)
 		src := rng.New(seed)
 		adds := make([]int32, src.Intn(4*size))
 		for k := range adds {
@@ -140,11 +153,11 @@ func TestQuickRouterInvariance(t *testing.T) {
 			lanes[s] = append(lanes[s], adds[k])
 		}
 		for s := 0; s < rt.Shards(); s++ {
-			rt.FoldShard(s, counts)
+			rt.FoldShard(s, ta)
 		}
 		ref := denseReference(size, adds)
-		for i := range counts {
-			if counts[i] != ref[i] {
+		for i := range ref {
+			if ta.ReceivedAt(int32(i)) != ref[i] {
 				return false
 			}
 		}

@@ -19,8 +19,9 @@ import (
 // the achieved maximum load, the number of sequential steps or parallel
 // rounds, the message work per ball and whether the algorithm requires
 // servers to reveal their loads (the privacy point the paper makes in the
-// introduction). The baselines read the materialized adjacency directly,
-// so the shared graph is pinned to CSR.
+// introduction). The baselines read neighborhoods through the Topology
+// interface, so the shared graph follows the engine's representation
+// choice (csr/implicit/auto) like every other experiment.
 func ExperimentSequentialBaselines(cfg SuiteConfig) (*Table, error) {
 	spec := sweep.Spec{
 		ID:    "E7",
@@ -35,7 +36,6 @@ func ExperimentSequentialBaselines(cfg SuiteConfig) (*Table, error) {
 	}
 	d := 2
 	topo := regularTopo(n, regularDelta(n), 7, uint64(n))
-	topo.ForceCSR = true
 	balls := float64(n * d)
 
 	addRow := func(t *Table, name, parallel, loadInfo string, maxLoads, steps, workPerBall []float64, completedAll bool) {
@@ -70,24 +70,24 @@ func ExperimentSequentialBaselines(cfg SuiteConfig) (*Table, error) {
 
 	specs := []struct {
 		name, parallel, loadInfo string
-		run                      func(g *bipartite.Graph, seed uint64) (*baseline.Result, error)
+		run                      func(g bipartite.Topology, seed uint64) (*baseline.Result, error)
 	}{
-		{"one-choice", "no", "no", func(g *bipartite.Graph, seed uint64) (*baseline.Result, error) {
+		{"one-choice", "no", "no", func(g bipartite.Topology, seed uint64) (*baseline.Result, error) {
 			return baseline.OneChoice(g, d, seed)
 		}},
-		{"greedy-best-of-2", "no", "yes", func(g *bipartite.Graph, seed uint64) (*baseline.Result, error) {
+		{"greedy-best-of-2", "no", "yes", func(g bipartite.Topology, seed uint64) (*baseline.Result, error) {
 			return baseline.GreedyBestOfK(g, d, 2, seed)
 		}},
-		{"greedy-best-of-4", "no", "yes", func(g *bipartite.Graph, seed uint64) (*baseline.Result, error) {
+		{"greedy-best-of-4", "no", "yes", func(g bipartite.Topology, seed uint64) (*baseline.Result, error) {
 			return baseline.GreedyBestOfK(g, d, 4, seed)
 		}},
-		{"greedy-full-scan", "no", "yes", func(g *bipartite.Graph, seed uint64) (*baseline.Result, error) {
+		{"greedy-full-scan", "no", "yes", func(g bipartite.Topology, seed uint64) (*baseline.Result, error) {
 			return baseline.GreedyFullScan(g, d, seed)
 		}},
-		{"parallel-1shot-2-choice", "yes", "yes", func(g *bipartite.Graph, seed uint64) (*baseline.Result, error) {
+		{"parallel-1shot-2-choice", "yes", "yes", func(g bipartite.Topology, seed uint64) (*baseline.Result, error) {
 			return baseline.ParallelOneShotKChoice(g, d, 2, seed)
 		}},
-		{"parallel-threshold-4", "yes", "no", func(g *bipartite.Graph, seed uint64) (*baseline.Result, error) {
+		{"parallel-threshold-4", "yes", "no", func(g bipartite.Topology, seed uint64) (*baseline.Result, error) {
 			return baseline.ParallelThreshold(g, d, 4, 0, seed)
 		}},
 	}
@@ -103,7 +103,7 @@ func ExperimentSequentialBaselines(cfg SuiteConfig) (*Table, error) {
 			// the spec index if byte-identity ever stops mattering.
 			SeedKey: []uint64{7, uint64(len(sp.name))},
 			Run: func(cfg SuiteConfig, g bipartite.Topology, trial int, seed uint64) (any, error) {
-				res, err := sp.run(g.(*bipartite.Graph), seed)
+				res, err := sp.run(g, seed)
 				if err != nil {
 					return nil, fmt.Errorf("experiments: baseline %s: %w", sp.name, err)
 				}

@@ -48,18 +48,33 @@ func sizes(cfg SuiteConfig) []int {
 
 // largeSizes returns the extended n sweep used by the scaling experiments
 // whose round loops run on implicit topologies (E1–E4): the standard
-// sweep plus the large points up to maxN in full mode. Forcing Topology
-// "csr" keeps the old cap — materializing a Δ = log² n graph at 2²⁰
-// clients needs gigabytes. maxN lets tracking-heavy experiments (E3's
-// O(|E|)-per-round neighborhood statistics) stop at 2¹⁸ while the
-// untracked sweeps go to 2²⁰.
-func largeSizes(cfg SuiteConfig, maxN int) []int {
+// sweep plus the large points up to the experiment's ceiling expMaxN in
+// full mode. Forcing Topology "csr" keeps the old cap — materializing a
+// Δ = log² n graph at 2²⁰ clients needs gigabytes. expMaxN lets
+// tracking-heavy experiments (E3's O(|E|)-per-round neighborhood
+// statistics) stop at 2¹⁸ while the untracked sweeps go to 2²⁰ and the
+// completion sweeps (E1/E4) to 2²². cfg.MaxN, when set, overrides the
+// ceiling in both directions (see sweep.Config).
+func largeSizes(cfg SuiteConfig, expMaxN int) []int {
+	maxN := expMaxN
+	if cfg.MaxN > 0 {
+		maxN = cfg.MaxN
+	}
 	s := sizes(cfg)
-	if cfg.Quick || cfg.Topology == "csr" {
+	for len(s) > 1 && s[len(s)-1] > maxN {
+		s = s[:len(s)-1]
+	}
+	if cfg.Topology == "csr" {
 		return s
 	}
-	for _, n := range []int{1 << 16, 1 << 18, 1 << 20} {
-		if n <= maxN {
+	if cfg.Quick {
+		if cfg.MaxN > 0 && maxN > s[len(s)-1] {
+			s = append(s, maxN)
+		}
+		return s
+	}
+	for _, n := range []int{1 << 16, 1 << 18, 1 << 20, 1 << 22} {
+		if n <= maxN && n > s[len(s)-1] {
 			s = append(s, n)
 		}
 	}

@@ -43,6 +43,9 @@ func TestLargeSizes(t *testing.T) {
 	if got[len(got)-1] != 1<<20 {
 		t.Errorf("full sweep should reach 2^20, got %v", got)
 	}
+	if huge := largeSizes(full, 1<<22); huge[len(huge)-1] != 1<<22 {
+		t.Errorf("full sweep with the raised ceiling should reach 2^22, got %v", huge)
+	}
 	capped := largeSizes(full, 1<<18)
 	if capped[len(capped)-1] != 1<<18 {
 		t.Errorf("capped sweep should stop at 2^18, got %v", capped)
@@ -51,6 +54,41 @@ func TestLargeSizes(t *testing.T) {
 	csr.Topology = "csr"
 	if got := largeSizes(csr, 1<<20); got[len(got)-1] >= 1<<16 {
 		t.Errorf("csr mode must keep the materialization cap: %v", got)
+	}
+}
+
+// TestLargeSizesMaxNOverride pins the cfg.MaxN override in all three
+// directions: trimming a full sweep below the experiment ceiling,
+// raising it past the ceiling, and appending a single probe point in
+// quick mode (the CI smoke's n = 2²² shape).
+func TestLargeSizesMaxNOverride(t *testing.T) {
+	lower := DefaultSuiteConfig()
+	lower.MaxN = 1 << 16
+	if got := largeSizes(lower, 1<<22); got[len(got)-1] != 1<<16 {
+		t.Errorf("MaxN=2^16 should trim the sweep: %v", got)
+	}
+	tiny := DefaultSuiteConfig()
+	tiny.MaxN = 1 << 12
+	if got := largeSizes(tiny, 1<<22); got[len(got)-1] != 1<<12 {
+		t.Errorf("MaxN=2^12 should trim the standard sweep: %v", got)
+	}
+	raise := DefaultSuiteConfig()
+	raise.MaxN = 1 << 22
+	if got := largeSizes(raise, 1<<18); got[len(got)-1] != 1<<22 {
+		t.Errorf("MaxN=2^22 should raise the ceiling: %v", got)
+	}
+	quick := QuickSuiteConfig()
+	quick.MaxN = 1 << 22
+	got := largeSizes(quick, 1<<22)
+	base := sizes(QuickSuiteConfig())
+	if len(got) != len(base)+1 || got[len(got)-1] != 1<<22 {
+		t.Errorf("quick MaxN should append exactly the probe point: %v", got)
+	}
+	for i, n := range base {
+		if got[i] != n {
+			t.Errorf("quick MaxN must keep the standard quick sweep: %v", got)
+			break
+		}
 	}
 }
 

@@ -42,6 +42,14 @@ type Config struct {
 	// row and note as the engine executes (see Recorder). Nil disables
 	// the stream; the Table output is unaffected either way.
 	Records *Recorder
+	// MaxN, when positive, overrides each scaling experiment's size
+	// ceiling in both directions: a lower value trims the sweep (bounding
+	// a run's time and memory), a higher value pushes it past the
+	// experiment default — including in quick mode, where a raised
+	// ceiling appends just the ceiling point itself, the shape the CI
+	// smoke uses to probe n = 2²² without sweeping the sizes in between.
+	// Zero keeps the per-experiment defaults.
+	MaxN int
 }
 
 // ImplicitSizeThreshold is the auto-mode switchover: at and above this

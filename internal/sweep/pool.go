@@ -9,16 +9,17 @@ import (
 )
 
 // forEachTrial executes fn(trial) for trial = 0..trials-1 on a bounded
-// worker pool of at most cfg.Parallelism() goroutines, handing each worker
-// a stable worker index. Work is distributed by an atomic counter, so no
-// goroutine is ever spawned per trial. The first error (in trial order) is
-// returned.
-func forEachTrial(cfg Config, trials int, fn func(worker, trial int) error) error {
+// worker pool of at most concurrentTrials(cfg, trials, g) goroutines,
+// handing each worker a stable worker index. Work is distributed by an
+// atomic counter, so no goroutine is ever spawned per trial. The first
+// error (in trial order) is returned. g may be nil (custom points
+// without a topology) — nil is never a huge point.
+func forEachTrial(cfg Config, trials int, g bipartite.Topology, fn func(worker, trial int) error) error {
 	if trials <= 0 {
 		return nil
 	}
 	errs := make([]error, trials)
-	workers := concurrentTrials(cfg, trials)
+	workers := concurrentTrials(cfg, trials, g)
 	if workers <= 1 {
 		for i := 0; i < trials; i++ {
 			errs[i] = fn(0, i)
@@ -55,11 +56,22 @@ func forEachTrial(cfg Config, trials int, fn func(worker, trial int) error) erro
 // threshold — the sizes whose dense rounds stream megabytes per phase.
 const intraTrialMinClients = ImplicitSizeThreshold
 
+// hugePointMinClients is the point size from which concurrent trials
+// stop paying: each trial's round state is tens of megabytes, so trials
+// running side by side evict each other's tallies and frontiers from
+// cache. Huge points run one trial at a time and hand the whole worker
+// budget to that trial's Runner, whose work-stealing scheduler and
+// sharded pipeline turn it into intra-trial parallelism.
+const hugePointMinClients = 1 << 20
+
 // concurrentTrials is the number of trials that run at once: the trial
 // pool's worker count, the runners slice size, and the denominator of
 // trialWorkers' budget split — all three must agree, so they share this
-// one definition.
-func concurrentTrials(cfg Config, trials int) int {
+// one definition. Huge points serialize trials (see hugePointMinClients).
+func concurrentTrials(cfg Config, trials int, g bipartite.Topology) int {
+	if g != nil && g.NumClients() >= hugePointMinClients {
+		return 1
+	}
 	return min(cfg.Parallelism(), max(trials, 1))
 }
 
@@ -67,14 +79,16 @@ func concurrentTrials(cfg Config, trials int) int {
 // and intra-trial parallelism: many small points saturate the budget
 // with concurrent trials (each single-threaded — barriers cannot
 // amortize on quick instances), while few big points hand the spare
-// budget to each trial's Runner, whose sharded round pipeline turns it
-// into server-shard parallelism. The product of concurrent trials and
+// budget to each trial's Runner, whose sharded round pipeline and
+// work-stealing scheduler turn it into intra-trial parallelism. Huge
+// points (n ≥ hugePointMinClients) get the entire budget, since their
+// trials run one at a time. The product of concurrent trials and
 // per-trial workers never exceeds cfg.Parallelism().
 func trialWorkers(cfg Config, trials int, g bipartite.Topology) int {
 	if g == nil || g.NumClients() < intraTrialMinClients {
 		return 1
 	}
-	return max(1, cfg.Parallelism()/concurrentTrials(cfg, trials))
+	return max(1, cfg.Parallelism()/concurrentTrials(cfg, trials, g))
 }
 
 // runPooledTrials runs independent Monte-Carlo trials of the same
@@ -91,8 +105,8 @@ func runPooledTrials(cfg Config, trials int, g bipartite.Topology, variant core.
 	params core.Params, opts core.Options, seed func(trial int) uint64) ([]*core.Result, error) {
 	params.Workers = trialWorkers(cfg, trials, g)
 	results := make([]*core.Result, trials)
-	runners := make([]*core.Runner, concurrentTrials(cfg, trials))
-	err := forEachTrial(cfg, trials, func(worker, i int) error {
+	runners := make([]*core.Runner, concurrentTrials(cfg, trials, g))
+	err := forEachTrial(cfg, trials, g, func(worker, i int) error {
 		r := runners[worker]
 		if r == nil {
 			var e error

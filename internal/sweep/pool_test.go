@@ -17,7 +17,7 @@ func TestForEachTrialCoversAllTrialsOnce(t *testing.T) {
 		cfg := Config{Quick: true, TrialParallelism: par}
 		const trials = 37
 		var counts [trials]int32
-		err := forEachTrial(cfg, trials, func(worker, trial int) error {
+		err := forEachTrial(cfg, trials, nil, func(worker, trial int) error {
 			if worker < 0 || worker >= par {
 				t.Errorf("worker index %d outside [0,%d)", worker, par)
 			}
@@ -38,7 +38,7 @@ func TestForEachTrialCoversAllTrialsOnce(t *testing.T) {
 func TestForEachTrialReturnsFirstError(t *testing.T) {
 	cfg := Config{Quick: true, TrialParallelism: 4}
 	sentinel := errors.New("trial 5 failed")
-	err := forEachTrial(cfg, 20, func(_, trial int) error {
+	err := forEachTrial(cfg, 20, nil, func(_, trial int) error {
 		if trial >= 5 {
 			return sentinel
 		}
@@ -47,7 +47,7 @@ func TestForEachTrialReturnsFirstError(t *testing.T) {
 	if !errors.Is(err, sentinel) {
 		t.Fatalf("got %v, want the trial-5 sentinel", err)
 	}
-	if err := forEachTrial(cfg, 0, func(_, _ int) error { return sentinel }); err != nil {
+	if err := forEachTrial(cfg, 0, nil, func(_, _ int) error { return sentinel }); err != nil {
 		t.Fatalf("zero trials should be a no-op, got %v", err)
 	}
 }
@@ -103,6 +103,10 @@ func TestTrialWorkersSplit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	huge, err := gen.RegularImplicit(hugePointMinClients, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []struct {
 		name        string
 		g           interface{ NumClients() int }
@@ -116,6 +120,8 @@ func TestTrialWorkersSplit(t *testing.T) {
 		{"big point, one trial: budget goes to the Runner", big, 8, 1, 8},
 		{"big point, split budget", big, 8, 3, 2},
 		{"single-worker budget", big, 1, 1, 1},
+		{"huge point, many trials: whole budget to the Runner", huge, 8, 10, 8},
+		{"huge point, one trial", huge, 8, 1, 8},
 	}
 	for _, tc := range cases {
 		cfg := Config{TrialParallelism: tc.parallelism}
@@ -127,7 +133,7 @@ func TestTrialWorkersSplit(t *testing.T) {
 		if got != tc.want {
 			t.Errorf("%s: trialWorkers = %d, want %d", tc.name, got, tc.want)
 		}
-		if concurrent := min(tc.parallelism, max(tc.trials, 1)); got*concurrent > tc.parallelism {
+		if concurrent := concurrentTrials(cfg, tc.trials, topo); got*concurrent > tc.parallelism {
 			t.Errorf("%s: split %d×%d exceeds the budget %d", tc.name, got, concurrent, tc.parallelism)
 		}
 	}

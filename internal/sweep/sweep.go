@@ -301,7 +301,7 @@ func runPoint(cfg Config, expID string, p *Point, g bipartite.Topology) (*Outcom
 	seed := func(trial int) uint64 { return p.trialSeed(cfg, trial) }
 	if p.Run != nil {
 		custom := make([]any, trials)
-		err := forEachTrial(cfg, trials, func(_, trial int) error {
+		err := forEachTrial(cfg, trials, g, func(_, trial int) error {
 			res, err := p.Run(cfg, g, trial, seed(trial))
 			if err != nil {
 				return fmt.Errorf("sweep: %s point %q trial %d: %w", expID, p.ID, trial, err)

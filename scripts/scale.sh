@@ -1,0 +1,36 @@
+#!/bin/sh
+# scale.sh — record the multi-core scaling curve: run the BenchmarkScale*
+# benchmarks across a -cpu sweep and emit per-benchmark speedup curves as
+# BENCH_SCALE_<date>.json next to the raw text (see PERFORMANCE.md's
+# multi-core scaling section, which renders the committed curve).
+#
+# Usage:
+#   ./scripts/scale.sh            # -cpu 1,2,4 -count 3
+#   ./scripts/scale.sh 1,2,4,8    # custom CPU list
+#
+# The benchmarks run with Params.Workers = 0, so GOMAXPROCS (set per
+# -cpu point by the testing package) governs the engine's worker count:
+# each point measures the same deterministic computation on a different
+# number of cores. The JSON is an array of
+#   {"name": ..., "curve": [{"cpus": N, "ns_per_op": ..., "speedup": ...}]}
+# objects produced by `benchjson scale` (min ns/op per CPU count,
+# speedup anchored on the 1-CPU point).
+#
+# Note: speedups are only meaningful on a machine that actually has the
+# swept cores. On a 1-core box every point measures scheduler overhead,
+# not scaling — still useful as a regression reference, but rerun on
+# real hardware before updating PERFORMANCE.md's curve.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cpus="${1:-1,2,4}"
+date="$(date +%Y-%m-%d)"
+txt="BENCH_SCALE_${date}.txt"
+json="BENCH_SCALE_${date}.json"
+
+go test -run '^$' -bench '^BenchmarkScale' -benchmem -cpu "$cpus" -count 3 . | tee "$txt"
+
+go run ./cmd/benchjson scale -in "$txt" -out "$json"
+
+echo "wrote $txt and $json" >&2
