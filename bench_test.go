@@ -481,7 +481,7 @@ func BenchmarkChurnEpoch(b *testing.B) {
 				b.Fatal(err)
 			}
 			sch, err := churn.NewScheduler(topo, churn.SchedulerConfig{
-				Variant: core.SAER, D: d, C: c, LoadExpiry: 0.5,
+				Protocol: core.NewConfig(core.SAER, d, c, 0), LoadExpiry: 0.5,
 			}, 3)
 			if err != nil {
 				b.Fatal(err)

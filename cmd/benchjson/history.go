@@ -1,0 +1,98 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// runHistory is the `benchjson history` subcommand: it reads the
+// snapshots in argument order — the PR-over-PR trajectory, e.g.
+// `benchjson history BENCH_2026-07-27.json BENCH_SMOKE.json` — and
+// prints one row per benchmark with its min ns/op in every snapshot and
+// the overall trend (last/first). Names are paired across snapshots the
+// same way diff pairs them (raw first, then the -GOMAXPROCS-stripped
+// form), so a snapshot from a 1-core runner lines up with a multi-core
+// one. Benchmarks absent from a snapshot print "-" for that column:
+// the suite grows over time, and a new benchmark has no history yet.
+func runHistory(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("history", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) < 2 {
+		return fmt.Errorf("history requires at least two snapshot files, oldest first")
+	}
+	snaps := make([]*snapshotIndex, len(paths))
+	for i, path := range paths {
+		entries, err := readJSON(path)
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			return fmt.Errorf("%s contains no benchmarks", path)
+		}
+		snaps[i] = indexSnapshot(entries)
+	}
+
+	// The row set is the union of normalized names across all snapshots,
+	// so a benchmark dropped mid-history still shows its early columns.
+	nameSet := make(map[string]bool)
+	for _, idx := range snaps {
+		for n := range idx.norm {
+			nameSet[n] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	labels := make([]string, len(paths))
+	for i, p := range paths {
+		labels[i] = snapshotLabel(p)
+	}
+	fmt.Fprintf(w, "%-60s", "benchmark")
+	for _, l := range labels {
+		fmt.Fprintf(w, " %14s", l)
+	}
+	fmt.Fprintf(w, " %8s\n", "trend")
+
+	for _, name := range names {
+		fmt.Fprintf(w, "%-60s", name)
+		first, last := 0.0, 0.0
+		present := 0
+		for _, idx := range snaps {
+			ns, _, ok := idx.lookup(name)
+			if !ok {
+				fmt.Fprintf(w, " %14s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %14.0f", ns)
+			present++
+			if first == 0 {
+				first = ns
+			}
+			last = ns
+		}
+		// A benchmark seen in a single snapshot has no trajectory yet.
+		if present >= 2 && first > 0 && last > 0 {
+			fmt.Fprintf(w, " %+7.1f%%\n", 100*(last/first-1))
+		} else {
+			fmt.Fprintf(w, " %8s\n", "-")
+		}
+	}
+	return nil
+}
+
+// snapshotLabel shortens a snapshot path to its trajectory column label:
+// the date of a BENCH_<date>.json, or the basename without extension.
+func snapshotLabel(path string) string {
+	base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return strings.TrimPrefix(base, "BENCH_")
+}

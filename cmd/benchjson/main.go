@@ -9,6 +9,7 @@
 //	benchjson parse [-in bench.txt] [-out bench.json]
 //	benchjson scale [-in bench.txt] [-out scale.json]
 //	benchjson diff -base old.json -new new.json [-max-regress 0.25]
+//	benchjson history old.json ... new.json
 //
 // parse reads benchmark text (stdin by default) and writes a JSON array
 // of {name, iterations, ns_per_op, bytes_per_op, allocs_per_op} objects,
@@ -26,6 +27,13 @@
 // line up. It exits non-zero when any benchmark present in both
 // snapshots regressed by more than max-regress (a 0.25 default: +25%
 // ns/op).
+//
+// history renders the performance trajectory across an ordered list of
+// snapshots (oldest first): one row per benchmark with its min ns/op in
+// each snapshot and the overall last/first trend, pairing names the
+// same way diff does. `benchjson history BENCH_2026-07-27.json
+// BENCH_SMOKE.json` shows how the committed baselines have moved PR
+// over PR.
 package main
 
 import (
@@ -46,6 +54,8 @@ func main() {
 		err = runScale(os.Args[2:])
 	case "diff":
 		err = runDiff(os.Args[2:], os.Stdout)
+	case "history":
+		err = runHistory(os.Args[2:], os.Stdout)
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -64,5 +74,6 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   benchjson parse [-in bench.txt] [-out bench.json]
   benchjson scale [-in bench.txt] [-out scale.json]
-  benchjson diff -base old.json -new new.json [-max-regress 0.25]`)
+  benchjson diff -base old.json -new new.json [-max-regress 0.25]
+  benchjson history old.json ... new.json`)
 }

@@ -290,3 +290,63 @@ func TestRunScaleRoundTrip(t *testing.T) {
 		t.Errorf("scale JSON missing expected fields:\n%s", data)
 	}
 }
+
+// TestRunHistory renders a three-snapshot trajectory: names pair across
+// different -GOMAXPROCS suffixes, a benchmark added mid-history shows
+// "-" for the snapshots that predate it, and the trend column reports
+// last/first.
+func TestRunHistory(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, entries []Entry) string {
+		path := filepath.Join(dir, name)
+		var buf bytes.Buffer
+		if err := writeJSON(&buf, entries); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	old := write("BENCH_2026-07-27.json", []Entry{
+		{Name: "BenchmarkSAERRun/n=65536-1", NsPerOp: 4000000},
+		{Name: "BenchmarkSAERRun/n=65536-1", NsPerOp: 4100000}, // repeat: min wins
+	})
+	mid := write("BENCH_2026-08-01.json", []Entry{
+		{Name: "BenchmarkSAERRun/n=65536-4", NsPerOp: 3000000},
+		{Name: "BenchmarkGraphGen/regular-4", NsPerOp: 9000000},
+	})
+	smoke := write("BENCH_SMOKE.json", []Entry{
+		{Name: "BenchmarkSAERRun/n=65536-4", NsPerOp: 2000000},
+		{Name: "BenchmarkGraphGen/regular-4", NsPerOp: 9500000},
+	})
+
+	var out bytes.Buffer
+	if err := runHistory([]string{old, mid, smoke}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"2026-07-27", "2026-08-01", "SMOKE", // column labels
+		"BenchmarkSAERRun/n=65536", "4000000", "3000000", "2000000",
+		"-50.0%", // 2e6 / 4e6
+		"BenchmarkGraphGen/regular",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("history output missing %q:\n%s", want, text)
+		}
+	}
+	// GraphGen predates nothing in the first snapshot: its first column
+	// must be "-" and its trend computed from the snapshots it is in.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "BenchmarkGraphGen") {
+			if !strings.Contains(line, "-") || !strings.Contains(line, "+5.6%") {
+				t.Errorf("GraphGen row wrong: %q", line)
+			}
+		}
+	}
+
+	if err := runHistory([]string{old}, &out); err == nil {
+		t.Error("single-snapshot history must error")
+	}
+}

@@ -1,0 +1,242 @@
+// Command saer-aggregate folds one or more saer-records JSONL streams —
+// typically the -records outputs of saer-client runs against different
+// shard sets or seeds — into a unified summary: per-point trial
+// aggregates (completion rate, round and max-load envelopes, total work)
+// and per-shard service tallies summed across streams. The folded result
+// prints as a table and, with -json, re-emits as a saer-records stream
+// (schema header, one row per point, one shard record per shard), so the
+// aggregation composes: aggregate outputs aggregate again.
+//
+// Examples:
+//
+//	saer-aggregate run1.jsonl run2.jsonl
+//	saer-aggregate < run.jsonl                 # reads stdin without args
+//	saer-aggregate -json folded.jsonl run*.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/records"
+)
+
+func main() {
+	jsonOut := flag.String("json", "", "write the folded records to this file as a saer-records stream")
+	flag.Parse()
+
+	if err := run(flag.Args(), *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "saer-aggregate:", err)
+		os.Exit(1)
+	}
+}
+
+// pointAgg folds the trial records of one (experiment, point).
+type pointAgg struct {
+	experiment, point string
+	trials, completed int
+	minRounds         int
+	maxRounds         int
+	sumRounds         int64
+	maxLoad           int
+	work              int64
+	unassigned        int64
+	burned            int
+}
+
+// shardAgg folds the shard records of one (experiment, shard index).
+type shardAgg struct {
+	experiment    string
+	shard, lo, hi int
+	rounds        int64
+	work          int64
+	maxLoad       int
+	streams       int
+}
+
+func run(paths []string, jsonOut string) error {
+	var recs []records.Record
+	if len(paths) == 0 {
+		rs, err := records.ReadAll(os.Stdin)
+		if err != nil {
+			return fmt.Errorf("stdin: %w", err)
+		}
+		recs = rs
+	}
+	for _, path := range paths {
+		rs, err := readFile(path)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, rs...)
+	}
+
+	points := make(map[string]*pointAgg)
+	shards := make(map[string]*shardAgg)
+	var pointOrder, shardOrder []string
+	var notes []records.Record
+	for _, r := range recs {
+		switch r.Type {
+		case records.TypeTrial:
+			key := r.Experiment + "\x00" + r.Point
+			p := points[key]
+			if p == nil {
+				p = &pointAgg{experiment: r.Experiment, point: r.Point, minRounds: -1}
+				points[key] = p
+				pointOrder = append(pointOrder, key)
+			}
+			p.trials++
+			if r.Completed != nil && *r.Completed {
+				p.completed++
+			}
+			if r.Rounds != nil {
+				if p.minRounds < 0 || *r.Rounds < p.minRounds {
+					p.minRounds = *r.Rounds
+				}
+				if *r.Rounds > p.maxRounds {
+					p.maxRounds = *r.Rounds
+				}
+				p.sumRounds += int64(*r.Rounds)
+			}
+			if r.MaxLoad != nil && *r.MaxLoad > p.maxLoad {
+				p.maxLoad = *r.MaxLoad
+			}
+			if r.Work != nil {
+				p.work += *r.Work
+			}
+			if r.UnassignedBalls != nil {
+				p.unassigned += int64(*r.UnassignedBalls)
+			}
+			if r.BurnedServers != nil && *r.BurnedServers > p.burned {
+				p.burned = *r.BurnedServers
+			}
+		case records.TypeShard:
+			if r.Shard == nil {
+				return fmt.Errorf("shard record without a shard index")
+			}
+			key := fmt.Sprintf("%s\x00%06d", r.Experiment, *r.Shard)
+			s := shards[key]
+			if s == nil {
+				s = &shardAgg{experiment: r.Experiment, shard: *r.Shard, lo: -1, hi: -1}
+				shards[key] = s
+				shardOrder = append(shardOrder, key)
+			}
+			if r.ServerLo != nil && r.ServerHi != nil {
+				if s.lo >= 0 && (s.lo != *r.ServerLo || s.hi != *r.ServerHi) {
+					return fmt.Errorf("shard %d window disagrees across streams: [%d,%d) vs [%d,%d)",
+						*r.Shard, s.lo, s.hi, *r.ServerLo, *r.ServerHi)
+				}
+				s.lo, s.hi = *r.ServerLo, *r.ServerHi
+			}
+			if r.Rounds != nil {
+				s.rounds += int64(*r.Rounds)
+			}
+			if r.Work != nil {
+				s.work += *r.Work
+			}
+			if r.MaxLoad != nil && *r.MaxLoad > s.maxLoad {
+				s.maxLoad = *r.MaxLoad
+			}
+			s.streams++
+		case records.TypeNote:
+			notes = append(notes, r)
+		}
+	}
+	sort.Strings(pointOrder)
+	sort.Strings(shardOrder)
+
+	if len(pointOrder) == 0 && len(shardOrder) == 0 {
+		return fmt.Errorf("no trial or shard records in %d input records", len(recs))
+	}
+
+	var rec *records.Recorder
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec = records.NewRecorder(f)
+		rec.SchemaHeader()
+	}
+
+	columns := []string{"point", "trials", "completed", "rounds", "max_load", "work", "unassigned"}
+	if len(pointOrder) > 0 {
+		fmt.Printf("%-24s %-7s %-10s %-11s %-9s %-12s %s\n",
+			"point", "trials", "completed", "rounds", "max_load", "work", "unassigned")
+		for _, key := range pointOrder {
+			p := points[key]
+			rounds := fmt.Sprintf("%d..%d", p.minRounds, p.maxRounds)
+			if p.minRounds == p.maxRounds {
+				rounds = fmt.Sprintf("%d", p.maxRounds)
+			}
+			fmt.Printf("%-24s %-7d %-10s %-11s %-9d %-12d %d\n",
+				p.point, p.trials, fmt.Sprintf("%d/%d", p.completed, p.trials),
+				rounds, p.maxLoad, p.work, p.unassigned)
+			if rec != nil {
+				rec.TableHeader(p.experiment, "aggregated wire trials", columns)
+				rec.Row(p.experiment, p.point, []string{
+					p.point,
+					fmt.Sprintf("%d", p.trials),
+					fmt.Sprintf("%d/%d", p.completed, p.trials),
+					rounds,
+					fmt.Sprintf("%d", p.maxLoad),
+					fmt.Sprintf("%d", p.work),
+					fmt.Sprintf("%d", p.unassigned),
+				})
+			}
+		}
+	}
+	if len(shardOrder) > 0 {
+		fmt.Printf("\n%-8s %-16s %-9s %-12s %-9s %s\n",
+			"shard", "window", "rounds", "requests", "max_load", "streams")
+		for _, key := range shardOrder {
+			s := shards[key]
+			fmt.Printf("%-8d %-16s %-9d %-12d %-9d %d\n",
+				s.shard, fmt.Sprintf("[%d,%d)", s.lo, s.hi), s.rounds, s.work, s.maxLoad, s.streams)
+			if rec != nil {
+				shard, lo, hi := s.shard, s.lo, s.hi
+				rounds := int(s.rounds)
+				work := s.work
+				maxLoad := s.maxLoad
+				rec.Emit(records.Record{
+					Type: records.TypeShard, Experiment: s.experiment,
+					Shard: &shard, ServerLo: &lo, ServerHi: &hi,
+					Rounds: &rounds, Work: &work, MaxLoad: &maxLoad,
+				})
+			}
+		}
+	}
+	for _, n := range notes {
+		rec.Emit(n)
+	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote folded records to %s\n", jsonOut)
+	}
+	return nil
+}
+
+func readFile(path string) ([]records.Record, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	rs, err := records.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rs, nil
+}

@@ -1,0 +1,229 @@
+// Command saer-client is the wire-mode load generator: it multiplexes
+// all n simulated clients of a SAER/RAES execution over pooled
+// connections to the shard servers named by -connect, drawing every
+// destination from the same per-client RNG streams as the in-process
+// engine. A loopback wire run therefore reproduces core.Run's result
+// bit-for-bit — pass -verify to have the client check exactly that every
+// trial. Per-round scatter/gather latency and request throughput are
+// measured via internal/metrics; -records streams the trials, per-shard
+// tallies and latency summary as saer-records JSONL for saer-aggregate.
+//
+// Examples:
+//
+//	saer-client -connect 127.0.0.1:7001,127.0.0.1:7002 -n 4096 -c 4
+//	saer-client -connect $ADDRS -n 4096 -c 4 -trials 3 -verify
+//	saer-client -connect $ADDRS -n 4096 -c 4 -records run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bipartite"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/records"
+	"repro/internal/wire"
+)
+
+func main() {
+	var rf cli.RunFlags
+	rf.Register(flag.CommandLine)
+	var (
+		connect     = flag.String("connect", "", "comma-separated shard server addresses (required)")
+		graphKind   = flag.String("graph", "regular", "graph family: regular, simple-regular, trust, erdos, almost, proximity, complete")
+		n           = flag.Int("n", 4096, "number of clients and servers")
+		delta       = flag.Int("delta", 0, "client degree (0 = ceil(log2(n)^2))")
+		expectedDeg = flag.Int("expected-degree", 0, "proximity graphs: expected degree used to derive the radius (0 = delta)")
+		topoMode    = flag.String("topology", "csr", "graph storage: csr, implicit or implicit-csr")
+		trials      = flag.Int("trials", 1, "number of trials (trial t runs with protocol seed seed+1+t)")
+		verify      = flag.Bool("verify", false, "also run each trial in-process and require bit-for-bit equality")
+		track       = flag.Bool("track", false, "track per-round series (streamed to -records)")
+		recordsPath = flag.String("records", "", "write a saer-records JSONL stream to this file")
+	)
+	flag.Parse()
+
+	if err := run(rf, *connect, *graphKind, *n, *delta, *expectedDeg, *topoMode, *trials, *verify, *track, *recordsPath); err != nil {
+		fmt.Fprintln(os.Stderr, "saer-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(rf cli.RunFlags, connect, graphKind string, n, delta, expectedDeg int, topoMode string,
+	trials int, verify, track bool, recordsPath string) error {
+
+	if connect == "" {
+		return fmt.Errorf("-connect is required (start saer-server and pass its addresses)")
+	}
+	var addrs []string
+	for _, a := range strings.Split(connect, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if trials < 1 {
+		return fmt.Errorf("-trials must be at least 1")
+	}
+	cfg, err := rf.Config()
+	if err != nil {
+		return err
+	}
+	topology, err := cli.ParseTopologyMode(topoMode)
+	if err != nil {
+		return err
+	}
+	g, err := cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, ExpectedDegree: expectedDeg, Seed: rf.Seed}.BuildTopology(topology)
+	if err != nil {
+		return err
+	}
+	if csr, ok := g.(*bipartite.Graph); ok {
+		fmt.Printf("graph: %s\n", csr)
+		if cfg.C <= 0 {
+			st := csr.Stats()
+			cfg.C = core.MinCAlmostRegular(st.Eta, st.RegularityRatio, cfg.D)
+			fmt.Printf("  using the paper's prescribed c = %.1f\n", cfg.C)
+		}
+	} else {
+		fmt.Printf("graph: %v\n", g)
+		if cfg.C <= 0 {
+			return fmt.Errorf("-c 0 (prescribed threshold) needs server degree statistics; pass an explicit -c with -topology implicit")
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	cfg.TrackRounds = track
+	cfg.TrackNeighborhoods = track
+	// The per-shard records carry each window's max load, so load
+	// tracking rides along whenever a record stream is requested.
+	cfg.TrackLoads = cfg.TrackLoads || recordsPath != ""
+
+	var rec *records.Recorder // nil (and nil-safe) without -records
+	if recordsPath != "" {
+		f, err := os.Create(recordsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec = records.NewRecorder(f)
+		rec.SchemaHeader()
+	}
+	point := fmt.Sprintf("%s n=%d", strings.ToLower(strings.TrimSpace(graphKind)), n)
+
+	bank, err := wire.Dial(addrs, cfg.Variant, int32(cfg.Params().Capacity()), g.NumServers())
+	if err != nil {
+		return err
+	}
+	defer bank.Close()
+	dr, err := core.NewDriver(g, cfg, bank)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wire bank: %d shards across %v\n\n", len(addrs), addrs)
+
+	cores := runtime.GOMAXPROCS(0)
+	var allLat []time.Duration
+	var totalReqs int64
+	var totalElapsed time.Duration
+	var lastRes *core.Result
+	for t := 0; t < trials; t++ {
+		seed := cfg.Seed + uint64(t)
+		dr.Reseed(seed)
+		start := time.Now()
+		res, err := dr.Run()
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		lat, reqs := bank.TakeMetrics()
+		allLat = append(allLat, lat...)
+		totalReqs += reqs
+		totalElapsed += elapsed
+		lastRes = res
+
+		lsum := metrics.SummarizeLatencies(lat)
+		tput := metrics.Throughput{Requests: reqs, Elapsed: elapsed, Cores: cores}
+		fmt.Printf("trial %d (seed %d): rounds=%d completed=%v max_load=%d burned=%d unassigned=%d\n",
+			t, seed, res.Rounds, res.Completed, res.MaxLoad, res.BurnedServers, res.UnassignedBalls)
+		fmt.Printf("  round latency: %v\n", lsum)
+		fmt.Printf("  throughput:    %v\n", tput)
+
+		if verify {
+			ref := cfg
+			ref.Seed = seed
+			want, err := ref.Run(g)
+			if err != nil {
+				return fmt.Errorf("in-process reference run: %w", err)
+			}
+			if !reflect.DeepEqual(res, want) {
+				return fmt.Errorf("trial %d: wire result diverges from the in-process result", t)
+			}
+			fmt.Printf("  verify:        wire result == in-process result (bit-for-bit)\n")
+		}
+		rec.Trial("wire", point, t, seed, res)
+		if len(res.PerRound) > 0 {
+			rec.RoundSeries("wire", point, t, -1, res.PerRound)
+		}
+	}
+
+	// Per-shard tallies: the service report of every shard, plus each
+	// window's max load from the last trial.
+	reports, err := bank.Reports()
+	if err != nil {
+		return err
+	}
+	windows := bank.Windows()
+	fmt.Println()
+	for i, rep := range reports {
+		lo, hi := windows[i][0], windows[i][1]
+		maxLoad := -1
+		if lastRes != nil && len(lastRes.Loads) == g.NumServers() {
+			maxLoad = 0
+			for _, l := range lastRes.Loads[lo:hi] {
+				if int(l) > maxLoad {
+					maxLoad = int(l)
+				}
+			}
+		}
+		loadCol := ""
+		if maxLoad >= 0 {
+			loadCol = fmt.Sprintf(" max_load=%d", maxLoad)
+		}
+		fmt.Printf("shard %d [%d,%d): rounds=%d requests=%d accepted=%d decide=%v%s\n",
+			i, lo, hi, rep.Rounds, rep.Requests, rep.Accepted,
+			time.Duration(rep.DecideNanos).Round(time.Microsecond), loadCol)
+		if rec != nil {
+			shard, l, h := i, lo, hi
+			rounds := int(rep.Rounds)
+			work := int64(rep.Requests)
+			r := records.Record{
+				Type: records.TypeShard, Experiment: "wire", Point: point,
+				Shard: &shard, ServerLo: &l, ServerHi: &h,
+				Rounds: &rounds, Work: &work,
+			}
+			if maxLoad >= 0 {
+				ml := maxLoad
+				r.MaxLoad = &ml
+			}
+			rec.Emit(r)
+		}
+	}
+
+	lsum := metrics.SummarizeLatencies(allLat)
+	tput := metrics.Throughput{Requests: totalReqs, Elapsed: totalElapsed, Cores: cores}
+	fmt.Printf("\nall trials: %v\n            %v\n", lsum, tput)
+	rec.Note("wire", fmt.Sprintf("latency %v; throughput %v", lsum, tput))
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote records to %s\n", recordsPath)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+// Command saer-server runs SAER/RAES server shards as a network service:
+// one TCP listener per shard speaking the internal/wire frame protocol.
+// The server carries no protocol configuration of its own — every
+// session's Hello announces the variant, capacity and server window, and
+// per-run state is rebuilt by the client's Reset — so the only flags are
+// where to listen. That statelessness is the deployment model: a killed
+// shard process restarted on the same address serves the next epoch
+// indistinguishably from one that never died.
+//
+// Examples:
+//
+//	saer-server -listen 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//	saer-server -shards 3   # three loopback shards on kernel-picked ports
+//
+// The bound addresses are printed one per line ("shard I listening on
+// ADDR"), then "ready"; scripts wait for that line before dialing. On
+// SIGINT/SIGTERM the server shuts down and prints each shard's service
+// report.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", "", "comma-separated listen addresses, one per shard (overrides -shards)")
+		shards = flag.Int("shards", 1, "number of loopback shards on kernel-picked ports when -listen is empty")
+	)
+	flag.Parse()
+
+	var addrs []string
+	if *listen != "" {
+		for _, a := range strings.Split(*listen, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	} else {
+		if *shards < 1 {
+			fmt.Fprintln(os.Stderr, "saer-server: -shards must be at least 1")
+			os.Exit(1)
+		}
+		for i := 0; i < *shards; i++ {
+			addrs = append(addrs, "127.0.0.1:0")
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "saer-server: no listen addresses")
+		os.Exit(1)
+	}
+
+	set, err := wire.StartSet(addrs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "saer-server:", err)
+		os.Exit(1)
+	}
+	for i, addr := range set.Addrs() {
+		fmt.Printf("shard %d listening on %s\n", i, addr)
+	}
+	fmt.Println("ready")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	if err := set.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "saer-server: shutdown:", err)
+	}
+	for i, rep := range set.Reports() {
+		fmt.Printf("shard %d report: sessions=%d rounds=%d requests=%d accepted=%d decide=%v\n",
+			i, rep.Sessions, rep.Rounds, rep.Requests, rep.Accepted,
+			time.Duration(rep.DecideNanos).Round(time.Microsecond))
+	}
+}

@@ -33,23 +33,14 @@ import (
 )
 
 func main() {
+	var rf cli.RunFlags
+	rf.Register(flag.CommandLine)
 	var (
 		graphKind   = flag.String("graph", "regular", "graph family: regular, simple-regular, trust, erdos, almost, proximity, complete")
 		n           = flag.Int("n", 4096, "number of clients and servers")
 		delta       = flag.Int("delta", 0, "client degree (0 = ceil(log2(n)^2))")
 		expectedDeg = flag.Int("expected-degree", 0, "proximity graphs: expected degree used to derive the radius (0 = delta)")
-		d           = flag.Int("d", 2, "requests per client")
-		c           = flag.Float64("c", 4, "threshold constant c (server capacity = floor(c*d)); 0 = the paper's prescribed value")
-		protocol    = flag.String("protocol", "saer", "protocol: saer or raes")
-		seed        = flag.Uint64("seed", 1, "random seed (graph seed = seed, protocol seed = seed+1)")
-		workers     = flag.Int("workers", 0, "worker goroutines per phase (0 = GOMAXPROCS)")
-		shards      = flag.Int("shards", 0, "server shards of the dense round pipeline (0 = worker count, 1 = unsharded; identical results, different locality)")
-		sparseDiv   = flag.Int("sparse-divisor", 0, "EngineAuto sparse-switch threshold: go sparse when active clients <= n/divisor (0 = default 4; identical results)")
-		engineMode  = flag.String("engine", "auto", "round-loop engine: auto, dense or sparse (identical results, different wall-clock)")
-		stealMode   = flag.String("steal", "auto", "work-stealing round schedule: auto (on when workers > 1), on or off (identical results, different wall-clock)")
-		autotune    = flag.String("autotune", "on", "adaptive shard-width and sparse-switch selection from n, delta, m and the measured cache: on or off (explicit -shards/-sparse-divisor always win; identical results)")
 		topoMode    = flag.String("topology", "csr", "graph storage: csr (materialized), implicit (O(n)-memory regenerative; families regular/erdos/trust/almost), or implicit-csr (the implicit sampler materialized — bit-for-bit identical runs to implicit)")
-		maxRounds   = flag.Int("max-rounds", 0, "round cap (0 = default)")
 		churnEpochs = flag.Int("churn-epochs", 0, "run a churn scenario of this many epochs instead of a single execution (0 = off)")
 		churnRewire = flag.Float64("churn-rewire", 0.1, "churn scenario: fraction of clients rewiring their edges per epoch")
 		churnExpiry = flag.Float64("churn-expiry", 0.5, "churn scenario: fraction of carried load expiring per epoch")
@@ -70,12 +61,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "saer-sim: -track, -rounds-csv, -loads-csv and -result-json apply to single runs and are not supported with -churn-epochs")
 			os.Exit(1)
 		}
-		err = runChurn(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *stealMode, *autotune, *topoMode, *seed,
-			*workers, *shards, *sparseDiv, *maxRounds,
+		err = runChurn(rf, *graphKind, *n, *delta, *expectedDeg, *topoMode,
 			*churnEpochs, *churnRewire, *churnExpiry, *churnFail, *churnDemand, *churnPolicy, *churnStore)
 	} else {
-		err = run(*graphKind, *n, *delta, *expectedDeg, *d, *c, *protocol, *engineMode, *stealMode, *autotune, *topoMode, *seed,
-			*workers, *shards, *sparseDiv, *maxRounds,
+		err = run(rf, *graphKind, *n, *delta, *expectedDeg, *topoMode,
 			*trackFlag, *roundsCSV, *loadsCSV, *resultJSON)
 	}
 	if err != nil {
@@ -89,33 +78,21 @@ func main() {
 // erdos bases, trust-subset rows otherwise), an optional
 // failure/recovery wave, load expiry, and per-epoch demand, printing
 // one line per epoch.
-func runChurn(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode, stealMode, autotuneMode, topoMode string, seed uint64,
-	workers, shards, sparseDiv, maxRounds, epochs int, rewireFrac, expiry, failFrac, demandFrac float64, policyName, backendName string) error {
+func runChurn(rf cli.RunFlags, graphKind string, n, delta, expectedDeg int, topoMode string,
+	epochs int, rewireFrac, expiry, failFrac, demandFrac float64, policyName, backendName string) error {
 
-	if c <= 0 {
+	if rf.C <= 0 {
 		return fmt.Errorf("the churn scenario needs an explicit -c")
+	}
+	cfg, err := rf.Config()
+	if err != nil {
+		return err
 	}
 	topology, err := cli.ParseTopologyMode(topoMode)
 	if err != nil {
 		return err
 	}
-	base, err := cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, ExpectedDegree: expectedDeg, Seed: seed}.BuildTopology(topology)
-	if err != nil {
-		return err
-	}
-	variant, err := cli.ParseProtocol(protocol)
-	if err != nil {
-		return err
-	}
-	engine, err := cli.ParseEngineMode(engineMode)
-	if err != nil {
-		return err
-	}
-	steal, err := cli.ParseStealMode(stealMode)
-	if err != nil {
-		return err
-	}
-	tune, err := cli.ParseAutotuneMode(autotuneMode)
+	base, err := cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, ExpectedDegree: expectedDeg, Seed: rf.Seed}.BuildTopology(topology)
 	if err != nil {
 		return err
 	}
@@ -148,29 +125,27 @@ func runChurn(graphKind string, n, delta, expectedDeg, d int, c float64, protoco
 	topo, err := churn.New(churn.Config{
 		Base:    base,
 		Sampler: sampler,
-		Seed:    seed + 2,
+		Seed:    rf.Seed + 2,
 		Backend: backend,
 	})
 	if err != nil {
 		return err
 	}
 	sch, err := churn.NewScheduler(topo, churn.SchedulerConfig{
-		Variant: variant, D: d, C: c,
-		Workers: workers, Shards: shards, Engine: engine,
-		Steal: steal, Autotune: tune,
-		SparseSwitchDivisor: sparseDiv, MaxRounds: maxRounds,
-		LoadExpiry: expiry, Policy: policy,
-	}, seed+3)
+		Protocol:   cfg,
+		LoadExpiry: expiry,
+		Policy:     policy,
+	}, rf.Seed+3)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("churn scenario on %v\n", topo)
 	fmt.Printf("  rewiring sampler: %s\n", samplerName)
 	fmt.Printf("  %d epochs, rewire %.0f%%/epoch, load expiry %.0f%%/epoch, failure wave %.0f%% (policy %s), capacity %d\n\n",
-		epochs, rewireFrac*100, expiry*100, failFrac*100, policy, core.Params{D: d, C: c}.Capacity())
+		epochs, rewireFrac*100, expiry*100, failFrac*100, policy, cfg.Params().Capacity())
 	fmt.Printf("%-6s %-8s %-8s %-7s %-7s %-9s %-9s %-10s %-11s %s\n",
 		"epoch", "rewired", "failed", "rounds", "done", "max_load", "mean", "reinject", "unassigned", "burned_at_start")
-	src := rng.New(seed + 4)
+	src := rng.New(rf.Seed + 4)
 	var wave []int32
 	rewireCount := int(rewireFrac*float64(n) + 0.5)
 	demandCount := int(demandFrac*float64(n) + 0.5)
@@ -214,14 +189,18 @@ func boolMark(b bool) string {
 	return "no"
 }
 
-func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, engineMode, stealMode, autotuneMode, topoMode string, seed uint64,
-	workers, shards, sparseDiv, maxRounds int, track bool, roundsCSV, loadsCSV, resultJSON string) error {
+func run(rf cli.RunFlags, graphKind string, n, delta, expectedDeg int, topoMode string,
+	track bool, roundsCSV, loadsCSV, resultJSON string) error {
 
+	cfg, err := rf.Config()
+	if err != nil {
+		return err
+	}
 	topology, err := cli.ParseTopologyMode(topoMode)
 	if err != nil {
 		return err
 	}
-	g, err := cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, ExpectedDegree: expectedDeg, Seed: seed}.BuildTopology(topology)
+	g, err := cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, ExpectedDegree: expectedDeg, Seed: rf.Seed}.BuildTopology(topology)
 	if err != nil {
 		return err
 	}
@@ -229,49 +208,24 @@ func run(graphKind string, n, delta, expectedDeg, d int, c float64, protocol, en
 		st := csr.Stats()
 		fmt.Printf("graph: %s\n", csr)
 		fmt.Printf("  eta=%.3f rho=%.3f (paper's prescribed c for this graph: %.1f)\n",
-			st.Eta, st.RegularityRatio, core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d))
-		if c <= 0 {
-			c = core.MinCAlmostRegular(st.Eta, st.RegularityRatio, d)
+			st.Eta, st.RegularityRatio, core.MinCAlmostRegular(st.Eta, st.RegularityRatio, cfg.D))
+		if cfg.C <= 0 {
+			cfg.C = core.MinCAlmostRegular(st.Eta, st.RegularityRatio, cfg.D)
 		}
 	} else {
 		// Implicit topologies expose no server-side degree statistics
 		// without an O(n·Δ) materialization pass, so the prescribed-c
 		// shortcut is unavailable.
 		fmt.Printf("graph: %v\n", g)
-		if c <= 0 {
+		if cfg.C <= 0 {
 			return fmt.Errorf("-c 0 (prescribed threshold) needs server degree statistics; pass an explicit -c with -topology implicit")
 		}
 	}
 
-	variant, err := cli.ParseProtocol(protocol)
-	if err != nil {
-		return err
-	}
-
-	engine, err := cli.ParseEngineMode(engineMode)
-	if err != nil {
-		return err
-	}
-	steal, err := cli.ParseStealMode(stealMode)
-	if err != nil {
-		return err
-	}
-	tune, err := cli.ParseAutotuneMode(autotuneMode)
-	if err != nil {
-		return err
-	}
-	opts := core.Options{
-		Engine:              engine,
-		Steal:               steal,
-		Autotune:            tune,
-		Shards:              shards,
-		SparseSwitchDivisor: sparseDiv,
-		TrackRounds:         track || roundsCSV != "",
-		TrackNeighborhoods:  track || roundsCSV != "",
-		TrackLoads:          loadsCSV != "" || resultJSON != "",
-	}
-	params := core.Params{D: d, C: c, Seed: seed + 1, Workers: workers, MaxRounds: maxRounds}
-	res, err := core.Run(g, variant, params, opts)
+	cfg.TrackRounds = track || roundsCSV != ""
+	cfg.TrackNeighborhoods = track || roundsCSV != ""
+	cfg.TrackLoads = loadsCSV != "" || resultJSON != ""
+	res, err := cfg.Run(g)
 	if err != nil {
 		return err
 	}

@@ -53,25 +53,16 @@ func ParsePolicy(s string) (Policy, error) {
 }
 
 // SchedulerConfig fixes the protocol and process parameters of a
-// scenario. The zero value of the optional knobs selects the core
-// defaults (auto engine, GOMAXPROCS workers, worker-count shards).
+// scenario.
 type SchedulerConfig struct {
-	Variant core.Variant
-	// D and C are the protocol parameters (requests per client, capacity
-	// threshold constant).
-	D int
-	C float64
-	// Workers, Shards, Engine, SparseSwitchDivisor, Steal, Autotune and
-	// MaxRounds are passed through to the protocol runs; results are
-	// bit-for-bit independent of all but MaxRounds (core.Runner's
-	// contract).
-	Workers             int
-	Shards              int
-	Engine              core.EngineMode
-	SparseSwitchDivisor int
-	Steal               core.StealMode
-	Autotune            core.AutotuneMode
-	MaxRounds           int
+	// Protocol is the per-epoch run configuration: the variant, D, C and
+	// every performance knob, on the single validated core.Config
+	// surface. The zero value of each knob selects the core default. The
+	// scheduler owns the per-epoch pieces — Seed (drawn per epoch),
+	// InitialLoads/RequestCounts (aliased to the carried scenario state),
+	// TrackLoads and TrackRounds — and overwrites them; set protocol
+	// identity and performance knobs only.
+	Protocol core.Config
 	// LoadExpiry is the fraction of every live server's carried load
 	// that expires at the start of each epoch (sessions ending): the
 	// knob that lets the scenario settle into a metastable regime
@@ -83,6 +74,55 @@ type SchedulerConfig struct {
 	// EpochOutcome (for the -json round records). It does not change
 	// any outcome.
 	TrackRounds bool
+	// NewExecutor overrides how an epoch's protocol run executes: the
+	// scheduler calls it once with the scenario topology and the fully
+	// assembled per-epoch run configuration (InitialLoads/RequestCounts
+	// aliased to the scheduler's carried state, TrackLoads on) and drives
+	// the returned Executor every epoch. Nil selects the in-process
+	// executor (one reused core.Runner driven via PatchTopology +
+	// Reseed). The wire service mode plugs in an executor that drives
+	// remote server shards; because servers are rebuilt from InitialLoads
+	// at every epoch, any executor that computes the same random process
+	// — local runner, netsim, wire client — yields bit-for-bit identical
+	// scenarios.
+	NewExecutor func(topo *Topology, cfg core.Config) (Executor, error)
+}
+
+// Executor runs one epoch's protocol execution. The scheduler hands it
+// the epoch's seed; the carried loads and per-client request counts are
+// the slices the executor was constructed around (aliased, mutated in
+// place by the scheduler between epochs). The returned Result must carry
+// TrackLoads (the scheduler folds res.Loads back into its carried
+// state) and, when requested, the per-round series.
+type Executor interface {
+	RunEpoch(seed uint64) (*core.Result, error)
+}
+
+// localExecutor is the default in-process Executor: one reused
+// core.Runner over the scenario topology, re-validated and re-bound
+// after each epoch's mutations via PatchTopology.
+type localExecutor struct {
+	topo   *Topology
+	cfg    core.Config
+	runner *core.Runner
+}
+
+func (x *localExecutor) RunEpoch(seed uint64) (*core.Result, error) {
+	if x.runner == nil {
+		cfg := x.cfg
+		cfg.Seed = seed
+		r, err := cfg.NewRunner(x.topo)
+		if err != nil {
+			return nil, err
+		}
+		x.runner = r
+	} else {
+		if err := x.runner.PatchTopology(); err != nil {
+			return nil, err
+		}
+		x.runner.Reseed(seed)
+	}
+	return x.runner.Run(), nil
 }
 
 // EpochEvent describes what happens in one epoch of the scenario. The
@@ -153,11 +193,12 @@ type EpochOutcome struct {
 // seed, scheduler seed, event sequence) and bit-for-bit independent of
 // the worker count, shard count, engine mode and topology backend.
 type Scheduler struct {
-	topo   *Topology
-	cfg    SchedulerConfig
-	runner *core.Runner
-	// loads and reqs are aliased into the Runner's Options
-	// (InitialLoads/RequestCounts), so each Reseed picks up the epoch's
+	topo *Topology
+	cfg  SchedulerConfig
+	exec Executor
+	d    int
+	// loads and reqs are aliased into the executor's configuration
+	// (InitialLoads/RequestCounts), so each epoch's run picks up the
 	// carried loads and demand in place.
 	loads []int
 	reqs  []int
@@ -174,20 +215,36 @@ type Scheduler struct {
 // NewScheduler returns a Scheduler for topo. The seed determines the
 // per-epoch protocol seeds (the topology carries its own seed).
 func NewScheduler(topo *Topology, cfg SchedulerConfig, seed uint64) (*Scheduler, error) {
-	if err := (core.Params{D: cfg.D, C: cfg.C}).Validate(); err != nil {
+	if err := cfg.Protocol.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.LoadExpiry < 0 || cfg.LoadExpiry > 1 {
 		return nil, fmt.Errorf("churn: LoadExpiry must be in [0,1], got %v", cfg.LoadExpiry)
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		topo:     topo,
 		cfg:      cfg,
+		d:        cfg.Protocol.D,
 		loads:    make([]int, topo.NumServers()),
 		reqs:     make([]int, topo.NumClients()),
 		seq:      rng.New(seed ^ 0xc5ee71a52d9c0d4b),
-		capacity: core.Params{D: cfg.D, C: cfg.C}.Capacity(),
-	}, nil
+		capacity: cfg.Protocol.Params().Capacity(),
+	}
+	proto := cfg.Protocol
+	proto.InitialLoads = s.loads
+	proto.RequestCounts = s.reqs
+	proto.TrackLoads = true
+	proto.TrackRounds = cfg.TrackRounds
+	if cfg.NewExecutor != nil {
+		exec, err := cfg.NewExecutor(topo, proto)
+		if err != nil {
+			return nil, err
+		}
+		s.exec = exec
+	} else {
+		s.exec = &localExecutor{topo: topo, cfg: proto}
+	}
+	return s, nil
 }
 
 // Epoch returns the number of epochs stepped so far.
@@ -268,21 +325,21 @@ func (s *Scheduler) Step(e EpochEvent) (*EpochOutcome, error) {
 	if e.RedemandAll {
 		for v := range s.reqs {
 			if s.topo.Present(v) {
-				s.reqs[v] = s.cfg.D
-				demand += s.cfg.D
+				s.reqs[v] = s.d
+				demand += s.d
 			}
 		}
 	} else {
 		for _, v := range e.Arrive {
 			if s.reqs[v] == 0 {
-				s.reqs[v] = s.cfg.D
-				demand += s.cfg.D
+				s.reqs[v] = s.d
+				demand += s.d
 			}
 		}
 		for _, v := range e.Demand {
 			if s.reqs[v] == 0 && s.topo.Present(int(v)) {
-				s.reqs[v] = s.cfg.D
-				demand += s.cfg.D
+				s.reqs[v] = s.d
+				demand += s.d
 			}
 		}
 	}
@@ -296,36 +353,11 @@ func (s *Scheduler) Step(e EpochEvent) (*EpochOutcome, error) {
 		}
 	}
 
-	// 6. Protocol run on the patched topology.
-	runSeed := s.seq.Uint64()
-	if s.runner == nil {
-		params := core.Params{
-			D: s.cfg.D, C: s.cfg.C, Seed: runSeed,
-			Workers: s.cfg.Workers, MaxRounds: s.cfg.MaxRounds,
-		}
-		opts := core.Options{
-			Engine:              s.cfg.Engine,
-			Shards:              s.cfg.Shards,
-			SparseSwitchDivisor: s.cfg.SparseSwitchDivisor,
-			Steal:               s.cfg.Steal,
-			Autotune:            s.cfg.Autotune,
-			InitialLoads:        s.loads,
-			RequestCounts:       s.reqs,
-			TrackLoads:          true,
-			TrackRounds:         s.cfg.TrackRounds,
-		}
-		r, err := core.NewRunner(s.topo, s.cfg.Variant, params, opts)
-		if err != nil {
-			return nil, err
-		}
-		s.runner = r
-	} else {
-		if err := s.runner.PatchTopology(); err != nil {
-			return nil, err
-		}
-		s.runner.Reseed(runSeed)
+	// 6. Protocol run on the mutated topology, through the executor.
+	res, err := s.exec.RunEpoch(s.seq.Uint64())
+	if err != nil {
+		return nil, err
 	}
-	res := s.runner.Run()
 	copy(s.loads, res.Loads)
 
 	out := &EpochOutcome{
@@ -368,7 +400,7 @@ func (s *Scheduler) distributePending() int {
 	given := 0
 	for i := 0; i < len(s.presBuf) && s.pending > 0; i++ {
 		v := s.presBuf[(off+i)%len(s.presBuf)]
-		free := s.cfg.D - s.reqs[v]
+		free := s.d - s.reqs[v]
 		if free <= 0 {
 			continue
 		}

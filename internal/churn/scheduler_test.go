@@ -39,9 +39,13 @@ func runTestScenario(t *testing.T, sc scenarioConfig) []*EpochOutcome {
 	if err != nil {
 		t.Fatal(err)
 	}
+	proto := core.NewConfig(core.SAER, 2, 3, 0)
+	proto.Workers = sc.workers
+	proto.Shards = sc.shards
+	proto.Engine = sc.engine
+	proto.Steal = sc.steal
 	sch, err := NewScheduler(topo, SchedulerConfig{
-		Variant: core.SAER, D: 2, C: 3,
-		Workers: sc.workers, Shards: sc.shards, Engine: sc.engine, Steal: sc.steal,
+		Protocol:   proto,
 		LoadExpiry: 0.5, Policy: PolicyReinject, TrackRounds: true,
 	}, 0x77)
 	if err != nil {
@@ -132,9 +136,9 @@ func TestSchedulerPolicies(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sch, err := NewScheduler(topo, SchedulerConfig{
-			Variant: core.SAER, D: 2, C: 4, Workers: 1, Policy: policy,
-		}, 2)
+		proto := core.NewConfig(core.SAER, 2, 4, 0)
+		proto.Workers = 1
+		sch, err := NewScheduler(topo, SchedulerConfig{Protocol: proto, Policy: policy}, 2)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +208,9 @@ func TestSchedulerArrivalDemand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sch, err := NewScheduler(topo, SchedulerConfig{Variant: core.SAER, D: 2, C: 4, Workers: 1}, 11)
+	oneWorker := core.NewConfig(core.SAER, 2, 4, 0)
+	oneWorker.Workers = 1
+	sch, err := NewScheduler(topo, SchedulerConfig{Protocol: oneWorker}, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,10 +252,10 @@ func TestSchedulerValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := NewScheduler(topo, SchedulerConfig{D: 0, C: 4}, 1); err == nil {
+	if _, err := NewScheduler(topo, SchedulerConfig{Protocol: core.NewConfig(core.SAER, 0, 4, 1)}, 1); err == nil {
 		t.Error("D=0 accepted")
 	}
-	if _, err := NewScheduler(topo, SchedulerConfig{D: 2, C: 4, LoadExpiry: 1.5}, 1); err == nil {
+	if _, err := NewScheduler(topo, SchedulerConfig{Protocol: core.NewConfig(core.SAER, 2, 4, 1), LoadExpiry: 1.5}, 1); err == nil {
 		t.Error("LoadExpiry=1.5 accepted")
 	}
 	if _, err := New(Config{Base: base, Sampler: Sampler{}, Seed: 1}); err == nil {

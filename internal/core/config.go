@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+	"repro/internal/engine"
+)
+
+// Config is the single validated configuration surface of a protocol
+// execution: the protocol identity (Variant, D, C, MaxRounds, Seed), the
+// performance knobs (Workers, Engine, Shards, SparseSwitchDivisor,
+// Autotune, Steal — results are bit-for-bit independent of all of them),
+// and the optional diagnostics. It collapses the historical
+// (Variant, Params, Options) triple that every caller used to assemble
+// field by field; the simulator CLI, the sweep engine and the wire
+// binaries all build a Config and go through its constructor methods, so
+// knob validation and normalization happen in exactly one place. Params
+// and Options remain as the internal split (and in Result, which echoes
+// them), produced by the Params/Options accessors.
+//
+// The zero value of every knob means "pick the default": Workers 0 is
+// GOMAXPROCS, Engine/Steal/Autotune zero values are the auto modes,
+// Shards/SparseSwitchDivisor 0 defer to the autotuner. ResolveKnobs
+// exposes the normalization itself for equivalence tests and diagnostics.
+type Config struct {
+	// Variant selects the threshold protocol (SAER or RAES).
+	Variant Variant
+	// D is the request number d: the number of balls each client places.
+	D int
+	// C is the threshold constant c; the per-server capacity is ⌊C·D⌋.
+	C float64
+	// MaxRounds caps the run; zero selects DefaultMaxRounds(n).
+	MaxRounds int
+	// Seed determines every random choice of the run.
+	Seed uint64
+
+	// Workers is the number of goroutines per phase (0 = GOMAXPROCS).
+	Workers int
+	// Engine selects the round-loop iteration strategy (see EngineMode).
+	Engine EngineMode
+	// Shards is the target server-shard count of the dense round pipeline
+	// (0 = autotuned/worker count, 1 = unsharded; see Options.Shards).
+	Shards int
+	// SparseSwitchDivisor overrides EngineAuto's density threshold
+	// (0 = autotuned or the static default; see Options).
+	SparseSwitchDivisor int
+	// Autotune selects whether unset performance knobs are derived per
+	// instance (the zero value is AutotuneOn; see AutotuneMode).
+	Autotune AutotuneMode
+	// Steal selects the round scheduler (the zero value is StealAuto).
+	Steal StealMode
+
+	// TrackRounds records a RoundStats entry per round.
+	TrackRounds bool
+	// TrackNeighborhoods additionally computes S_t, r_t and K_t per round
+	// (implies TrackRounds).
+	TrackNeighborhoods bool
+	// TrackLoads stores the final per-server load vector in the result.
+	TrackLoads bool
+	// TrackAssignments records which server accepted each client ball.
+	TrackAssignments bool
+	// InitialLoads pre-loads the servers (dynamic scenarios); length must
+	// equal the server count when non-nil.
+	InitialLoads []int
+	// RequestCounts gives each client its own ball count in [0, D];
+	// length must equal the client count when non-nil.
+	RequestCounts []int
+}
+
+// NewConfig returns a Config for one protocol execution with every
+// performance knob at its self-tuning default.
+func NewConfig(variant Variant, d int, c float64, seed uint64) Config {
+	return Config{Variant: variant, D: d, C: c, Seed: seed}
+}
+
+// ConfigFrom assembles a Config from the historical
+// (variant, params, options) triple: the migration bridge for callers
+// whose declarative surface still carries the split types (the sweep
+// engine's Point grid). New code should build a Config directly.
+func ConfigFrom(variant Variant, p Params, o Options) Config {
+	return Config{
+		Variant:             variant,
+		D:                   p.D,
+		C:                   p.C,
+		MaxRounds:           p.MaxRounds,
+		Seed:                p.Seed,
+		Workers:             p.Workers,
+		Engine:              o.Engine,
+		Shards:              o.Shards,
+		SparseSwitchDivisor: o.SparseSwitchDivisor,
+		Autotune:            o.Autotune,
+		Steal:               o.Steal,
+		TrackRounds:         o.TrackRounds,
+		TrackNeighborhoods:  o.TrackNeighborhoods,
+		TrackLoads:          o.TrackLoads,
+		TrackAssignments:    o.TrackAssignments,
+		InitialLoads:        o.InitialLoads,
+		RequestCounts:       o.RequestCounts,
+	}
+}
+
+// Params returns the run-parameter view of the configuration.
+func (c Config) Params() Params {
+	return Params{D: c.D, C: c.C, MaxRounds: c.MaxRounds, Workers: c.Workers, Seed: c.Seed}
+}
+
+// Options returns the diagnostics/performance-knob view of the
+// configuration.
+func (c Config) Options() Options {
+	return Options{
+		Engine:              c.Engine,
+		Shards:              c.Shards,
+		SparseSwitchDivisor: c.SparseSwitchDivisor,
+		Autotune:            c.Autotune,
+		Steal:               c.Steal,
+		TrackRounds:         c.TrackRounds,
+		TrackNeighborhoods:  c.TrackNeighborhoods,
+		TrackLoads:          c.TrackLoads,
+		TrackAssignments:    c.TrackAssignments,
+		InitialLoads:        c.InitialLoads,
+		RequestCounts:       c.RequestCounts,
+	}
+}
+
+// Validate checks everything that can be checked without a topology:
+// the protocol parameters and the knob/mode enumerations. The
+// topology-dependent checks (InitialLoads/RequestCounts lengths) run in
+// NewRunner, which knows the instance shape.
+func (c Config) Validate() error {
+	if c.Variant != SAER && c.Variant != RAES {
+		return fmt.Errorf("core: unknown protocol variant %d", int(c.Variant))
+	}
+	if err := c.Params().Validate(); err != nil {
+		return err
+	}
+	return c.Options().validate()
+}
+
+// NewRunner validates the configuration against topo and allocates the
+// run state.
+func (c Config) NewRunner(topo bipartite.Topology) (*Runner, error) {
+	return NewRunner(topo, c.Variant, c.Params(), c.Options())
+}
+
+// Run executes one full protocol run of the configuration on topo.
+func (c Config) Run(topo bipartite.Topology) (*Result, error) {
+	r, err := c.NewRunner(topo)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(), nil
+}
+
+// validate checks the option enumerations and value ranges that do not
+// depend on the instance shape.
+func (o Options) validate() error {
+	if o.Engine != EngineAuto && o.Engine != EngineDense && o.Engine != EngineSparse {
+		return fmt.Errorf("core: unknown engine mode %d", int(o.Engine))
+	}
+	if o.Shards < 0 {
+		return fmt.Errorf("core: Shards must be non-negative, got %d", o.Shards)
+	}
+	if o.SparseSwitchDivisor < 0 {
+		return fmt.Errorf("core: SparseSwitchDivisor must be non-negative, got %d", o.SparseSwitchDivisor)
+	}
+	if o.Autotune != AutotuneOn && o.Autotune != AutotuneOff {
+		return fmt.Errorf("core: unknown autotune mode %d", int(o.Autotune))
+	}
+	if o.Steal != StealAuto && o.Steal != StealOn && o.Steal != StealOff {
+		return fmt.Errorf("core: unknown steal mode %d", int(o.Steal))
+	}
+	return nil
+}
+
+// ResolvedKnobs is the concrete performance-knob assignment the
+// normalization step produces for one instance shape: what a Runner
+// built from the same configuration actually runs with. It exists so
+// equivalence tests can pin "new Config resolution == old NewRunner
+// resolution" without reaching into Runner internals, and so
+// diagnostics can report the effective knobs.
+type ResolvedKnobs struct {
+	// Workers is the effective worker count (GOMAXPROCS-resolved).
+	Workers int
+	// Shards is the target shard count handed to the router; the router
+	// may still collapse to 1 effective shard on tiny instances, in which
+	// case the pre-shard dense loop runs.
+	Shards int
+	// SparseSwitchDivisor is the effective EngineAuto density threshold.
+	SparseSwitchDivisor int
+	// Steal reports whether the work-stealing round scheduler is active.
+	Steal bool
+}
+
+// resolveKnobs is the single knob-normalization step shared by NewRunner
+// and Config.ResolveKnobs: explicit values win, the autotuner fills what
+// is unset (when enabled), and static defaults cover the rest.
+func resolveKnobs(o Options, n, maxDeg, m, workers int, isCSR bool) ResolvedKnobs {
+	k := ResolvedKnobs{
+		Workers:             workers,
+		Shards:              o.Shards,
+		SparseSwitchDivisor: o.SparseSwitchDivisor,
+	}
+	if o.Autotune == AutotuneOn && (k.Shards == 0 || k.SparseSwitchDivisor == 0) {
+		tuned := AutotuneKnobs(n, maxDeg, m, workers, !isCSR, engine.DetectCache())
+		if k.Shards == 0 {
+			k.Shards = tuned.Shards
+		}
+		if k.SparseSwitchDivisor == 0 {
+			k.SparseSwitchDivisor = tuned.SparseSwitchDivisor
+		}
+	}
+	if k.SparseSwitchDivisor == 0 {
+		k.SparseSwitchDivisor = defaultSparseSwitchDivisor
+	}
+	if k.Shards == 0 {
+		k.Shards = workers
+	}
+	switch o.Steal {
+	case StealOn:
+		k.Steal = true
+	case StealOff:
+		k.Steal = false
+	default:
+		k.Steal = workers > 1
+	}
+	return k
+}
+
+// ResolveKnobs reports the effective performance knobs the configuration
+// resolves to on topo, without allocating any run state.
+func (c Config) ResolveKnobs(topo bipartite.Topology) ResolvedKnobs {
+	_, isCSR := topo.(*bipartite.Graph)
+	workers := engine.NewPool(c.Workers).Workers()
+	return resolveKnobs(c.Options(), topo.NumClients(), topo.MaxClientDegree(), topo.NumServers(), workers, isCSR)
+}

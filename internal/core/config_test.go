@@ -1,0 +1,145 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+// TestConfigViewsMatchLegacyTriple pins the Config→(Params, Options)
+// mapping: every field of the collapsed surface lands in exactly the
+// legacy field the historical callers set directly.
+func TestConfigViewsMatchLegacyTriple(t *testing.T) {
+	cfg := Config{
+		Variant: RAES, D: 3, C: 2.5, MaxRounds: 77, Seed: 42,
+		Workers: 2, Engine: EngineSparse, Shards: 4, SparseSwitchDivisor: 8,
+		Autotune: AutotuneOff, Steal: StealOn,
+		TrackRounds: true, TrackNeighborhoods: true, TrackLoads: true, TrackAssignments: true,
+		InitialLoads:  []int{1, 2},
+		RequestCounts: []int{0, 1, 2},
+	}
+	p := cfg.Params()
+	if p.D != 3 || p.C != 2.5 || p.MaxRounds != 77 || p.Seed != 42 || p.Workers != 2 {
+		t.Fatalf("Params mapping broken: %+v", p)
+	}
+	o := cfg.Options()
+	if o.Engine != EngineSparse || o.Shards != 4 || o.SparseSwitchDivisor != 8 ||
+		o.Autotune != AutotuneOff || o.Steal != StealOn ||
+		!o.TrackRounds || !o.TrackNeighborhoods || !o.TrackLoads || !o.TrackAssignments ||
+		len(o.InitialLoads) != 2 || len(o.RequestCounts) != 3 {
+		t.Fatalf("Options mapping broken: %+v", o)
+	}
+}
+
+// TestConfigValidate pins the instance-independent validation surface.
+func TestConfigValidate(t *testing.T) {
+	good := NewConfig(SAER, 2, 4, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Variant: Variant(9), D: 2, C: 4},
+		{Variant: SAER, D: 0, C: 4},
+		{Variant: SAER, D: 2, C: 0},
+		{Variant: SAER, D: 2, C: 4, MaxRounds: -1},
+		{Variant: SAER, D: 2, C: 4, Engine: EngineMode(9)},
+		{Variant: SAER, D: 2, C: 4, Shards: -1},
+		{Variant: SAER, D: 2, C: 4, SparseSwitchDivisor: -1},
+		{Variant: SAER, D: 2, C: 4, Autotune: AutotuneMode(9)},
+		{Variant: SAER, D: 2, C: 4, Steal: StealMode(9)},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestResolveKnobsMatchesRunner pins the normalization equivalence the
+// api_redesign demands: across the whole knob grid, the knobs
+// Config.ResolveKnobs reports are exactly what a Runner built from the
+// same configuration runs with (its resolved sparse-switch divisor,
+// steal schedule, and router shard count). This is the old-vs-new
+// resolution suite — NewRunner's historical inline normalization moved
+// into resolveKnobs, and this test keeps the two callers pinned
+// together.
+func TestResolveKnobsMatchesRunner(t *testing.T) {
+	g, err := gen.Regular(256, 8, rng.New(7))
+	if err != nil {
+		t.Fatalf("building graph: %v", err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		for _, shards := range []int{0, 1, 2, 8} {
+			for _, div := range []int{0, 2, 16} {
+				for _, tune := range []AutotuneMode{AutotuneOn, AutotuneOff} {
+					for _, steal := range []StealMode{StealAuto, StealOn, StealOff} {
+						cfg := NewConfig(SAER, 2, 4, 1)
+						cfg.Workers = workers
+						cfg.Shards = shards
+						cfg.SparseSwitchDivisor = div
+						cfg.Autotune = tune
+						cfg.Steal = steal
+						want := cfg.ResolveKnobs(g)
+						r, err := cfg.NewRunner(g)
+						if err != nil {
+							t.Fatalf("workers=%d shards=%d div=%d tune=%d steal=%d: %v",
+								workers, shards, div, tune, steal, err)
+						}
+						if r.pool.Workers() != want.Workers {
+							t.Fatalf("workers=%d: runner has %d workers, resolved %d",
+								workers, r.pool.Workers(), want.Workers)
+						}
+						if r.switchDivisor != want.SparseSwitchDivisor {
+							t.Fatalf("div=%d tune=%d: runner divisor %d, resolved %d",
+								div, tune, r.switchDivisor, want.SparseSwitchDivisor)
+						}
+						if r.steal != want.Steal {
+							t.Fatalf("steal=%d workers=%d: runner steal %v, resolved %v",
+								steal, workers, r.steal, want.Steal)
+						}
+						// The router exists iff the resolved target exceeds
+						// one shard and survives the router's own collapse
+						// rule; when it exists its shard count never exceeds
+						// the target.
+						if want.Shards <= 1 && r.router != nil {
+							t.Fatalf("shards=%d: resolved %d but runner built a router", shards, want.Shards)
+						}
+						if r.router != nil && r.router.Shards() > want.Shards {
+							t.Fatalf("shards=%d: router has %d shards, resolved target %d",
+								shards, r.router.Shards(), want.Shards)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConfigRunMatchesLegacyRun pins behavioral equivalence end to end:
+// a Config-driven run is bit-for-bit the run the legacy
+// (variant, params, opts) call produces.
+func TestConfigRunMatchesLegacyRun(t *testing.T) {
+	g, err := gen.Regular(512, 6, rng.New(3))
+	if err != nil {
+		t.Fatalf("building graph: %v", err)
+	}
+	for _, variant := range []Variant{SAER, RAES} {
+		cfg := NewConfig(variant, 2, 4, 99)
+		cfg.TrackRounds = true
+		cfg.TrackLoads = true
+		got, err := cfg.Run(g)
+		if err != nil {
+			t.Fatalf("config run: %v", err)
+		}
+		want, err := Run(g, variant, Params{D: 2, C: 4, Seed: 99},
+			Options{TrackRounds: true, TrackLoads: true})
+		if err != nil {
+			t.Fatalf("legacy run: %v", err)
+		}
+		if !reflect.DeepEqual(normalizedResult(got), normalizedResult(want)) {
+			t.Fatalf("%v: config run diverged from legacy run:\n got: %+v\nwant: %+v", variant, got, want)
+		}
+	}
+}

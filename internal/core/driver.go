@@ -1,0 +1,464 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/rng"
+)
+
+// Driver is the transport-agnostic client side of the protocol: it draws
+// every ball's destination from the same per-client random streams as
+// the Runner, batches each round's (server, count) pairs through a
+// ServerBank, and assembles the identical Result. With a LocalBank the
+// whole protocol runs in this process; with a wire bank the servers live
+// in remote shard processes and the Driver becomes the load generator.
+// Either way the outcome is bit-for-bit the Runner's for the same
+// (topology, config, seed) — the equivalence suite pins that, and the
+// wire smoke job asserts it end to end over real sockets.
+//
+// The Driver is single-threaded on the client side (the Runner's worker
+// pool exists to parallelize the tally, which the bank owns here); its
+// throughput is the transport's business, measured per round by the
+// optional RoundObserver.
+type Driver struct {
+	topo bipartite.Topology
+	cfg  Config
+	bank ServerBank
+
+	csr    *bipartite.Graph
+	nbrBuf []int32
+
+	capacity int32
+	d        int
+
+	alive    []int32
+	choices  []int32
+	streams  []rng.Stream
+	frontier []int32
+
+	// counts/countRound are the epoch-stamped dense tally of the round's
+	// requests: counts[u] is valid iff countRound[u] == the current
+	// round, so no clearing pass over the m servers is ever needed.
+	counts     []int32
+	countRound []int32
+	touched    []int32
+	countsArg  []int32
+
+	// acceptedRound[u] == round ⇔ server u accepted this round (from the
+	// bank's decision); burned mirrors the bank's burned flags so the
+	// neighborhood statistics and the starvation check stay client-side.
+	acceptedRound []int32
+	burned        []bool
+
+	cumNbrReceived []int64
+	assignments    [][]int32
+
+	// observer, when non-nil, is called once per completed round (after
+	// the bank's decision is applied) — the wire client hooks its latency
+	// and throughput capture here.
+	observer RoundObserver
+}
+
+// RoundObserver receives one callback per completed round with the
+// round's request volume; the wire client uses it to timestamp round
+// trips for the latency summary.
+type RoundObserver func(round int, requests int64)
+
+// NewDriver validates the configuration against topo (the same checks as
+// NewRunner) and allocates the client-side run state. The bank is not
+// touched until Run, which Resets it first — so a freshly dialed wire
+// bank can be handed over as-is.
+func NewDriver(topo bipartite.Topology, cfg Config, bank ServerBank) (*Driver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrInvalidGraph, err)
+	}
+	n := topo.NumClients()
+	m := topo.NumServers()
+	if cfg.InitialLoads != nil && len(cfg.InitialLoads) != m {
+		return nil, fmt.Errorf("core: InitialLoads has %d entries for %d servers", len(cfg.InitialLoads), m)
+	}
+	if cfg.RequestCounts != nil {
+		if len(cfg.RequestCounts) != n {
+			return nil, fmt.Errorf("core: RequestCounts has %d entries for %d clients", len(cfg.RequestCounts), n)
+		}
+		for v, c := range cfg.RequestCounts {
+			if c < 0 || c > cfg.D {
+				return nil, fmt.Errorf("core: RequestCounts[%d] = %d outside [0, D=%d]", v, c, cfg.D)
+			}
+		}
+	}
+	if bank == nil {
+		return nil, fmt.Errorf("core: driver needs a server bank")
+	}
+	d := &Driver{
+		topo:     topo,
+		cfg:      cfg,
+		bank:     bank,
+		capacity: int32(cfg.Params().Capacity()),
+		d:        cfg.D,
+
+		alive:   make([]int32, n),
+		choices: make([]int32, n*cfg.D),
+		streams: make([]rng.Stream, n),
+
+		counts:        make([]int32, m),
+		countRound:    make([]int32, m),
+		acceptedRound: make([]int32, m),
+		burned:        make([]bool, m),
+	}
+	d.csr, _ = topo.(*bipartite.Graph)
+	if d.csr == nil {
+		d.nbrBuf = make([]int32, 0, topo.MaxClientDegree())
+	}
+	if cfg.TrackNeighborhoods {
+		d.cumNbrReceived = make([]int64, n)
+	}
+	if cfg.TrackAssignments {
+		d.assignments = make([][]int32, n)
+	}
+	return d, nil
+}
+
+// NewLocalDriver wires a Driver to an in-process LocalBank of `shards`
+// server shards — the single-process way to run the bank/driver split
+// (and the reference the wire transport is cross-checked against).
+func NewLocalDriver(topo bipartite.Topology, cfg Config, shards int) (*Driver, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	bank, err := NewLocalBank(cfg.Variant, int32(cfg.Params().Capacity()), topo.NumServers(), shards)
+	if err != nil {
+		return nil, err
+	}
+	return NewDriver(topo, cfg, bank)
+}
+
+// SetObserver installs the per-round callback (nil to remove).
+func (dr *Driver) SetObserver(obs RoundObserver) { dr.observer = obs }
+
+// Reseed sets the protocol seed of the next Run.
+func (dr *Driver) Reseed(seed uint64) { dr.cfg.Seed = seed }
+
+// neighbors returns client v's neighborhood: zero-copy from a CSR graph,
+// regenerated into the scratch buffer otherwise.
+func (dr *Driver) neighbors(v int) []int32 {
+	if dr.csr != nil {
+		return dr.csr.ClientNeighbors(v)
+	}
+	dr.nbrBuf = dr.topo.AppendClientNeighbors(v, dr.nbrBuf[:0])
+	return dr.nbrBuf
+}
+
+// reset rebuilds all client-side per-run state and Resets the bank, so
+// every Run is independent: a wire server process that was killed and
+// restarted between epochs is indistinguishable from one that stayed up.
+func (dr *Driver) reset() (aliveTotal int64, err error) {
+	dr.frontier = dr.frontier[:0]
+	for v := range dr.alive {
+		a := int32(dr.d)
+		if dr.cfg.RequestCounts != nil {
+			a = int32(dr.cfg.RequestCounts[v])
+		}
+		dr.alive[v] = a
+		if a > 0 {
+			dr.frontier = append(dr.frontier, int32(v))
+			aliveTotal += int64(a)
+		}
+	}
+	for u := range dr.countRound {
+		dr.countRound[u] = 0
+		dr.acceptedRound[u] = 0
+		dr.burned[u] = false
+	}
+	if dr.cfg.InitialLoads != nil {
+		for u, l := range dr.cfg.InitialLoads {
+			if int32(l) >= dr.capacity {
+				dr.burned[u] = true
+			}
+		}
+	}
+	for v := range dr.cumNbrReceived {
+		dr.cumNbrReceived[v] = 0
+	}
+	for v := range dr.assignments {
+		dr.assignments[v] = dr.assignments[v][:0]
+	}
+	rng.ReseedStreamSlice(dr.streams, dr.cfg.Seed)
+	return aliveTotal, dr.bank.Reset(dr.cfg.InitialLoads)
+}
+
+// Run executes the protocol against the bank until completion or the
+// round cap and returns the Result. Run may be called again (after
+// Reseed for an independent trial).
+func (dr *Driver) Run() (*Result, error) {
+	n := dr.topo.NumClients()
+	m := dr.topo.NumServers()
+	maxRounds := dr.cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = DefaultMaxRounds(n)
+	}
+	trackRounds := dr.cfg.TrackRounds || dr.cfg.TrackNeighborhoods
+
+	res := &Result{
+		Variant:    dr.cfg.Variant,
+		Params:     dr.cfg.Params(),
+		NumClients: n,
+		NumServers: m,
+	}
+	if trackRounds {
+		res.PerRound = make([]RoundStats, 0, CompletionBound(n)+4)
+	}
+
+	aliveTotal, err := dr.reset()
+	if err != nil {
+		return nil, err
+	}
+	res.TotalBalls = aliveTotal
+	burnedTotal := 0
+	round := 0
+	for aliveTotal > 0 && round < maxRounds {
+		round++
+		sent := dr.phaseClients(int32(round))
+		dec, err := dr.decideRound(int32(round))
+		if err != nil {
+			return nil, fmt.Errorf("core: round %d: %w", round, err)
+		}
+		newlyBurned := len(dec.NewlyBurned)
+		accepted, stillAlive := dr.phaseUpdateClients(int32(round))
+
+		burnedTotal += newlyBurned
+		res.TotalRequests += sent
+		res.SaturationEvents += int64(dec.Saturated)
+
+		if trackRounds {
+			stats := RoundStats{
+				Round:              round,
+				AliveBalls:         int(aliveTotal),
+				RequestsSent:       int(sent),
+				RequestsAccepted:   int(accepted),
+				NewlyBurned:        newlyBurned,
+				BurnedTotal:        burnedTotal,
+				SaturatedThisRound: dec.Saturated,
+			}
+			if dr.cfg.TrackNeighborhoods {
+				stats.MaxNeighborhoodBurnedFrac, stats.MaxNeighborhoodReceived, stats.MaxKt =
+					dr.neighborhoodStats(int32(round))
+			}
+			res.PerRound = append(res.PerRound, stats)
+		}
+		if dr.observer != nil {
+			dr.observer(round, sent)
+		}
+
+		aliveTotal = stillAlive
+		if accepted == 0 && newlyBurned == 0 && aliveTotal > 0 && dr.cfg.Variant == SAER {
+			if dr.hasStarvedClient() {
+				break
+			}
+		}
+	}
+
+	res.Rounds = round
+	res.Work = 2 * res.TotalRequests
+	res.UnassignedBalls = int(aliveTotal)
+	res.Completed = aliveTotal == 0
+	res.BurnedServers = burnedTotal
+	if err := dr.fillLoadStats(res); err != nil {
+		return nil, err
+	}
+	if dr.cfg.TrackAssignments {
+		res.Assignments = make([][]int32, len(dr.assignments))
+		for v, a := range dr.assignments {
+			res.Assignments[v] = append([]int32(nil), a...)
+		}
+	}
+	return res, nil
+}
+
+// phaseClients draws this round's destinations for every alive ball —
+// the identical per-client stream reads, in the identical per-client
+// order, as Runner.clientStep — and tallies them into the epoch-stamped
+// counts. Returns the number of requests submitted.
+func (dr *Driver) phaseClients(round int32) int64 {
+	var sent int64
+	dr.touched = dr.touched[:0]
+	for _, vv := range dr.frontier {
+		v := int(vv)
+		a := dr.alive[v]
+		nbrs := dr.neighbors(v)
+		deg := len(nbrs)
+		src := &dr.streams[v]
+		base := v * dr.d
+		for i := int32(0); i < a; i++ {
+			u := nbrs[src.Intn(deg)]
+			dr.choices[base+int(i)] = u
+			if dr.countRound[u] != round {
+				dr.countRound[u] = round
+				dr.counts[u] = 0
+				dr.touched = append(dr.touched, u)
+			}
+			dr.counts[u]++
+		}
+		sent += int64(a)
+	}
+	return sent
+}
+
+// decideRound ships the round's batch to the bank: touched sorted
+// ascending with its parallel counts, decision stamps applied to the
+// accepted/burned state.
+func (dr *Driver) decideRound(round int32) (RoundDecision, error) {
+	sort.Slice(dr.touched, func(i, j int) bool { return dr.touched[i] < dr.touched[j] })
+	dr.countsArg = dr.countsArg[:0]
+	for _, u := range dr.touched {
+		dr.countsArg = append(dr.countsArg, dr.counts[u])
+	}
+	dec, err := dr.bank.DecideRound(dr.touched, dr.countsArg)
+	if err != nil {
+		return dec, err
+	}
+	for _, u := range dec.Accepted {
+		dr.acceptedRound[u] = round
+	}
+	for _, u := range dec.NewlyBurned {
+		dr.burned[u] = true
+	}
+	return dec, nil
+}
+
+// phaseUpdateClients counts each frontier client's accepted requests and
+// compacts the survivors in place (ascending order is preserved).
+func (dr *Driver) phaseUpdateClients(round int32) (accepted, alive int64) {
+	next := dr.frontier[:0]
+	for _, vv := range dr.frontier {
+		v := int(vv)
+		a := dr.alive[v]
+		base := v * dr.d
+		var got int32
+		for i := int32(0); i < a; i++ {
+			u := dr.choices[base+int(i)]
+			if dr.acceptedRound[u] == round {
+				got++
+				if dr.assignments != nil {
+					dr.assignments[v] = append(dr.assignments[v], u)
+				}
+			}
+		}
+		rem := a - got
+		dr.alive[v] = rem
+		if rem > 0 {
+			next = append(next, vv)
+		}
+		accepted += int64(got)
+		alive += int64(rem)
+	}
+	dr.frontier = next
+	return accepted, alive
+}
+
+// receivedAt resolves server u's received count for the current round
+// through the epoch stamps.
+func (dr *Driver) receivedAt(u int32, round int32) int32 {
+	if dr.countRound[u] == round {
+		return dr.counts[u]
+	}
+	return 0
+}
+
+// neighborhoodStats computes S_t, r_t and K_t for the current round —
+// the Runner's definitions over the client-side mirror of the server
+// state (burned flags from the decisions, received counts from the
+// tally).
+func (dr *Driver) neighborhoodStats(round int32) (maxBurnedFrac float64, maxReceived int, maxKt float64) {
+	n := dr.topo.NumClients()
+	cd := float64(dr.cfg.C) * float64(dr.d)
+	for v := 0; v < n; v++ {
+		nbrs := dr.neighbors(v)
+		if len(nbrs) == 0 {
+			continue
+		}
+		var burnedCnt int
+		var recvSum int64
+		for _, u := range nbrs {
+			if dr.burned[u] {
+				burnedCnt++
+			}
+			recvSum += int64(dr.receivedAt(u, round))
+		}
+		frac := float64(burnedCnt) / float64(len(nbrs))
+		if frac > maxBurnedFrac {
+			maxBurnedFrac = frac
+		}
+		if int(recvSum) > maxReceived {
+			maxReceived = int(recvSum)
+		}
+		dr.cumNbrReceived[v] += recvSum
+		kt := float64(dr.cumNbrReceived[v]) / (cd * float64(len(nbrs)))
+		if kt > maxKt {
+			maxKt = kt
+		}
+	}
+	return maxBurnedFrac, maxReceived, maxKt
+}
+
+// hasStarvedClient reports whether some frontier client's whole
+// neighborhood is burned (the SAER hopeless-run early exit).
+func (dr *Driver) hasStarvedClient() bool {
+	for _, vv := range dr.frontier {
+		starved := true
+		for _, u := range dr.neighbors(int(vv)) {
+			if !dr.burned[u] {
+				starved = false
+				break
+			}
+		}
+		if starved {
+			return true
+		}
+	}
+	return false
+}
+
+// fillLoadStats computes the final load summary from the bank's load
+// vector (and optionally copies the vector itself).
+func (dr *Driver) fillLoadStats(res *Result) error {
+	loads, err := dr.bank.Loads()
+	if err != nil {
+		return err
+	}
+	m := dr.topo.NumServers()
+	if len(loads) != m {
+		return fmt.Errorf("core: bank returned %d loads for %d servers", len(loads), m)
+	}
+	maxLoad := 0
+	minLoad := int(^uint(0) >> 1)
+	var sum int64
+	for _, l32 := range loads {
+		l := int(l32)
+		if l > maxLoad {
+			maxLoad = l
+		}
+		if l < minLoad {
+			minLoad = l
+		}
+		sum += int64(l)
+	}
+	if m == 0 {
+		minLoad = 0
+	}
+	res.MaxLoad = maxLoad
+	res.MinLoad = minLoad
+	res.MeanLoad = float64(sum) / float64(m)
+	if dr.cfg.TrackLoads {
+		res.Loads = make([]int, m)
+		for u, l := range loads {
+			res.Loads[u] = int(l)
+		}
+	}
+	return nil
+}

@@ -193,20 +193,8 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 	if variant != SAER && variant != RAES {
 		return nil, fmt.Errorf("core: unknown protocol variant %d", int(variant))
 	}
-	if opts.Engine != EngineAuto && opts.Engine != EngineDense && opts.Engine != EngineSparse {
-		return nil, fmt.Errorf("core: unknown engine mode %d", int(opts.Engine))
-	}
-	if opts.Shards < 0 {
-		return nil, fmt.Errorf("core: Shards must be non-negative, got %d", opts.Shards)
-	}
-	if opts.SparseSwitchDivisor < 0 {
-		return nil, fmt.Errorf("core: SparseSwitchDivisor must be non-negative, got %d", opts.SparseSwitchDivisor)
-	}
-	if opts.Autotune != AutotuneOn && opts.Autotune != AutotuneOff {
-		return nil, fmt.Errorf("core: unknown autotune mode %d", int(opts.Autotune))
-	}
-	if opts.Steal != StealAuto && opts.Steal != StealOn && opts.Steal != StealOff {
-		return nil, fmt.Errorf("core: unknown steal mode %d", int(opts.Steal))
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
 	n := topo.NumClients()
 	m := topo.NumServers()
@@ -257,26 +245,12 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 	if opts.TrackAssignments {
 		r.assignments = make([][]int32, n)
 	}
-	r.switchDivisor = opts.SparseSwitchDivisor
-	targetShards := opts.Shards
-	if opts.Autotune == AutotuneOn && (targetShards == 0 || r.switchDivisor == 0) {
-		_, isCSR := topo.(*bipartite.Graph)
-		tuned := AutotuneKnobs(n, topo.MaxClientDegree(), m, pool.Workers(), !isCSR, engine.DetectCache())
-		if targetShards == 0 {
-			targetShards = tuned.Shards
-		}
-		if r.switchDivisor == 0 {
-			r.switchDivisor = tuned.SparseSwitchDivisor
-		}
-	}
-	if r.switchDivisor == 0 {
-		r.switchDivisor = defaultSparseSwitchDivisor
-	}
-	if targetShards == 0 {
-		targetShards = pool.Workers()
-	}
-	if targetShards > 1 {
-		if rt := engine.NewRouter(pool.Workers(), targetShards, m); rt.Shards() > 1 {
+	_, isCSR := topo.(*bipartite.Graph)
+	knobs := resolveKnobs(opts, n, topo.MaxClientDegree(), m, pool.Workers(), isCSR)
+	r.switchDivisor = knobs.SparseSwitchDivisor
+	r.steal = knobs.Steal
+	if knobs.Shards > 1 {
+		if rt := engine.NewRouter(pool.Workers(), knobs.Shards, m); rt.Shards() > 1 {
 			r.router = rt
 		}
 	}
@@ -285,14 +259,6 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 		// whole lifetime: folds detect first touches by epoch stamp, so
 		// no zeroing pass ever streams the counts array.
 		r.tally.BeginStamped()
-	}
-	switch opts.Steal {
-	case StealOn:
-		r.steal = true
-	case StealOff:
-		r.steal = false
-	default:
-		r.steal = pool.Workers() > 1
 	}
 	r.bindTopology(topo)
 	r.resetState()

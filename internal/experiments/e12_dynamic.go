@@ -127,12 +127,11 @@ func runDynamicIncremental(dc DynamicConfig, seed uint64) ([]DynamicBatchOutcome
 	if workers == 0 {
 		workers = 1
 	}
+	proto := core.NewConfig(core.SAER, dc.D, dc.C, 0)
+	proto.Workers = workers
+	proto.Shards = dc.Shards
 	sch, err := churn.NewScheduler(topo, churn.SchedulerConfig{
-		Variant:     core.SAER,
-		D:           dc.D,
-		C:           dc.C,
-		Workers:     workers,
-		Shards:      dc.Shards,
+		Protocol:    proto,
 		LoadExpiry:  dc.ChurnFraction,
 		TrackRounds: dc.TrackRounds,
 	}, src.Uint64())

@@ -18,6 +18,15 @@ import (
 // source is the scenario's event stream (arrival draws, churn subsets,
 // wave picks); graph, topology and scheduler seeds are split off the
 // same trial seed first, so the whole scenario is a pure function of it.
+// singleWorkerConfig is the protocol configuration the scripted churn
+// scenarios run with: single-threaded, so the historical per-epoch
+// seeds and outcomes stay pinned.
+func singleWorkerConfig(d int, c float64) core.Config {
+	cfg := core.NewConfig(core.SAER, d, c, 0)
+	cfg.Workers = 1
+	return cfg
+}
+
 func churnScenarioSetup(n, m, delta int, scfg churn.SchedulerConfig, seed uint64) (*churn.Topology, *churn.Scheduler, *rng.Source, error) {
 	src := rng.New(seed)
 	base, err := gen.TrustSubsetImplicit(n, m, delta, src.Uint64())
@@ -120,7 +129,7 @@ var e15Fractions = []float64{0, 0.02, 0.1, 0.25, 0.5, 1}
 // admissible edges each epoch.
 func runChurnRateTrial(n, delta, epochs int, f float64, d int, c float64, track bool, seed uint64) ([]churn.EpochOutcome, error) {
 	topo, sch, src, err := churnScenarioSetup(n, n, delta, churn.SchedulerConfig{
-		Variant: core.SAER, D: d, C: c, Workers: 1,
+		Protocol:   singleWorkerConfig(d, c),
 		LoadExpiry: 0.5, TrackRounds: track,
 	}, seed)
 	if err != nil {

@@ -15,7 +15,7 @@ import (
 // handled by the configured policy.
 func runFailureWaveTrial(n, delta, epochs int, failFrac float64, policy churn.Policy, d int, c float64, track bool, seed uint64) ([]churn.EpochOutcome, error) {
 	topo, sch, src, err := churnScenarioSetup(n, n, delta, churn.SchedulerConfig{
-		Variant: core.SAER, D: d, C: c, Workers: 1,
+		Protocol:   singleWorkerConfig(d, c),
 		LoadExpiry: 0.5, Policy: policy, TrackRounds: track,
 	}, seed)
 	if err != nil {

@@ -18,7 +18,7 @@ import (
 // matching the session turnover.
 func runArrivalTrial(n, delta, epochs, sessionLen int, rate float64, poisson bool, d int, c float64, track bool, seed uint64) ([]churn.EpochOutcome, error) {
 	topo, sch, src, err := churnScenarioSetup(n, n, delta, churn.SchedulerConfig{
-		Variant: core.SAER, D: d, C: c, Workers: 1,
+		Protocol:   singleWorkerConfig(d, c),
 		LoadExpiry: 1 / float64(sessionLen), TrackRounds: track,
 	}, seed)
 	if err != nil {

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// LatencySummary condenses a set of round-trip samples into the
+// quantiles the service mode reports: the wire client captures one
+// sample per protocol round (the full scatter/gather across the server
+// shards) and summarizes them for PERFORMANCE.md and the -json records.
+type LatencySummary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// SummarizeLatencies computes the summary of the samples (order is not
+// preserved; the slice is sorted in place). Zero samples yield the zero
+// summary.
+func SummarizeLatencies(samples []time.Duration) LatencySummary {
+	s := LatencySummary{Count: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	var sum time.Duration
+	for _, d := range samples {
+		sum += d
+	}
+	s.Mean = sum / time.Duration(len(samples))
+	s.P50 = quantileDuration(samples, 0.50)
+	s.P90 = quantileDuration(samples, 0.90)
+	s.P99 = quantileDuration(samples, 0.99)
+	s.Max = samples[len(samples)-1]
+	return s
+}
+
+// quantileDuration reads quantile q from ascending samples with the same
+// linear interpolation as stats.Percentile, so duration and float64
+// series report identical quantiles.
+func quantileDuration(sorted []time.Duration, q float64) time.Duration {
+	xs := make([]float64, len(sorted))
+	for i, d := range sorted {
+		xs[i] = float64(d)
+	}
+	return time.Duration(stats.Percentile(xs, q))
+}
+
+// String renders the summary in one line.
+func (s LatencySummary) String() string {
+	return fmt.Sprintf("rounds=%d p50=%v p90=%v p99=%v max=%v mean=%v",
+		s.Count, s.P50, s.P90, s.P99, s.Max, s.Mean)
+}
+
+// Throughput is the service mode's rate summary: request volume over
+// wall-clock time, normalized per core so machines of different widths
+// compare.
+type Throughput struct {
+	Requests int64
+	Elapsed  time.Duration
+	Cores    int
+}
+
+// PerSecond returns requests per second (0 for a zero elapsed time).
+func (t Throughput) PerSecond() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Requests) / t.Elapsed.Seconds()
+}
+
+// PerSecondPerCore returns requests per second per core.
+func (t Throughput) PerSecondPerCore() float64 {
+	if t.Cores <= 0 {
+		return t.PerSecond()
+	}
+	return t.PerSecond() / float64(t.Cores)
+}
+
+// String renders the throughput in one line.
+func (t Throughput) String() string {
+	return fmt.Sprintf("requests=%d elapsed=%v req/s=%.0f req/s/core=%.0f",
+		t.Requests, t.Elapsed.Round(time.Microsecond), t.PerSecond(), t.PerSecondPerCore())
+}

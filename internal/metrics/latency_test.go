@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSummarizeLatencies(t *testing.T) {
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Millisecond // 1ms..100ms
+	}
+	s := SummarizeLatencies(samples)
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("max = %v", s.Max)
+	}
+	if s.Mean != 50500*time.Microsecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// Linear interpolation over 1..100ms: p50 is between 50 and 51ms.
+	if s.P50 < 50*time.Millisecond || s.P50 > 51*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P99 < 99*time.Millisecond || s.P99 > 100*time.Millisecond {
+		t.Errorf("p99 = %v", s.P99)
+	}
+	if s.P50 >= s.P90 || s.P90 >= s.P99 {
+		t.Errorf("quantiles not increasing: %v", s)
+	}
+}
+
+func TestSummarizeLatenciesEmpty(t *testing.T) {
+	if s := SummarizeLatencies(nil); s != (LatencySummary{}) {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	tp := Throughput{Requests: 1_000_000, Elapsed: 2 * time.Second, Cores: 4}
+	if got := tp.PerSecond(); got != 500_000 {
+		t.Errorf("req/s = %v", got)
+	}
+	if got := tp.PerSecondPerCore(); got != 125_000 {
+		t.Errorf("req/s/core = %v", got)
+	}
+	if (Throughput{Requests: 5}).PerSecond() != 0 {
+		t.Error("zero elapsed should yield zero rate")
+	}
+}

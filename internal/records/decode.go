@@ -1,0 +1,84 @@
+package records
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// knownTypes is the set of record types this schema revision defines.
+var knownTypes = map[string]bool{
+	TypeSchema: true,
+	TypeTable:  true,
+	TypeTrial:  true,
+	TypeRound:  true,
+	TypeRow:    true,
+	TypeNote:   true,
+	TypeShard:  true,
+}
+
+// Decoder reads a record stream line by line.
+type Decoder struct {
+	sc   *bufio.Scanner
+	line int
+	// Version is the schema announced by the stream's leading schema
+	// record, or SchemaVersion when the stream opens without one (the
+	// pre-version sweep streams).
+	Version string
+}
+
+// NewDecoder returns a Decoder over r. Lines can be long (a tracked
+// round record with every field set stays well under the 1 MB cap).
+func NewDecoder(r io.Reader) *Decoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	return &Decoder{sc: sc, Version: SchemaVersion}
+}
+
+// Next returns the next record of the stream, or io.EOF when the stream
+// is exhausted. Unknown record types are an error — a consumer built
+// against this schema revision must not silently drop data it does not
+// understand — while unknown *fields* inside a known type are ignored,
+// which is what lets revision-1 decoders read streams from future
+// field-adding revisions.
+func (d *Decoder) Next() (Record, error) {
+	for d.sc.Scan() {
+		d.line++
+		line := d.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return Record{}, fmt.Errorf("records: line %d: %w", d.line, err)
+		}
+		if !knownTypes[rec.Type] {
+			return Record{}, fmt.Errorf("records: line %d: unknown record type %q", d.line, rec.Type)
+		}
+		if rec.Type == TypeSchema {
+			d.Version = rec.Schema
+		}
+		return rec, nil
+	}
+	if err := d.sc.Err(); err != nil {
+		return Record{}, err
+	}
+	return Record{}, io.EOF
+}
+
+// ReadAll decodes an entire record stream.
+func ReadAll(r io.Reader) ([]Record, error) {
+	d := NewDecoder(r)
+	var out []Record
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}

@@ -1,0 +1,250 @@
+// Package records owns the machine-readable JSON record schema shared by
+// every producer and consumer of structured results: the sweep engine's
+// -json stream (internal/sweep), the wire-mode aggregator
+// (cmd/saer-aggregate), the benchmark tooling (cmd/benchjson) and future
+// plotting consumers. One record is one JSON object on one line; a stream
+// is a sequence of such lines.
+//
+// The schema is versioned: SchemaVersion names the current revision, and
+// a stream may open with a "schema" record announcing it. The sweep
+// engine's stream predates the version record and deliberately does not
+// emit it — its byte format is pinned by golden-file tests — so decoders
+// treat a missing schema record as SchemaV1. The schema evolves by adding
+// optional (omitempty) fields, never by renaming or re-typing existing
+// ones; that rule is what keeps old goldens and new consumers compatible
+// in both directions.
+package records
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+)
+
+// SchemaVersion identifies the current record-schema revision. Revision 1
+// covers the table/trial/round/row/note records emitted since PR 3 plus
+// the schema and shard records introduced with the wire service mode;
+// because every addition is optional, revision 1 decoders read PR 3
+// streams unchanged.
+const SchemaVersion = "saer-records/1"
+
+// Known record types.
+const (
+	// TypeSchema announces the stream's schema revision (Schema field).
+	// Streams without it are SchemaV1 by definition.
+	TypeSchema = "schema"
+	// TypeTable is a table header: experiment identity, title, columns.
+	TypeTable = "table"
+	// TypeTrial is one protocol trial's outcome.
+	TypeTrial = "trial"
+	// TypeRound is one entry of a tracked trial's per-round series.
+	TypeRound = "round"
+	// TypeRow is one rendered table row.
+	TypeRow = "row"
+	// TypeNote is one free-form table note.
+	TypeNote = "note"
+	// TypeShard is a wire-mode per-server-shard summary: the aggregator
+	// emits one per shard report before the folded trial record.
+	TypeShard = "shard"
+)
+
+// Record is one line of the machine-readable output stream: the sweep
+// engine emits a "table" header when a spec starts, one "trial" record
+// per protocol trial (in trial order, after the point's trials complete),
+// one "round" record per entry of a tracked trial's per-round series
+// (after the trial's record; scenario experiments additionally tag each
+// record with the epoch it belongs to), one "row" record per rendered
+// table row, and one "note" record per table note. The wire aggregator
+// emits a "schema" record, one "shard" record per server-shard report,
+// and the folded "trial"/"round" records. The schema is pinned by the
+// golden-file tests in internal/experiments; extend it by adding fields,
+// never by renaming.
+type Record struct {
+	Type       string `json:"type"`
+	Experiment string `json:"experiment,omitempty"`
+
+	// Table header fields.
+	Title   string   `json:"title,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+
+	// Point identity (trial and row records).
+	Point string `json:"point,omitempty"`
+
+	// Trial fields (from core.Result). Seed is a decimal string: the full
+	// 64-bit seeds routinely exceed 2⁵³, which an IEEE-double JSON
+	// consumer (JavaScript, float-coercing loaders) would silently round,
+	// breaking "replay this trial from its record".
+	Trial           *int     `json:"trial,omitempty"`
+	Seed            string   `json:"seed,omitempty"`
+	Completed       *bool    `json:"completed,omitempty"`
+	Rounds          *int     `json:"rounds,omitempty"`
+	Work            *int64   `json:"work,omitempty"`
+	WorkPerBall     *float64 `json:"work_per_ball,omitempty"`
+	MaxLoad         *int     `json:"max_load,omitempty"`
+	BurnedServers   *int     `json:"burned_servers,omitempty"`
+	UnassignedBalls *int     `json:"unassigned_balls,omitempty"`
+
+	// Round-series fields (type "round"): one record per protocol round
+	// of a tracked trial (core.RoundStats). Epoch tags the scenario
+	// epoch the round belongs to for the dynamic experiments
+	// (E12/E15–E17); plain tracked trials omit it. The neighborhood
+	// statistics (S_t, r_t, K_t) are present only when the run tracked
+	// neighborhoods.
+	Epoch            *int     `json:"epoch,omitempty"`
+	Round            *int     `json:"round,omitempty"`
+	AliveBalls       *int     `json:"alive_balls,omitempty"`
+	RequestsSent     *int     `json:"requests_sent,omitempty"`
+	RequestsAccepted *int     `json:"requests_accepted,omitempty"`
+	NewlyBurned      *int     `json:"newly_burned,omitempty"`
+	BurnedTotal      *int     `json:"burned_total,omitempty"`
+	Saturated        *int     `json:"saturated,omitempty"`
+	MaxNbrBurnedFrac *float64 `json:"max_nbr_burned_frac,omitempty"`
+	MaxNbrReceived   *int     `json:"max_nbr_received,omitempty"`
+	MaxKt            *float64 `json:"max_kt,omitempty"`
+
+	// Row and note payloads.
+	Cells []string `json:"cells,omitempty"`
+	Note  string   `json:"note,omitempty"`
+
+	// Schema announcement (type "schema").
+	Schema string `json:"schema,omitempty"`
+
+	// Wire-mode shard summary (type "shard"): the server index range
+	// [ServerLo, ServerHi) the shard owned and its folded outcome. The
+	// shard's MaxLoad/BurnedServers reuse the trial fields above.
+	Shard    *int `json:"shard,omitempty"`
+	ServerLo *int `json:"server_lo,omitempty"`
+	ServerHi *int `json:"server_hi,omitempty"`
+}
+
+// Recorder streams Records as JSON lines to a writer. All emitters are
+// nil-receiver safe (a nil Recorder swallows every record), which lets
+// producers thread an optional stream without guarding each call. The
+// sweep engine drives it from a single goroutine (trial records are
+// emitted after a point's trials complete, in trial order, so the stream
+// is deterministic regardless of trial parallelism).
+type Recorder struct {
+	enc *json.Encoder
+	err error
+}
+
+// NewRecorder returns a Recorder writing one JSON object per line to w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{enc: json.NewEncoder(w)}
+}
+
+// Err returns the first write error the recorder encountered, if any.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	return r.err
+}
+
+// Emit writes one record to the stream.
+func (r *Recorder) Emit(rec Record) {
+	if r == nil || r.err != nil {
+		return
+	}
+	if err := r.enc.Encode(rec); err != nil {
+		r.err = fmt.Errorf("records: writing record: %w", err)
+	}
+}
+
+// SchemaHeader announces the stream's schema revision. New streams (the
+// wire aggregator) open with it; the sweep engine's stream predates the
+// record and stays without it for golden-file stability.
+func (r *Recorder) SchemaHeader() {
+	r.Emit(Record{Type: TypeSchema, Schema: SchemaVersion})
+}
+
+// TableHeader announces a table's identity and columns.
+func (r *Recorder) TableHeader(experiment, title string, columns []string) {
+	r.Emit(Record{Type: TypeTable, Experiment: experiment, Title: title, Columns: columns})
+}
+
+// Trial records one protocol trial's outcome.
+func (r *Recorder) Trial(experiment, point string, trial int, seed uint64, res *core.Result) {
+	if r == nil || res == nil {
+		return
+	}
+	wpb := res.WorkPerBall()
+	r.Emit(Record{
+		Type:            TypeTrial,
+		Experiment:      experiment,
+		Point:           point,
+		Trial:           &trial,
+		Seed:            strconv.FormatUint(seed, 10),
+		Completed:       &res.Completed,
+		Rounds:          &res.Rounds,
+		Work:            &res.Work,
+		WorkPerBall:     &wpb,
+		MaxLoad:         &res.MaxLoad,
+		BurnedServers:   &res.BurnedServers,
+		UnassignedBalls: &res.UnassignedBalls,
+	})
+}
+
+// RoundSeries streams one "round" record per entry of a trial's
+// per-round series, so a -json consumer can reconstruct every tracked
+// trial's S_t/alive-ball trajectory without rerunning. epoch < 0 omits
+// the epoch field — the sweep engine uses that form automatically for
+// every protocol trial whose Result carries a PerRound series; scenario
+// experiments (E12, E15–E17) call it from their Render, which runs
+// sequentially in point order, so the stream stays deterministic for
+// every trial parallelism. The neighborhood fields are emitted only when
+// the series actually tracked neighborhoods (K_t is positive from the
+// first round whenever requests flow, so an all-zero K_t series means
+// tracking was off).
+func (r *Recorder) RoundSeries(experiment, point string, trial, epoch int, rounds []core.RoundStats) {
+	if r == nil {
+		return
+	}
+	tracked := false
+	for i := range rounds {
+		if rounds[i].MaxKt != 0 || rounds[i].MaxNeighborhoodBurnedFrac != 0 || rounds[i].MaxNeighborhoodReceived != 0 {
+			tracked = true
+			break
+		}
+	}
+	for i := range rounds {
+		rs := rounds[i]
+		tr := trial
+		rec := Record{
+			Type:             TypeRound,
+			Experiment:       experiment,
+			Point:            point,
+			Trial:            &tr,
+			Round:            &rs.Round,
+			AliveBalls:       &rs.AliveBalls,
+			RequestsSent:     &rs.RequestsSent,
+			RequestsAccepted: &rs.RequestsAccepted,
+			NewlyBurned:      &rs.NewlyBurned,
+			BurnedTotal:      &rs.BurnedTotal,
+			Saturated:        &rs.SaturatedThisRound,
+		}
+		if epoch >= 0 {
+			ep := epoch
+			rec.Epoch = &ep
+		}
+		if tracked {
+			rec.MaxNbrBurnedFrac = &rs.MaxNeighborhoodBurnedFrac
+			rec.MaxNbrReceived = &rs.MaxNeighborhoodReceived
+			rec.MaxKt = &rs.MaxKt
+		}
+		r.Emit(rec)
+	}
+}
+
+// Row records one rendered table row for a point.
+func (r *Recorder) Row(experiment, point string, cells []string) {
+	r.Emit(Record{Type: TypeRow, Experiment: experiment, Point: point, Cells: cells})
+}
+
+// Note records one free-form table note.
+func (r *Recorder) Note(experiment, note string) {
+	r.Emit(Record{Type: TypeNote, Experiment: experiment, Note: note})
+}

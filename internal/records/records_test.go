@@ -1,0 +1,161 @@
+package records
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// trackedResult builds a small result with a per-round series, the shape
+// the encoder sees from real runs.
+func trackedResult() *core.Result {
+	return &core.Result{
+		Variant:       core.SAER,
+		Params:        core.Params{D: 2, C: 4, Seed: 7},
+		NumClients:    8,
+		NumServers:    8,
+		Completed:     true,
+		Rounds:        2,
+		TotalRequests: 20,
+		Work:          40,
+		MaxLoad:       5,
+		MinLoad:       1,
+		MeanLoad:      2,
+		TotalBalls:    16,
+		PerRound: []core.RoundStats{
+			{Round: 1, AliveBalls: 16, RequestsSent: 16, RequestsAccepted: 12, NewlyBurned: 1, BurnedTotal: 1, SaturatedThisRound: 1},
+			{Round: 2, AliveBalls: 4, RequestsSent: 4, RequestsAccepted: 4},
+		},
+	}
+}
+
+// TestRoundTrip pins the encoder/decoder pair: a stream written through
+// the Recorder decodes to the exact records that were emitted.
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	r.SchemaHeader()
+	r.TableHeader("E1", "completion", []string{"n", "rounds"})
+	res := trackedResult()
+	r.Trial("E1", "n=8", 0, 1234567890123456789, res)
+	r.RoundSeries("E1", "n=8", 0, -1, res.PerRound)
+	r.RoundSeries("E12", "batch", 1, 3, res.PerRound)
+	r.Row("E1", "n=8", []string{"8", "2"})
+	r.Note("E1", "fit R²=0.95")
+	if err := r.Err(); err != nil {
+		t.Fatalf("recorder error: %v", err)
+	}
+
+	got, err := ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	// schema + table + trial + 2 rounds + 2 epoch rounds + row + note
+	if len(got) != 9 {
+		t.Fatalf("decoded %d records, want 9", len(got))
+	}
+	if got[0].Type != TypeSchema || got[0].Schema != SchemaVersion {
+		t.Fatalf("stream does not open with the schema record: %+v", got[0])
+	}
+	if got[2].Type != TypeTrial || got[2].Seed != "1234567890123456789" {
+		t.Fatalf("trial record mismatch: %+v", got[2])
+	}
+	if *got[2].Rounds != 2 || !*got[2].Completed || *got[2].MaxLoad != 5 {
+		t.Fatalf("trial fields mismatch: %+v", got[2])
+	}
+	if got[4].Epoch != nil {
+		t.Fatalf("plain round record must omit epoch: %+v", got[4])
+	}
+	if got[4].Type != TypeRound || *got[4].Round != 2 || *got[4].RequestsAccepted != 4 {
+		t.Fatalf("round record mismatch: %+v", got[4])
+	}
+	if got[5].Epoch == nil || *got[5].Epoch != 3 {
+		t.Fatalf("epoch-tagged round record mismatch: %+v", got[5])
+	}
+
+	// Re-encoding the decoded records must reproduce the stream byte for
+	// byte: the decode direction loses nothing the encode direction wrote.
+	var buf2 bytes.Buffer
+	r2 := NewRecorder(&buf2)
+	for _, rec := range got {
+		r2.Emit(rec)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("re-encoded stream differs:\n got: %s\nwant: %s", buf2.String(), buf.String())
+	}
+}
+
+// TestDecoderVersion pins the versioning contract: a stream without a
+// schema record is SchemaV1, a stream with one reports it.
+func TestDecoderVersion(t *testing.T) {
+	d := NewDecoder(strings.NewReader(`{"type":"note","experiment":"E1","note":"x"}` + "\n"))
+	if _, err := d.Next(); err != nil {
+		t.Fatalf("decoding version-less stream: %v", err)
+	}
+	if d.Version != SchemaVersion {
+		t.Fatalf("version-less stream must default to %s, got %s", SchemaVersion, d.Version)
+	}
+}
+
+// TestDecoderRejectsUnknownType pins the no-silent-drop rule.
+func TestDecoderRejectsUnknownType(t *testing.T) {
+	_, err := ReadAll(strings.NewReader(`{"type":"mystery"}` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "unknown record type") {
+		t.Fatalf("unknown record type must be an error, got %v", err)
+	}
+}
+
+// TestDecoderToleratesUnknownFields pins forward compatibility: a future
+// field-adding revision stays readable.
+func TestDecoderToleratesUnknownFields(t *testing.T) {
+	recs, err := ReadAll(strings.NewReader(`{"type":"note","note":"x","future_field":42}` + "\n"))
+	if err != nil {
+		t.Fatalf("unknown field must be ignored, got %v", err)
+	}
+	if len(recs) != 1 || recs[0].Note != "x" {
+		t.Fatalf("decoded %+v", recs)
+	}
+}
+
+// TestNilRecorder pins the nil-receiver contract every producer relies
+// on: a nil Recorder swallows records and reports no error.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.SchemaHeader()
+	r.TableHeader("E1", "t", nil)
+	r.Trial("E1", "p", 0, 1, trackedResult())
+	r.RoundSeries("E1", "p", 0, -1, trackedResult().PerRound)
+	r.Row("E1", "p", nil)
+	r.Note("E1", "n")
+	if err := r.Err(); err != nil {
+		t.Fatalf("nil recorder must be error-free, got %v", err)
+	}
+}
+
+// TestDecoderEOF pins clean stream termination.
+func TestDecoderEOF(t *testing.T) {
+	d := NewDecoder(strings.NewReader(""))
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("empty stream must return io.EOF, got %v", err)
+	}
+}
+
+// TestShardRecord round-trips the wire aggregator's shard summary.
+func TestShardRecord(t *testing.T) {
+	shard, lo, hi, burned := 1, 64, 128, 3
+	rec := Record{Type: TypeShard, Experiment: "wire", Shard: &shard, ServerLo: &lo, ServerHi: &hi, BurnedServers: &burned}
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	r.Emit(rec)
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if len(got) != 1 || !reflect.DeepEqual(got[0], rec) {
+		t.Fatalf("shard record round-trip mismatch: %+v", got)
+	}
+}

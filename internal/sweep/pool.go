@@ -104,13 +104,16 @@ func trialWorkers(cfg Config, trials int, g bipartite.Topology) int {
 func runPooledTrials(cfg Config, trials int, g bipartite.Topology, variant core.Variant,
 	params core.Params, opts core.Options, seed func(trial int) uint64) ([]*core.Result, error) {
 	params.Workers = trialWorkers(cfg, trials, g)
+	// The Point grid still declares the (variant, params, options) triple;
+	// execution goes through the single validated core.Config surface.
+	rcfg := core.ConfigFrom(variant, params, opts)
 	results := make([]*core.Result, trials)
 	runners := make([]*core.Runner, concurrentTrials(cfg, trials, g))
 	err := forEachTrial(cfg, trials, g, func(worker, i int) error {
 		r := runners[worker]
 		if r == nil {
 			var e error
-			r, e = core.NewRunner(g, variant, params, opts)
+			r, e = rcfg.NewRunner(g)
 			if e != nil {
 				return e
 			}

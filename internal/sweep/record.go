@@ -1,191 +1,38 @@
 package sweep
 
 import (
-	"encoding/json"
-	"fmt"
 	"io"
-	"strconv"
 
-	"repro/internal/core"
+	"repro/internal/records"
 )
 
-// Record is one line of the machine-readable output stream: the engine
-// emits a "table" header when a spec starts, one "trial" record per
-// protocol trial (in trial order, after the point's trials complete),
-// one "round" record per entry of a tracked trial's per-round series
-// (after the trial's record; scenario experiments additionally tag each
-// record with the epoch it belongs to), one "row" record per rendered
-// table row, and one "note" record per table note. The schema is pinned
-// by the golden-file tests in internal/experiments; extend it by adding
-// fields, never by renaming.
-type Record struct {
-	Type       string `json:"type"`
-	Experiment string `json:"experiment"`
-
-	// Table header fields.
-	Title   string   `json:"title,omitempty"`
-	Columns []string `json:"columns,omitempty"`
-
-	// Point identity (trial and row records).
-	Point string `json:"point,omitempty"`
-
-	// Trial fields (from core.Result). Seed is a decimal string: the full
-	// 64-bit seeds routinely exceed 2⁵³, which an IEEE-double JSON
-	// consumer (JavaScript, float-coercing loaders) would silently round,
-	// breaking "replay this trial from its record".
-	Trial           *int     `json:"trial,omitempty"`
-	Seed            string   `json:"seed,omitempty"`
-	Completed       *bool    `json:"completed,omitempty"`
-	Rounds          *int     `json:"rounds,omitempty"`
-	Work            *int64   `json:"work,omitempty"`
-	WorkPerBall     *float64 `json:"work_per_ball,omitempty"`
-	MaxLoad         *int     `json:"max_load,omitempty"`
-	BurnedServers   *int     `json:"burned_servers,omitempty"`
-	UnassignedBalls *int     `json:"unassigned_balls,omitempty"`
-
-	// Round-series fields (type "round"): one record per protocol round
-	// of a tracked trial (core.RoundStats). Epoch tags the scenario
-	// epoch the round belongs to for the dynamic experiments
-	// (E12/E15–E17); plain tracked trials omit it. The neighborhood
-	// statistics (S_t, r_t, K_t) are present only when the run tracked
-	// neighborhoods.
-	Epoch            *int     `json:"epoch,omitempty"`
-	Round            *int     `json:"round,omitempty"`
-	AliveBalls       *int     `json:"alive_balls,omitempty"`
-	RequestsSent     *int     `json:"requests_sent,omitempty"`
-	RequestsAccepted *int     `json:"requests_accepted,omitempty"`
-	NewlyBurned      *int     `json:"newly_burned,omitempty"`
-	BurnedTotal      *int     `json:"burned_total,omitempty"`
-	Saturated        *int     `json:"saturated,omitempty"`
-	MaxNbrBurnedFrac *float64 `json:"max_nbr_burned_frac,omitempty"`
-	MaxNbrReceived   *int     `json:"max_nbr_received,omitempty"`
-	MaxKt            *float64 `json:"max_kt,omitempty"`
-
-	// Row and note payloads.
-	Cells []string `json:"cells,omitempty"`
-	Note  string   `json:"note,omitempty"`
-}
-
-// Recorder streams Records as JSON lines to a writer. It is driven by the
-// sweep engine from a single goroutine (trial records are emitted after a
-// point's trials complete, in trial order, so the stream is deterministic
-// regardless of trial parallelism).
-type Recorder struct {
-	enc *json.Encoder
-	err error
-}
+// Record and Recorder are aliases into internal/records, which owns the
+// machine-readable JSON record schema (versioned, with its own
+// encoder/decoder round-trip tests). The sweep engine emits through the
+// shared Recorder; the aliases keep every existing producer and test
+// compiling against the sweep package unchanged. The stream's byte
+// format is still pinned by the golden-file tests in
+// internal/experiments.
+type (
+	Record   = records.Record
+	Recorder = records.Recorder
+)
 
 // NewRecorder returns a Recorder writing one JSON object per line to w.
 func NewRecorder(w io.Writer) *Recorder {
-	return &Recorder{enc: json.NewEncoder(w)}
+	return records.NewRecorder(w)
 }
 
-// Err returns the first write error the recorder encountered, if any.
-func (r *Recorder) Err() error { return r.err }
-
-func (r *Recorder) emit(rec Record) {
-	if r == nil || r.err != nil {
-		return
-	}
-	if err := r.enc.Encode(rec); err != nil {
-		r.err = fmt.Errorf("sweep: writing record: %w", err)
-	}
-}
-
-// tableHeader announces a spec's table identity and columns.
-func (r *Recorder) tableHeader(t *Table) {
-	r.emit(Record{Type: "table", Experiment: t.ID, Title: t.Title, Columns: t.Columns})
-}
-
-// trial records one protocol trial's outcome.
-func (r *Recorder) trial(expID, point string, trial int, seed uint64, res *core.Result) {
-	if res == nil {
-		return
-	}
-	wpb := res.WorkPerBall()
-	r.emit(Record{
-		Type:            "trial",
-		Experiment:      expID,
-		Point:           point,
-		Trial:           &trial,
-		Seed:            strconv.FormatUint(seed, 10),
-		Completed:       &res.Completed,
-		Rounds:          &res.Rounds,
-		Work:            &res.Work,
-		WorkPerBall:     &wpb,
-		MaxLoad:         &res.MaxLoad,
-		BurnedServers:   &res.BurnedServers,
-		UnassignedBalls: &res.UnassignedBalls,
-	})
-}
-
-// RoundSeries streams one "round" record per entry of a trial's
-// per-round series (the closing of ROADMAP's per-round-series item: a
-// -json consumer can reconstruct every tracked trial's S_t/alive-ball
-// trajectory without rerunning). epoch < 0 omits the epoch field — the
-// engine uses that form automatically for every protocol trial whose
-// Result carries a PerRound series; scenario experiments (E12, E15–E17)
-// call it from their Render, which runs sequentially in point order, so
-// the stream stays deterministic for every trial parallelism. The
-// neighborhood fields are emitted only when the series actually tracked
-// neighborhoods (K_t is positive from the first round whenever requests
-// flow, so an all-zero K_t series means tracking was off).
-func (r *Recorder) RoundSeries(expID, point string, trial, epoch int, rounds []core.RoundStats) {
-	if r == nil {
-		return
-	}
-	tracked := false
-	for i := range rounds {
-		if rounds[i].MaxKt != 0 || rounds[i].MaxNeighborhoodBurnedFrac != 0 || rounds[i].MaxNeighborhoodReceived != 0 {
-			tracked = true
-			break
-		}
-	}
-	for i := range rounds {
-		rs := rounds[i]
-		tr := trial
-		rec := Record{
-			Type:             "round",
-			Experiment:       expID,
-			Point:            point,
-			Trial:            &tr,
-			Round:            &rs.Round,
-			AliveBalls:       &rs.AliveBalls,
-			RequestsSent:     &rs.RequestsSent,
-			RequestsAccepted: &rs.RequestsAccepted,
-			NewlyBurned:      &rs.NewlyBurned,
-			BurnedTotal:      &rs.BurnedTotal,
-			Saturated:        &rs.SaturatedThisRound,
-		}
-		if epoch >= 0 {
-			ep := epoch
-			rec.Epoch = &ep
-		}
-		if tracked {
-			rec.MaxNbrBurnedFrac = &rs.MaxNeighborhoodBurnedFrac
-			rec.MaxNbrReceived = &rs.MaxNeighborhoodReceived
-			rec.MaxKt = &rs.MaxKt
-		}
-		r.emit(rec)
-	}
-}
-
-// rows records table rows [from, len(t.Rows)) rendered for a point.
-func (r *Recorder) rows(t *Table, point string, from int) {
-	if r == nil {
-		return
-	}
+// tableRows streams table rows [from, len(t.Rows)) rendered for a point.
+func tableRows(r *Recorder, t *Table, point string, from int) {
 	for _, row := range t.Rows[from:] {
-		r.emit(Record{Type: "row", Experiment: t.ID, Point: point, Cells: row})
+		r.Row(t.ID, point, row)
 	}
 }
 
-// notes records table notes [from, len(t.Notes)).
-func (r *Recorder) notes(t *Table, from int) {
-	if r == nil {
-		return
-	}
+// tableNotes streams table notes [from, len(t.Notes)).
+func tableNotes(r *Recorder, t *Table, from int) {
 	for _, n := range t.Notes[from:] {
-		r.emit(Record{Type: "note", Experiment: t.ID, Note: n})
+		r.Note(t.ID, n)
 	}
 }

@@ -238,7 +238,7 @@ type Spec struct {
 // engine inherits the determinism contract of runPooledTrials.
 func Run(cfg Config, spec Spec) (*Table, error) {
 	t := NewTable(spec.ID, spec.Title, spec.Columns...)
-	cfg.Records.tableHeader(t)
+	cfg.Records.TableHeader(t.ID, t.Title, t.Columns)
 	outs := make([]*Outcome, 0, len(spec.Points))
 	var (
 		cached    bipartite.Topology
@@ -266,7 +266,7 @@ func Run(cfg Config, spec Spec) (*Table, error) {
 			if err := p.Render(cfg, out, t); err != nil {
 				return nil, fmt.Errorf("sweep: %s point %q: %w", spec.ID, p.ID, err)
 			}
-			cfg.Records.rows(t, p.ID, from)
+			tableRows(cfg.Records, t, p.ID, from)
 		}
 		// Release the built graph: outs lives until Finalize, and pinning
 		// every point's topology (E8's six materialized almost-regular
@@ -282,9 +282,9 @@ func Run(cfg Config, spec Spec) (*Table, error) {
 		}
 		// Rows appended by Finalize (cross-point summaries) carry no point
 		// attribution but must still reach the record stream.
-		cfg.Records.rows(t, "", rendered)
+		tableRows(cfg.Records, t, "", rendered)
 	}
-	cfg.Records.notes(t, 0)
+	tableNotes(cfg.Records, t, 0)
 	if cfg.Records != nil && cfg.Records.Err() != nil {
 		return nil, cfg.Records.Err()
 	}
@@ -332,7 +332,7 @@ func runPoint(cfg Config, expID string, p *Point, g bipartite.Topology) (*Outcom
 	}
 	out.Results = results
 	for i, r := range results {
-		cfg.Records.trial(expID, p.ID, i, seed(i), r)
+		cfg.Records.Trial(expID, p.ID, i, seed(i), r)
 		if len(r.PerRound) > 0 {
 			cfg.Records.RoundSeries(expID, p.ID, i, -1, r.PerRound)
 		}

@@ -1,0 +1,350 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SplitWindows partitions m servers into shard windows [lo, hi), one per
+// shard, sizes differing by at most one — the same split core.NewLocalBank
+// uses, so a wire deployment and its in-process reference shard
+// identically.
+func SplitWindows(m, shards int) ([][2]int, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("wire: need at least one server, got %d", m)
+	}
+	if shards <= 0 || shards > m {
+		return nil, fmt.Errorf("wire: shard count %d outside [1, %d]", shards, m)
+	}
+	windows := make([][2]int, shards)
+	per, rem := m/shards, m%shards
+	lo := 0
+	for s := range windows {
+		size := per
+		if s < rem {
+			size++
+		}
+		windows[s] = [2]int{lo, lo + size}
+		lo += size
+	}
+	return windows, nil
+}
+
+// Bank is the wire implementation of core.ServerBank: one pooled
+// connection per remote server shard, each round shipped as one batched
+// frame per touched shard. It is what turns a core.Driver into the
+// service mode's load generator — the Driver neither knows nor cares
+// that its bank crosses a socket.
+//
+// A connection that dies (a killed server process) is redialed on the
+// next Reset: combined with the per-run statelessness of the shard
+// servers, a process kill between epochs is invisible to the scenario,
+// which is exactly the recovery model the churn failure waves assume.
+type Bank struct {
+	variant  core.Variant
+	capacity int32
+	m        int
+	conns    []*shardConn
+
+	// Round metrics: one latency sample per DecideRound (the full
+	// scatter/gather round trip) and the cumulative request volume.
+	roundLat []time.Duration
+	requests int64
+}
+
+// shardConn is the client half of one shard session.
+type shardConn struct {
+	addr   string
+	lo, hi int32
+
+	conn net.Conn
+	bw   *bufio.Writer
+	fc   *frameConn
+
+	out      []byte
+	accepted []int32
+	burned   []int32
+	loads    []int32
+	sat      int
+	err      error
+}
+
+// Dial connects one shard session per address; addrs[i] serves the i-th
+// window of SplitWindows(m, len(addrs)). The protocol identity (variant,
+// capacity) is fixed per Bank and announced to each server in the Hello.
+func Dial(addrs []string, variant core.Variant, capacity int32, m int) (*Bank, error) {
+	windows, err := SplitWindows(m, len(addrs))
+	if err != nil {
+		return nil, err
+	}
+	b := &Bank{variant: variant, capacity: capacity, m: m}
+	for i, addr := range addrs {
+		b.conns = append(b.conns, &shardConn{
+			addr: addr,
+			lo:   int32(windows[i][0]),
+			hi:   int32(windows[i][1]),
+		})
+	}
+	for _, sc := range b.conns {
+		if err := sc.ensure(b); err != nil {
+			b.Close()
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// ensure dials and handshakes the session if it is not connected.
+func (sc *shardConn) ensure(b *Bank) error {
+	if sc.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", sc.addr)
+	if err != nil {
+		return fmt.Errorf("wire: shard [%d,%d) at %s: %w", sc.lo, sc.hi, sc.addr, err)
+	}
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	fc := &frameConn{r: bufio.NewReaderSize(conn, 1<<16), w: bw}
+	sc.out = sc.out[:0]
+	sc.out = appendU32(sc.out, helloMagic)
+	sc.out = appendU32(sc.out, protoVersion)
+	sc.out = append(sc.out, byte(b.variant))
+	sc.out = appendI32(sc.out, b.capacity)
+	sc.out = appendI32(sc.out, sc.lo)
+	sc.out = appendI32(sc.out, sc.hi)
+	if err := fc.writeFrame(msgHello, sc.out); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return err
+	}
+	if _, err := fc.expectFrame(msgHelloOK); err != nil {
+		conn.Close()
+		return fmt.Errorf("wire: shard [%d,%d) at %s: %w", sc.lo, sc.hi, sc.addr, err)
+	}
+	sc.conn, sc.bw, sc.fc = conn, bw, fc
+	return nil
+}
+
+// drop closes the session so the next ensure redials.
+func (sc *shardConn) drop() {
+	if sc.conn != nil {
+		sc.conn.Close()
+		sc.conn = nil
+	}
+}
+
+// call sends one request frame and reads the reply, dropping the session
+// on any transport error.
+func (sc *shardConn) call(reqType byte, payload []byte, replyType byte) ([]byte, error) {
+	if err := sc.fc.writeFrame(reqType, payload); err != nil {
+		sc.drop()
+		return nil, err
+	}
+	if err := sc.bw.Flush(); err != nil {
+		sc.drop()
+		return nil, err
+	}
+	reply, err := sc.fc.expectFrame(replyType)
+	if err != nil {
+		sc.drop()
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Reset re-initializes every shard for a new run, redialing sessions
+// that died since the last run (killed/restarted server processes).
+func (b *Bank) Reset(initialLoads []int) error {
+	if initialLoads != nil && len(initialLoads) != b.m {
+		return fmt.Errorf("wire: reset with %d initial loads for %d servers", len(initialLoads), b.m)
+	}
+	for _, sc := range b.conns {
+		// Built apart from sc.out: a redial's Hello writes into sc.out,
+		// which must not clobber the pending reset payload.
+		var payload []byte
+		if initialLoads == nil {
+			payload = append(payload, 0)
+		} else {
+			payload = append(payload, 1)
+			payload = appendU32(payload, uint32(sc.hi-sc.lo))
+			for _, l := range initialLoads[sc.lo:sc.hi] {
+				if l < 0 {
+					l = 0
+				}
+				payload = appendI32(payload, int32(l))
+			}
+		}
+		err := func() error {
+			if err := sc.ensure(b); err != nil {
+				return err
+			}
+			_, err := sc.call(msgReset, payload, msgResetOK)
+			return err
+		}()
+		if err != nil {
+			// One redial attempt: the server may have restarted since the
+			// session was established.
+			sc.drop()
+			if err = sc.ensure(b); err != nil {
+				return err
+			}
+			if _, err = sc.call(msgReset, payload, msgResetOK); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DecideRound splits the sorted batch across the shard windows, ships
+// each shard's slice concurrently, and concatenates the replies in shard
+// order (windows ascend, so the decision lists stay sorted). Shards that
+// received nothing are skipped entirely — no frame, no state change,
+// matching core.LocalBank.
+func (b *Bank) DecideRound(touched, counts []int32) (core.RoundDecision, error) {
+	var dec core.RoundDecision
+	if len(touched) != len(counts) {
+		return dec, fmt.Errorf("wire: round batch with %d touched but %d counts", len(touched), len(counts))
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	from := 0
+	for _, sc := range b.conns {
+		to := from
+		for to < len(touched) && touched[to] < sc.hi {
+			to++
+		}
+		if to == from {
+			continue
+		}
+		wg.Add(1)
+		go func(sc *shardConn, touched, counts []int32) {
+			defer wg.Done()
+			sc.err = sc.decide(touched, counts)
+		}(sc, touched[from:to], counts[from:to])
+		from = to
+	}
+	if from != len(touched) {
+		wg.Wait()
+		return dec, fmt.Errorf("wire: server %d outside every shard window", touched[from])
+	}
+	wg.Wait()
+	for _, sc := range b.conns {
+		if sc.err != nil {
+			err := sc.err
+			sc.err = nil
+			return dec, err
+		}
+		dec.Accepted = append(dec.Accepted, sc.accepted...)
+		dec.NewlyBurned = append(dec.NewlyBurned, sc.burned...)
+		dec.Saturated += sc.sat
+		sc.accepted, sc.burned, sc.sat = sc.accepted[:0], sc.burned[:0], 0
+	}
+	b.roundLat = append(b.roundLat, time.Since(start))
+	for _, c := range counts {
+		b.requests += int64(c)
+	}
+	return dec, nil
+}
+
+// decide ships one shard's slice of the round and parses the reply into
+// the connection's decision buffers.
+func (sc *shardConn) decide(touched, counts []int32) error {
+	sc.out = appendI32Slice(sc.out[:0], touched)
+	sc.out = appendI32Slice(sc.out, counts)
+	reply, err := sc.call(msgRound, sc.out, msgRoundReply)
+	if err != nil {
+		return err
+	}
+	r := reader{b: reply}
+	sc.accepted = r.i32Slice(sc.accepted[:0])
+	sc.burned = r.i32Slice(sc.burned[:0])
+	sc.sat = int(r.u32())
+	return r.done()
+}
+
+// Loads gathers the shard load windows into the full per-server vector.
+func (b *Bank) Loads() ([]int32, error) {
+	loads := make([]int32, 0, b.m)
+	for _, sc := range b.conns {
+		reply, err := sc.call(msgLoads, nil, msgLoadsReply)
+		if err != nil {
+			return nil, err
+		}
+		r := reader{b: reply}
+		sc.loads = r.i32Slice(sc.loads[:0])
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+		if len(sc.loads) != int(sc.hi-sc.lo) {
+			return nil, fmt.Errorf("wire: shard [%d,%d) returned %d loads", sc.lo, sc.hi, len(sc.loads))
+		}
+		loads = append(loads, sc.loads...)
+	}
+	return loads, nil
+}
+
+// Reports fetches every shard server's cumulative service tally, in
+// shard order.
+func (b *Bank) Reports() ([]Report, error) {
+	reps := make([]Report, len(b.conns))
+	for i, sc := range b.conns {
+		reply, err := sc.call(msgReport, nil, msgReportOK)
+		if err != nil {
+			return nil, err
+		}
+		r := reader{b: reply}
+		reps[i] = Report{
+			Sessions:    r.u64(),
+			Rounds:      r.u64(),
+			Requests:    r.u64(),
+			Accepted:    r.u64(),
+			DecideNanos: r.u64(),
+		}
+		if err := r.done(); err != nil {
+			return nil, err
+		}
+	}
+	return reps, nil
+}
+
+// Windows returns the shard windows, in shard order.
+func (b *Bank) Windows() [][2]int {
+	ws := make([][2]int, len(b.conns))
+	for i, sc := range b.conns {
+		ws[i] = [2]int{int(sc.lo), int(sc.hi)}
+	}
+	return ws
+}
+
+// RoundLatencies returns the per-round scatter/gather round-trip times
+// recorded since the last TakeMetrics.
+func (b *Bank) RoundLatencies() []time.Duration { return b.roundLat }
+
+// TotalRequests returns the cumulative request volume shipped since the
+// last TakeMetrics.
+func (b *Bank) TotalRequests() int64 { return b.requests }
+
+// TakeMetrics returns and clears the recorded round latencies and
+// request volume.
+func (b *Bank) TakeMetrics() ([]time.Duration, int64) {
+	lat, reqs := b.roundLat, b.requests
+	b.roundLat, b.requests = nil, 0
+	return lat, reqs
+}
+
+// Close closes every shard session.
+func (b *Bank) Close() error {
+	for _, sc := range b.conns {
+		sc.drop()
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+// Package wire is the service mode's transport: the protocol run over
+// real sockets instead of function calls. A client process (the load
+// generator, cmd/saer-client, or the churn scheduler's wire executor)
+// drives a core.Driver whose ServerBank speaks this package's frame
+// protocol to one server-shard process per contiguous server window
+// (cmd/saer-server). Because the bank interface carries one batched
+// (server, count) frame per round — not per-ball messages — and the
+// server side reuses core.ServerShard verbatim, a loopback wire run
+// reproduces the in-process core.Run result bit for bit; the equivalence
+// tests and the CI service smoke pin exactly that.
+//
+// Frame format: every message is one length-prefixed frame,
+//
+//	uint32 LE  payload length (including the type byte)
+//	uint8      message type
+//	payload    little-endian fixed-width integers, layout per type
+//
+// Integer arrays are written as a uint32 count followed by the raw
+// int32 values — compact, allocation-free to encode, and O(1) to size.
+// The session opens with a Hello that carries the protocol identity
+// (variant, capacity) and the shard window the client expects, so a
+// server process needs no protocol configuration of its own and a
+// restarted server is indistinguishable from one that stayed up.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message types.
+const (
+	msgHello      = 1  // client→server: magic, version, variant, capacity, window
+	msgHelloOK    = 2  // server→client: window accepted
+	msgReset      = 3  // client→server: re-initialize the shard (optional initial loads)
+	msgResetOK    = 4  // server→client
+	msgRound      = 5  // client→server: one round's (server, count) batch
+	msgRoundReply = 6  // server→client: accepted list, newly-burned list, saturated count
+	msgLoads      = 7  // client→server: request the load window
+	msgLoadsReply = 8  // server→client: the window's int32 loads
+	msgReport     = 9  // client→server: request the shard's service tally
+	msgReportOK   = 10 // server→client: Report fields
+	msgError      = 11 // server→client: fatal session error (UTF-8 message)
+)
+
+const (
+	// helloMagic guards against a stray client dialing the wrong port.
+	helloMagic = 0x53414552 // "SAER"
+	// protoVersion is bumped on any incompatible frame-layout change.
+	protoVersion = 1
+	// maxFrameSize bounds a frame to what a full-m round batch at the
+	// n = 2²² sweep ceiling needs, with headroom; anything larger is a
+	// corrupt length prefix.
+	maxFrameSize = 1 << 28
+)
+
+// Report is a server process's cumulative service tally, summed over
+// every session it served since it started. The aggregator folds these
+// per-shard tallies into the JSON record stream.
+type Report struct {
+	// Sessions is the number of Hello handshakes served.
+	Sessions uint64
+	// Rounds is the number of round frames decided.
+	Rounds uint64
+	// Requests is the total number of ball requests received (the sum of
+	// every round frame's counts).
+	Requests uint64
+	// Accepted is the total number of requests accepted.
+	Accepted uint64
+	// DecideNanos is the cumulative time spent inside the threshold
+	// decisions (excluding transport reads/writes).
+	DecideNanos uint64
+}
+
+// frameConn wraps one side of a connection with buffered frame I/O and a
+// reusable payload buffer. Not concurrency-safe; each peer owns its
+// frameConn from a single goroutine.
+type frameConn struct {
+	r   io.Reader
+	w   io.Writer
+	buf []byte // reused encode/decode payload buffer
+	hdr [4]byte
+}
+
+func newFrameConn(rw io.ReadWriter) *frameConn {
+	return &frameConn{r: rw, w: rw}
+}
+
+// writeFrame sends one frame; the payload is everything after the type
+// byte.
+func (c *frameConn) writeFrame(typ byte, payload []byte) error {
+	binary.LittleEndian.PutUint32(c.hdr[:], uint32(1+len(payload)))
+	if _, err := c.w.Write(c.hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.w.Write([]byte{typ}); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := c.w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame into the reused buffer, returning the type
+// and the payload (valid until the next read).
+func (c *frameConn) readFrame() (typ byte, payload []byte, err error) {
+	if _, err = io.ReadFull(c.r, c.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	size := binary.LittleEndian.Uint32(c.hdr[:])
+	if size == 0 || size > maxFrameSize {
+		return 0, nil, fmt.Errorf("wire: frame size %d out of range", size)
+	}
+	if cap(c.buf) < int(size) {
+		c.buf = make([]byte, size)
+	}
+	c.buf = c.buf[:size]
+	if _, err = io.ReadFull(c.r, c.buf); err != nil {
+		return 0, nil, err
+	}
+	typ = c.buf[0]
+	if typ == msgError {
+		return typ, nil, fmt.Errorf("wire: server error: %s", c.buf[1:])
+	}
+	return typ, c.buf[1:], nil
+}
+
+// expectFrame reads one frame and checks its type.
+func (c *frameConn) expectFrame(want byte) ([]byte, error) {
+	typ, payload, err := c.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if typ != want {
+		return nil, fmt.Errorf("wire: expected message type %d, got %d", want, typ)
+	}
+	return payload, nil
+}
+
+// Payload append helpers: frames are assembled into a scratch slice and
+// written in one piece.
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendI32(b []byte, v int32) []byte {
+	return binary.LittleEndian.AppendUint32(b, uint32(v))
+}
+
+func appendI32Slice(b []byte, vs []int32) []byte {
+	b = appendU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		b = appendI32(b, v)
+	}
+	return b
+}
+
+// reader is a cursor over a frame payload.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("wire: truncated frame payload")
+	}
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i32() int32 { return int32(r.u32()) }
+
+func (r *reader) u8() byte {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// i32Slice reads a counted int32 array, appending into dst.
+func (r *reader) i32Slice(dst []int32) []int32 {
+	k := int(r.u32())
+	if r.err != nil {
+		return dst
+	}
+	if r.off+4*k > len(r.b) {
+		r.fail()
+		return dst
+	}
+	for i := 0; i < k; i++ {
+		dst = append(dst, int32(binary.LittleEndian.Uint32(r.b[r.off+4*i:])))
+	}
+	r.off += 4 * k
+	return dst
+}
+
+// done checks that the payload was consumed exactly.
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %d trailing bytes in frame payload", len(r.b)-r.off)
+	}
+	return nil
+}

@@ -1,0 +1,371 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Server is one server-shard listener: it owns no protocol configuration
+// of its own — each session's Hello carries the variant, capacity and
+// server window, and the session's state is a fresh core.ServerShard. A
+// server process is therefore stateless across sessions (the per-run
+// state is rebuilt by the client's Reset), which is what makes a killed
+// and restarted shard indistinguishable from one that stayed up: the
+// failure-wave scenarios rely on it. Only the service tally (Report)
+// survives a session.
+type Server struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	report Report
+	conns  map[net.Conn]struct{}
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// Listen opens a shard listener on addr ("127.0.0.1:0" picks a free
+// port; read it back with Addr). Serve must be called to accept.
+func Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{ln: ln, conns: make(map[net.Conn]struct{}), closed: make(chan struct{})}, nil
+}
+
+// Addr returns the listener's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts and serves sessions until Close. Each connection is
+// served on its own goroutine with its own shard state, so a new client
+// can dial while an old session drains.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			s.serveSession(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight sessions to finish.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+		return nil
+	default:
+	}
+	close(s.closed)
+	err := s.ln.Close()
+	// A closed server is a killed process: in-flight sessions die with
+	// it rather than draining (the failure-wave model the restart tests
+	// and the churn executor's redial rely on).
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Report returns the server's cumulative service tally.
+func (s *Server) Report() Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.report
+}
+
+// session holds one connection's state: the buffered frame transport,
+// the shard the Hello configured, and scratch buffers reused across
+// rounds.
+type session struct {
+	fc    *frameConn
+	bw    *bufio.Writer
+	shard *core.ServerShard
+
+	out      []byte  // encode scratch
+	touched  []int32 // decode scratch: the round's servers
+	counts   []int32 // decode scratch: the round's counts
+	loads    []int32 // decode scratch: reset initial loads
+	accepted []int32 // decision scratch
+	burned   []int32 // decision scratch
+}
+
+// serveSession runs one session to connection close. Protocol errors are
+// reported to the client as an error frame before disconnecting.
+func (s *Server) serveSession(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	ses := &session{fc: &frameConn{r: br, w: bw}, bw: bw}
+	if err := s.runSession(ses); err != nil && !errors.Is(err, net.ErrClosed) {
+		// Best effort: the connection may already be gone.
+		ses.fc.writeFrame(msgError, []byte(err.Error()))
+		bw.Flush()
+	}
+}
+
+func (s *Server) runSession(ses *session) error {
+	if err := s.handshake(ses); err != nil {
+		return err
+	}
+	for {
+		typ, payload, err := ses.fc.readFrame()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				// Clean client disconnect between frames.
+				return nil
+			}
+			return err
+		}
+		switch typ {
+		case msgReset:
+			err = s.handleReset(ses, payload)
+		case msgRound:
+			err = s.handleRound(ses, payload)
+		case msgLoads:
+			err = s.handleLoads(ses, payload)
+		case msgReport:
+			err = s.handleReport(ses, payload)
+		default:
+			err = fmt.Errorf("wire: unexpected message type %d", typ)
+		}
+		if err != nil {
+			return err
+		}
+		if err := ses.bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// handshake reads the Hello, validates it, and builds the session shard.
+func (s *Server) handshake(ses *session) error {
+	payload, err := ses.fc.expectFrame(msgHello)
+	if err != nil {
+		return err
+	}
+	r := reader{b: payload}
+	magic := r.u32()
+	version := r.u32()
+	variant := r.u8()
+	capacity := r.i32()
+	lo := r.i32()
+	hi := r.i32()
+	if err := r.done(); err != nil {
+		return err
+	}
+	if magic != helloMagic {
+		return fmt.Errorf("wire: bad hello magic %#x", magic)
+	}
+	if version != protoVersion {
+		return fmt.Errorf("wire: protocol version %d, this server speaks %d", version, protoVersion)
+	}
+	shard, err := core.NewServerShard(core.Variant(variant), capacity, int(lo), int(hi))
+	if err != nil {
+		return err
+	}
+	ses.shard = shard
+	s.mu.Lock()
+	s.report.Sessions++
+	s.mu.Unlock()
+	if err := ses.fc.writeFrame(msgHelloOK, nil); err != nil {
+		return err
+	}
+	return ses.bw.Flush()
+}
+
+func (ses *session) window() int {
+	lo, hi := ses.shard.Window()
+	return hi - lo
+}
+
+func (s *Server) handleReset(ses *session, payload []byte) error {
+	r := reader{b: payload}
+	hasLoads := r.u8()
+	var loads []int32
+	if hasLoads != 0 {
+		ses.loads = r.i32Slice(ses.loads[:0])
+		loads = ses.loads
+	}
+	if err := r.done(); err != nil {
+		return err
+	}
+	if loads != nil && len(loads) != ses.window() {
+		return fmt.Errorf("wire: reset with %d loads for a %d-server window", len(loads), ses.window())
+	}
+	if err := ses.shard.Reset(loads); err != nil {
+		return err
+	}
+	return ses.fc.writeFrame(msgResetOK, nil)
+}
+
+func (s *Server) handleRound(ses *session, payload []byte) error {
+	r := reader{b: payload}
+	ses.touched = r.i32Slice(ses.touched[:0])
+	ses.counts = r.i32Slice(ses.counts[:0])
+	if err := r.done(); err != nil {
+		return err
+	}
+	start := time.Now()
+	acc, nb, sat, err := ses.shard.Decide(ses.touched, ses.counts, ses.accepted[:0], ses.burned[:0])
+	if err != nil {
+		return err
+	}
+	ses.accepted, ses.burned = acc, nb
+	var received uint64
+	for _, c := range ses.counts {
+		received += uint64(c)
+	}
+	// Accepted requests = the counts of the accepted servers; acc is
+	// sorted and a subsequence of touched, so one merge pass resolves it.
+	var acceptedReqs uint64
+	j := 0
+	for i, u := range ses.touched {
+		if j < len(acc) && acc[j] == u {
+			acceptedReqs += uint64(ses.counts[i])
+			j++
+		}
+	}
+	s.mu.Lock()
+	s.report.Rounds++
+	s.report.Requests += received
+	s.report.Accepted += acceptedReqs
+	s.report.DecideNanos += uint64(time.Since(start).Nanoseconds())
+	s.mu.Unlock()
+
+	ses.out = ses.out[:0]
+	ses.out = appendI32Slice(ses.out, acc)
+	ses.out = appendI32Slice(ses.out, nb)
+	ses.out = appendU32(ses.out, uint32(sat))
+	return ses.fc.writeFrame(msgRoundReply, ses.out)
+}
+
+func (s *Server) handleLoads(ses *session, payload []byte) error {
+	if len(payload) != 0 {
+		return fmt.Errorf("wire: loads request carries a payload")
+	}
+	ses.out = appendI32Slice(ses.out[:0], ses.shard.Loads())
+	return ses.fc.writeFrame(msgLoadsReply, ses.out)
+}
+
+func (s *Server) handleReport(ses *session, payload []byte) error {
+	if len(payload) != 0 {
+		return fmt.Errorf("wire: report request carries a payload")
+	}
+	rep := s.Report()
+	ses.out = ses.out[:0]
+	ses.out = appendU64(ses.out, rep.Sessions)
+	ses.out = appendU64(ses.out, rep.Rounds)
+	ses.out = appendU64(ses.out, rep.Requests)
+	ses.out = appendU64(ses.out, rep.Accepted)
+	ses.out = appendU64(ses.out, rep.DecideNanos)
+	return ses.fc.writeFrame(msgReportOK, ses.out)
+}
+
+// ServerSet runs one goroutine-isolated Server per shard inside this
+// process: the single-binary deployment shape (cmd/saer-server with k
+// listen addresses) and the harness for the loopback tests and the CI
+// service smoke.
+type ServerSet struct {
+	servers []*Server
+	errs    []error
+	wg      sync.WaitGroup
+}
+
+// StartSet listens on every addr and serves each on its own goroutine.
+func StartSet(addrs []string) (*ServerSet, error) {
+	ss := &ServerSet{errs: make([]error, len(addrs))}
+	for _, addr := range addrs {
+		srv, err := Listen(addr)
+		if err != nil {
+			ss.Close()
+			return nil, err
+		}
+		ss.servers = append(ss.servers, srv)
+	}
+	for i, srv := range ss.servers {
+		ss.wg.Add(1)
+		go func(i int, srv *Server) {
+			defer ss.wg.Done()
+			ss.errs[i] = srv.Serve()
+		}(i, srv)
+	}
+	return ss, nil
+}
+
+// StartLocalSet starts k shard servers on loopback ports picked by the
+// kernel.
+func StartLocalSet(k int) (*ServerSet, error) {
+	addrs := make([]string, k)
+	for i := range addrs {
+		addrs[i] = "127.0.0.1:0"
+	}
+	return StartSet(addrs)
+}
+
+// Addrs returns the bound addresses, one per shard in shard order.
+func (ss *ServerSet) Addrs() []string {
+	addrs := make([]string, len(ss.servers))
+	for i, srv := range ss.servers {
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+// Servers exposes the individual servers (the failure-wave tests kill
+// and restart specific shards).
+func (ss *ServerSet) Servers() []*Server { return ss.servers }
+
+// Reports collects every server's service tally, in shard order.
+func (ss *ServerSet) Reports() []Report {
+	reps := make([]Report, len(ss.servers))
+	for i, srv := range ss.servers {
+		reps[i] = srv.Report()
+	}
+	return reps
+}
+
+// Close shuts every server down and waits for the serve loops.
+func (ss *ServerSet) Close() error {
+	var first error
+	for _, srv := range ss.servers {
+		if err := srv.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	ss.wg.Wait()
+	for _, err := range ss.errs {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,361 @@
+package wire
+
+import (
+	"bufio"
+	"net"
+	"reflect"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/churn"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/rng"
+)
+
+func testGraph(t testing.TB, n, delta int, seed uint64) *bipartite.Graph {
+	t.Helper()
+	g, err := gen.Regular(n, delta, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// runWire executes cfg on topo through a Driver over a Bank dialed to a
+// fresh in-process server set of `shards` listeners.
+func runWire(t *testing.T, topo bipartite.Topology, cfg core.Config, shards int) (*core.Result, *Bank, *ServerSet) {
+	t.Helper()
+	ss, err := StartLocalSet(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := Dial(ss.Addrs(), cfg.Variant, int32(cfg.Params().Capacity()), topo.NumServers())
+	if err != nil {
+		ss.Close()
+		t.Fatal(err)
+	}
+	dr, err := core.NewDriver(topo, cfg, bank)
+	if err != nil {
+		bank.Close()
+		ss.Close()
+		t.Fatal(err)
+	}
+	res, err := dr.Run()
+	if err != nil {
+		bank.Close()
+		ss.Close()
+		t.Fatal(err)
+	}
+	return res, bank, ss
+}
+
+// TestWireLoopbackEquivalence is the service mode's core contract: a
+// loopback wire run — real TCP sockets, one server-shard listener per
+// window — reproduces the in-process core.Run result bit for bit, for
+// both variants and across shard counts.
+func TestWireLoopbackEquivalence(t *testing.T) {
+	n := 512
+	g := testGraph(t, n, 24, 77)
+	for _, variant := range []core.Variant{core.SAER, core.RAES} {
+		for _, c := range []float64{4, 2} {
+			cfg := core.NewConfig(variant, 2, c, 0xFEED)
+			cfg.TrackRounds = true
+			cfg.TrackNeighborhoods = true
+			cfg.TrackLoads = true
+			cfg.TrackAssignments = true
+			ref, err := cfg.Run(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 3, 8} {
+				res, bank, ss := runWire(t, g, cfg, shards)
+				if !reflect.DeepEqual(res, ref) {
+					t.Errorf("%v c=%g shards=%d: wire run diverges from in-process run:\n  ref=%+v\n  got=%+v",
+						variant, c, shards, ref, res)
+				}
+				if lat := bank.RoundLatencies(); len(lat) != res.Rounds {
+					t.Errorf("%v c=%g shards=%d: %d latency samples for %d rounds", variant, c, shards, len(lat), res.Rounds)
+				}
+				reps, err := bank.Reports()
+				if err != nil {
+					t.Fatal(err)
+				}
+				var reqs uint64
+				for _, rep := range reps {
+					reqs += rep.Requests
+				}
+				if reqs != uint64(res.TotalRequests) {
+					t.Errorf("%v c=%g shards=%d: shard reports carry %d requests, result %d",
+						variant, c, shards, reqs, res.TotalRequests)
+				}
+				bank.Close()
+				if err := ss.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestWireDynamicState exercises the epoch shape the churn executor
+// ships: pre-loaded servers (some burned from the start) and per-client
+// request counts.
+func TestWireDynamicState(t *testing.T) {
+	n := 256
+	g := testGraph(t, n, 16, 31)
+	cfg := core.NewConfig(core.SAER, 2, 4, 13)
+	cfg.TrackLoads = true
+	cfg.TrackRounds = true
+	cfg.InitialLoads = make([]int, n)
+	cfg.RequestCounts = make([]int, n)
+	src := rng.New(42)
+	capacity := cfg.Params().Capacity()
+	for i := 0; i < n; i++ {
+		cfg.InitialLoads[i] = src.Intn(capacity + 2)
+		cfg.RequestCounts[i] = src.Intn(cfg.D + 1)
+	}
+	ref, err := cfg.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, bank, ss := runWire(t, g, cfg, 3)
+	defer ss.Close()
+	defer bank.Close()
+	if !reflect.DeepEqual(res, ref) {
+		t.Errorf("dynamic state wire run diverges:\n  ref=%+v\n  got=%+v", ref, res)
+	}
+}
+
+// TestWireDriverReuse pins trial reuse over one set of live servers: the
+// bank is Reset per run, so successive Reseed+Run trials on the same
+// sessions match fresh in-process runs.
+func TestWireDriverReuse(t *testing.T) {
+	g := testGraph(t, 256, 16, 3)
+	cfg := core.NewConfig(core.RAES, 2, 3, 0)
+	cfg.TrackLoads = true
+	ss, err := StartLocalSet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	bank, err := Dial(ss.Addrs(), cfg.Variant, int32(cfg.Params().Capacity()), g.NumServers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bank.Close()
+	dr, err := core.NewDriver(g, cfg, bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		dr.Reseed(seed)
+		got, err := dr.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcfg := cfg
+		rcfg.Seed = seed
+		want, err := rcfg.Run(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed=%d: reused wire driver diverges from fresh in-process run", seed)
+		}
+	}
+	reps, err := bank.Reports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if rep.Sessions != 1 {
+			t.Errorf("shard %d served %d sessions across 4 trials, want 1 (pooled connection)", i, rep.Sessions)
+		}
+	}
+}
+
+// wireChurnScenario drives one scripted failure-wave scenario (the E16
+// shape: stable population, full redemand, one fail wave and one recover
+// wave) on a fresh topology and scheduler, returning every epoch's
+// outcome. The executor factory selects in-process vs wire execution;
+// onEpoch (optional) runs between epochs — the kill/restart hook.
+func wireChurnScenario(t *testing.T, policy churn.Policy, factory func(*churn.Topology, core.Config) (churn.Executor, error), onEpoch func(epoch int)) []churn.EpochOutcome {
+	t.Helper()
+	n, delta := 256, 16
+	epochs := 9
+	src := rng.New(11)
+	base, err := gen.TrustSubsetImplicit(n, n, delta, src.Uint64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := churn.New(churn.Config{
+		Base:    base,
+		Sampler: churn.TrustSampler(n, delta),
+		Seed:    src.Uint64(),
+		Backend: churn.BackendImplicit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proto := core.NewConfig(core.SAER, 2, 4, 0)
+	proto.Workers = 1
+	sch, err := churn.NewScheduler(topo, churn.SchedulerConfig{
+		Protocol:    proto,
+		LoadExpiry:  0.5,
+		Policy:      policy,
+		TrackRounds: true,
+		NewExecutor: factory,
+	}, src.Uint64())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wave []int32
+	outs := make([]churn.EpochOutcome, 0, epochs)
+	for e := 1; e <= epochs; e++ {
+		ev := churn.EpochEvent{Dt: 1, RedemandAll: true}
+		ev.Rewire = topo.SamplePresent(src, n/10)
+		switch e {
+		case 4:
+			wave = topo.SampleLive(src, n/4)
+			ev.Fail = wave
+		case 7:
+			ev.Recover = wave
+		}
+		out, err := sch.Step(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, *out)
+		if onEpoch != nil {
+			onEpoch(e)
+		}
+	}
+	return outs
+}
+
+// TestWireChurnFailureWaveKillRestart is the process-kill failure wave:
+// the same E16-style scenario runs once in process and once against live
+// shard servers, where one shard server is killed right before the
+// scenario's fail wave and restarted (cold, same address) before the
+// recover wave. Every failed-load policy must produce bit-for-bit the
+// in-process scheduler's epoch outcomes — the per-epoch Reset rebuilds
+// server state, so a process restart is invisible to the protocol.
+func TestWireChurnFailureWaveKillRestart(t *testing.T) {
+	ss, err := StartLocalSet(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	addrs := ss.Addrs()
+
+	// shard1 tracks whichever process currently serves addrs[1]; each
+	// policy's scenario kills it and brings up a cold replacement on the
+	// same address.
+	shard1 := ss.Servers()[1]
+	defer func() { shard1.Close() }()
+
+	for _, policy := range []churn.Policy{churn.PolicyDrop, churn.PolicyReinject, churn.PolicySaturate} {
+		ref := wireChurnScenario(t, policy, nil, nil)
+
+		onEpoch := func(epoch int) {
+			if epoch != 3 {
+				return
+			}
+			// Kill shard 1 between epochs: the wave epoch's Reset redials
+			// it and finds a cold restarted process on the same address.
+			if err := shard1.Close(); err != nil {
+				t.Fatal(err)
+			}
+			srv, err := Listen(addrs[1])
+			if err != nil {
+				t.Fatalf("restarting shard 1 on %s: %v", addrs[1], err)
+			}
+			shard1 = srv
+			go srv.Serve()
+		}
+		got := wireChurnScenario(t, policy, NewExecutorFactory(addrs), onEpoch)
+
+		if !reflect.DeepEqual(got, ref) {
+			for i := range ref {
+				if i < len(got) && !reflect.DeepEqual(got[i], ref[i]) {
+					t.Errorf("policy=%v epoch %d: wire scenario diverges from in-process:\n  ref=%+v\n  got=%+v",
+						policy, i+1, ref[i], got[i])
+					break
+				}
+			}
+			if len(got) != len(ref) {
+				t.Errorf("policy=%v: %d epochs vs %d", policy, len(got), len(ref))
+			}
+		}
+	}
+}
+
+// TestSplitWindows pins the shard-window split: contiguous, ascending,
+// sizes within one of each other, covering [0, m).
+func TestSplitWindows(t *testing.T) {
+	for _, tc := range []struct{ m, shards int }{{10, 3}, {7, 7}, {1, 1}, {4096, 8}} {
+		ws, err := SplitWindows(tc.m, tc.shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ws) != tc.shards {
+			t.Fatalf("m=%d shards=%d: %d windows", tc.m, tc.shards, len(ws))
+		}
+		lo, minSize, maxSize := 0, tc.m, 0
+		for _, w := range ws {
+			if w[0] != lo {
+				t.Fatalf("m=%d shards=%d: window %v not contiguous at %d", tc.m, tc.shards, w, lo)
+			}
+			size := w[1] - w[0]
+			if size < minSize {
+				minSize = size
+			}
+			if size > maxSize {
+				maxSize = size
+			}
+			lo = w[1]
+		}
+		if lo != tc.m || maxSize-minSize > 1 {
+			t.Fatalf("m=%d shards=%d: windows %v", tc.m, tc.shards, ws)
+		}
+	}
+	if _, err := SplitWindows(4, 5); err == nil {
+		t.Fatal("SplitWindows accepted more shards than servers")
+	}
+}
+
+// TestServerRejectsBadHello pins the handshake guard: wrong magic gets
+// an error frame, not silence.
+func TestServerRejectsBadHello(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	go srv.Serve()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	fc := &frameConn{r: bufio.NewReader(conn), w: bw}
+	var payload []byte
+	payload = appendU32(payload, 0xDEADBEEF) // wrong magic
+	payload = appendU32(payload, protoVersion)
+	payload = append(payload, 0)
+	payload = appendI32(payload, 8)
+	payload = appendI32(payload, 0)
+	payload = appendI32(payload, 4)
+	if err := fc.writeFrame(msgHello, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.expectFrame(msgHelloOK); err == nil {
+		t.Fatal("server accepted a hello with the wrong magic")
+	}
+}

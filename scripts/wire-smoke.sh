@@ -1,0 +1,68 @@
+#!/bin/sh
+# wire-smoke.sh — end-to-end smoke of the wire service mode: build the
+# three service binaries, start a 3-shard server, run the load-generator
+# client at n=2^12 with -verify (which asserts the wire run reproduces
+# the in-process core.Run result bit-for-bit), fold the client's record
+# stream with the aggregator, and tear everything down. The whole thing
+# runs under a timeout so a wedged handshake fails the job instead of
+# hanging it.
+#
+# Usage: ./scripts/wire-smoke.sh [n]   (default n = 4096)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+n="${1:-4096}"
+work="$(mktemp -d)"
+server_pid=""
+
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -TERM "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$work/bin/" ./cmd/saer-server ./cmd/saer-client ./cmd/saer-aggregate
+
+"$work/bin/saer-server" -shards 3 >"$work/server.log" 2>&1 &
+server_pid=$!
+
+# Wait (max ~10s) for the server's "ready" line before dialing.
+i=0
+while ! grep -q '^ready$' "$work/server.log" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "wire-smoke: server did not become ready" >&2
+        cat "$work/server.log" >&2
+        exit 1
+    fi
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "wire-smoke: server exited before ready" >&2
+        cat "$work/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+addrs="$(awk '/listening on/ {print $NF}' "$work/server.log" | paste -sd, -)"
+echo "wire-smoke: 3 shards at $addrs"
+
+"$work/bin/saer-client" -connect "$addrs" -n "$n" -c 4 -trials 2 -verify \
+    -records "$work/run.jsonl"
+
+"$work/bin/saer-aggregate" -json "$work/folded.jsonl" "$work/run.jsonl"
+
+# The folded stream must carry one record per shard.
+shards="$(grep -c '"type":"shard"' "$work/folded.jsonl")"
+if [ "$shards" -ne 3 ]; then
+    echo "wire-smoke: expected 3 folded shard records, got $shards" >&2
+    exit 1
+fi
+
+kill -TERM "$server_pid"
+wait "$server_pid" || true
+server_pid=""
+echo "wire-smoke: ok"
