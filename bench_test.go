@@ -15,6 +15,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/baseline"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/netsim"
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // benchGraph builds (and caches per benchmark invocation) a Δ-regular
@@ -563,6 +565,62 @@ func TestExperimentSuiteQuick(t *testing.T) {
 				t.Fatalf("%s produced an empty table", exp.ID)
 			}
 			t.Logf("\n%s", table)
+		})
+	}
+}
+
+// BenchmarkWireRoundLoopback measures the service mode end to end over
+// loopback TCP: per iteration, every multiplexed session runs one full
+// SAER trial (all rounds, scatter/gather across 2 shard servers)
+// concurrently over the shared pooled connections. Comparing the
+// sessions=k points shows what session multiplexing buys: if k trials
+// in flight amortize the per-frame round trips, ns/op grows by less
+// than k×. The sessions=1 point is the synchronous-client baseline the
+// PERFORMANCE.md wire table tracks.
+func BenchmarkWireRoundLoopback(b *testing.B) {
+	const n = 1 << 12
+	const shards = 2
+	g := benchGraph(b, n, 24)
+	cfg := core.NewConfig(core.SAER, 2, 4, 1)
+	for _, sessions := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("n=%d/sessions=%d", n, sessions), func(b *testing.B) {
+			ss, err := wire.StartLocalSet(shards)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ss.Close()
+			bank, err := wire.DialConfig(ss.Addrs(), cfg.Variant, int32(cfg.Params().Capacity()), n,
+				wire.BankConfig{Sessions: sessions})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bank.Close()
+			drivers := make([]*core.Driver, sessions)
+			for s := range drivers {
+				drivers[s], err = core.NewDriver(g, cfg, bank.Session(s))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			seed := uint64(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for s := range drivers {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						dr := drivers[s]
+						dr.Reseed(seed + uint64(s))
+						if _, err := dr.Run(); err != nil {
+							b.Error(err)
+						}
+					}(s)
+				}
+				wg.Wait()
+				seed += uint64(sessions)
+			}
 		})
 	}
 }

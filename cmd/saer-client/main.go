@@ -8,11 +8,20 @@
 // measured via internal/metrics; -records streams the trials, per-shard
 // tallies and latency summary as saer-records JSONL for saer-aggregate.
 //
+// -sessions S multiplexes S protocol sessions over the same pooled
+// connections (one frame-level session id each, one independent
+// ServerShard per session on the server side) and fans the trial list
+// out over them: trial t runs on session t mod S, so a -trials T sweep
+// runs up to S trials concurrently. -pipeline bounds the frames in
+// flight per shard connection. -workers parallelizes each trial's
+// client phase. All three are pure performance knobs: every trial's
+// result is bit-for-bit the in-process result regardless.
+//
 // Examples:
 //
 //	saer-client -connect 127.0.0.1:7001,127.0.0.1:7002 -n 4096 -c 4
-//	saer-client -connect $ADDRS -n 4096 -c 4 -trials 3 -verify
-//	saer-client -connect $ADDRS -n 4096 -c 4 -records run.jsonl
+//	saer-client -connect $ADDRS -n 4096 -c 4 -trials 8 -sessions 4 -verify
+//	saer-client -connect $ADDRS -n 4096 -c 4 -workers 4 -records run.jsonl
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bipartite"
@@ -43,42 +53,80 @@ func main() {
 		expectedDeg = flag.Int("expected-degree", 0, "proximity graphs: expected degree used to derive the radius (0 = delta)")
 		topoMode    = flag.String("topology", "csr", "graph storage: csr, implicit or implicit-csr")
 		trials      = flag.Int("trials", 1, "number of trials (trial t runs with protocol seed seed+1+t)")
+		sessions    = flag.Int("sessions", 1, "multiplexed protocol sessions over the pooled connections; trial t runs on session t mod sessions")
+		pipeline    = flag.Int("pipeline", 0, "max frames in flight per shard connection (0 = default)")
 		verify      = flag.Bool("verify", false, "also run each trial in-process and require bit-for-bit equality")
 		track       = flag.Bool("track", false, "track per-round series (streamed to -records)")
 		recordsPath = flag.String("records", "", "write a saer-records JSONL stream to this file")
 	)
 	flag.Parse()
 
-	if err := run(rf, *connect, *graphKind, *n, *delta, *expectedDeg, *topoMode, *trials, *verify, *track, *recordsPath); err != nil {
+	opts := clientOpts{
+		connect: *connect, graphKind: *graphKind, n: *n, delta: *delta,
+		expectedDeg: *expectedDeg, topoMode: *topoMode, trials: *trials,
+		sessions: *sessions, pipeline: *pipeline, verify: *verify,
+		track: *track, recordsPath: *recordsPath,
+	}
+	if err := run(rf, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "saer-client:", err)
 		os.Exit(1)
 	}
 }
 
-func run(rf cli.RunFlags, connect, graphKind string, n, delta, expectedDeg int, topoMode string,
-	trials int, verify, track bool, recordsPath string) error {
+type clientOpts struct {
+	connect     string
+	graphKind   string
+	n           int
+	delta       int
+	expectedDeg int
+	topoMode    string
+	trials      int
+	sessions    int
+	pipeline    int
+	verify      bool
+	track       bool
+	recordsPath string
+}
 
-	if connect == "" {
+// trialOut is one trial's collected outcome; the session goroutines fill
+// these and the main goroutine prints and records them in trial order.
+type trialOut struct {
+	seed     uint64
+	res      *core.Result
+	elapsed  time.Duration
+	lat      []time.Duration
+	reqs     int64
+	verified bool
+}
+
+func run(rf cli.RunFlags, o clientOpts) error {
+	if o.connect == "" {
 		return fmt.Errorf("-connect is required (start saer-server and pass its addresses)")
 	}
 	var addrs []string
-	for _, a := range strings.Split(connect, ",") {
+	for _, a := range strings.Split(o.connect, ",") {
 		if a = strings.TrimSpace(a); a != "" {
 			addrs = append(addrs, a)
 		}
 	}
-	if trials < 1 {
+	if o.trials < 1 {
 		return fmt.Errorf("-trials must be at least 1")
+	}
+	if o.sessions < 1 {
+		return fmt.Errorf("-sessions must be at least 1")
+	}
+	if o.sessions > o.trials {
+		o.sessions = o.trials // surplus sessions would idle
 	}
 	cfg, err := rf.Config()
 	if err != nil {
 		return err
 	}
-	topology, err := cli.ParseTopologyMode(topoMode)
+	topology, err := cli.ParseTopologyMode(o.topoMode)
 	if err != nil {
 		return err
 	}
-	g, err := cli.GraphSpec{Kind: graphKind, N: n, Delta: delta, ExpectedDegree: expectedDeg, Seed: rf.Seed}.BuildTopology(topology)
+	g, err := cli.GraphSpec{Kind: o.graphKind, N: o.n, Delta: o.delta, ExpectedDegree: o.expectedDeg, Seed: rf.Seed}.BuildTopology(topology)
 	if err != nil {
 		return err
 	}
@@ -98,15 +146,15 @@ func run(rf cli.RunFlags, connect, graphKind string, n, delta, expectedDeg int, 
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	cfg.TrackRounds = track
-	cfg.TrackNeighborhoods = track
+	cfg.TrackRounds = o.track
+	cfg.TrackNeighborhoods = o.track
 	// The per-shard records carry each window's max load, so load
 	// tracking rides along whenever a record stream is requested.
-	cfg.TrackLoads = cfg.TrackLoads || recordsPath != ""
+	cfg.TrackLoads = cfg.TrackLoads || o.recordsPath != ""
 
 	var rec *records.Recorder // nil (and nil-safe) without -records
-	if recordsPath != "" {
-		f, err := os.Create(recordsPath)
+	if o.recordsPath != "" {
+		f, err := os.Create(o.recordsPath)
 		if err != nil {
 			return err
 		}
@@ -114,61 +162,94 @@ func run(rf cli.RunFlags, connect, graphKind string, n, delta, expectedDeg int, 
 		rec = records.NewRecorder(f)
 		rec.SchemaHeader()
 	}
-	point := fmt.Sprintf("%s n=%d", strings.ToLower(strings.TrimSpace(graphKind)), n)
+	point := fmt.Sprintf("%s n=%d", strings.ToLower(strings.TrimSpace(o.graphKind)), o.n)
 
-	bank, err := wire.Dial(addrs, cfg.Variant, int32(cfg.Params().Capacity()), g.NumServers())
+	bank, err := wire.DialConfig(addrs, cfg.Variant, int32(cfg.Params().Capacity()), g.NumServers(),
+		wire.BankConfig{Sessions: o.sessions, Pipeline: o.pipeline})
 	if err != nil {
 		return err
 	}
 	defer bank.Close()
-	dr, err := core.NewDriver(g, cfg, bank)
-	if err != nil {
-		return err
+	fmt.Printf("wire bank: %d shards across %v, %d sessions\n\n", len(addrs), addrs, o.sessions)
+
+	// Fan the trial list out over the sessions: session s walks trials
+	// s, s+S, s+2S, … on its own Driver. Output is collected per trial
+	// and printed in order after the join, so the concurrency never
+	// interleaves the report.
+	outs := make([]trialOut, o.trials)
+	errs := make([]error, o.sessions)
+	wallStart := time.Now()
+	var wg sync.WaitGroup
+	for s := 0; s < o.sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			ses := bank.Session(s)
+			dr, err := core.NewDriver(g, cfg, ses)
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			for t := s; t < o.trials; t += o.sessions {
+				seed := cfg.Seed + uint64(t)
+				dr.Reseed(seed)
+				start := time.Now()
+				res, err := dr.Run()
+				if err != nil {
+					errs[s] = fmt.Errorf("trial %d: %w", t, err)
+					return
+				}
+				elapsed := time.Since(start)
+				lat, reqs := ses.TakeMetrics()
+				out := trialOut{seed: seed, res: res, elapsed: elapsed, lat: lat, reqs: reqs}
+				if o.verify {
+					ref := cfg
+					ref.Seed = seed
+					want, err := ref.Run(g)
+					if err != nil {
+						errs[s] = fmt.Errorf("trial %d in-process reference run: %w", t, err)
+						return
+					}
+					if !reflect.DeepEqual(res, want) {
+						errs[s] = fmt.Errorf("trial %d: wire result diverges from the in-process result", t)
+						return
+					}
+					out.verified = true
+				}
+				outs[t] = out
+			}
+		}(s)
 	}
-	fmt.Printf("wire bank: %d shards across %v\n\n", len(addrs), addrs)
+	wg.Wait()
+	wallElapsed := time.Since(wallStart)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 
 	cores := runtime.GOMAXPROCS(0)
 	var allLat []time.Duration
 	var totalReqs int64
-	var totalElapsed time.Duration
 	var lastRes *core.Result
-	for t := 0; t < trials; t++ {
-		seed := cfg.Seed + uint64(t)
-		dr.Reseed(seed)
-		start := time.Now()
-		res, err := dr.Run()
-		if err != nil {
-			return err
-		}
-		elapsed := time.Since(start)
-		lat, reqs := bank.TakeMetrics()
-		allLat = append(allLat, lat...)
-		totalReqs += reqs
-		totalElapsed += elapsed
-		lastRes = res
+	for t, out := range outs {
+		allLat = append(allLat, out.lat...)
+		totalReqs += out.reqs
+		lastRes = out.res
 
-		lsum := metrics.SummarizeLatencies(lat)
-		tput := metrics.Throughput{Requests: reqs, Elapsed: elapsed, Cores: cores}
-		fmt.Printf("trial %d (seed %d): rounds=%d completed=%v max_load=%d burned=%d unassigned=%d\n",
-			t, seed, res.Rounds, res.Completed, res.MaxLoad, res.BurnedServers, res.UnassignedBalls)
+		lsum := metrics.SummarizeLatencies(out.lat)
+		tput := metrics.Throughput{Requests: out.reqs, Elapsed: out.elapsed, Cores: cores}
+		fmt.Printf("trial %d (seed %d, session %d): rounds=%d completed=%v max_load=%d burned=%d unassigned=%d\n",
+			t, out.seed, t%o.sessions, out.res.Rounds, out.res.Completed, out.res.MaxLoad,
+			out.res.BurnedServers, out.res.UnassignedBalls)
 		fmt.Printf("  round latency: %v\n", lsum)
 		fmt.Printf("  throughput:    %v\n", tput)
-
-		if verify {
-			ref := cfg
-			ref.Seed = seed
-			want, err := ref.Run(g)
-			if err != nil {
-				return fmt.Errorf("in-process reference run: %w", err)
-			}
-			if !reflect.DeepEqual(res, want) {
-				return fmt.Errorf("trial %d: wire result diverges from the in-process result", t)
-			}
+		if out.verified {
 			fmt.Printf("  verify:        wire result == in-process result (bit-for-bit)\n")
 		}
-		rec.Trial("wire", point, t, seed, res)
-		if len(res.PerRound) > 0 {
-			rec.RoundSeries("wire", point, t, -1, res.PerRound)
+		rec.Trial("wire", point, t, out.seed, out.res)
+		if len(out.res.PerRound) > 0 {
+			rec.RoundSeries("wire", point, t, -1, out.res.PerRound)
 		}
 	}
 
@@ -215,15 +296,18 @@ func run(rf cli.RunFlags, connect, graphKind string, n, delta, expectedDeg int, 
 		}
 	}
 
+	// The all-trials throughput uses wall time of the whole fan-out, so
+	// concurrent sessions show up as gained throughput rather than
+	// double-counted elapsed time.
 	lsum := metrics.SummarizeLatencies(allLat)
-	tput := metrics.Throughput{Requests: totalReqs, Elapsed: totalElapsed, Cores: cores}
-	fmt.Printf("\nall trials: %v\n            %v\n", lsum, tput)
+	tput := metrics.Throughput{Requests: totalReqs, Elapsed: wallElapsed, Cores: cores}
+	fmt.Printf("\nall trials: %v\n            %v (wall)\n", lsum, tput)
 	rec.Note("wire", fmt.Sprintf("latency %v; throughput %v", lsum, tput))
 	if rec != nil {
 		if err := rec.Err(); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote records to %s\n", recordsPath)
+		fmt.Printf("\nwrote records to %s\n", o.recordsPath)
 	}
 	return nil
 }

@@ -2,9 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/bipartite"
+	"repro/internal/engine"
 	"repro/internal/rng"
 )
 
@@ -18,39 +19,61 @@ import (
 // (topology, config, seed) — the equivalence suite pins that, and the
 // wire smoke job asserts it end to end over real sockets.
 //
-// The Driver is single-threaded on the client side (the Runner's worker
-// pool exists to parallelize the tally, which the bank owns here); its
-// throughput is the transport's business, measured per round by the
-// optional RoundObserver.
+// The client phase fans out over Config.Workers goroutines through the
+// same engine substrate as the in-process round loop: the work-stealing
+// scheduler walks disjoint chunks of the frontier (each client drawing
+// from its private stream, so the draws are worker-count-independent),
+// destinations are bucketed into per-(worker, server-shard) route lanes,
+// and the per-shard folds produce sorted window-local touched lists
+// whose shard-order concatenation is the globally sorted batch — no
+// global sort, and bit-for-bit the single-threaded Driver's batch for
+// every worker count and steal schedule. The bank sees exactly the same
+// bytes either way; only the wall-clock changes.
 type Driver struct {
 	topo bipartite.Topology
 	cfg  Config
 	bank ServerBank
 
-	csr    *bipartite.Graph
-	nbrBuf []int32
+	csr     *bipartite.Graph
+	nbrBufs [][]int32 // per-worker neighborhood scratch (implicit topologies)
 
 	capacity int32
 	d        int
+
+	pool   *engine.Pool
+	router *engine.Router
+	// tally is the round's request accumulator in stamped mode: counts
+	// live in the merged view, first touches are detected by epoch stamp
+	// (Router.FoldShard), and the round-end reset is O(1).
+	tally *engine.Tally
 
 	alive    []int32
 	choices  []int32
 	streams  []rng.Stream
 	frontier []int32
 
-	// counts/countRound are the epoch-stamped dense tally of the round's
-	// requests: counts[u] is valid iff countRound[u] == the current
-	// round, so no clearing pass over the m servers is ever needed.
-	counts     []int32
-	countRound []int32
-	touched    []int32
-	countsArg  []int32
+	touched      []int32
+	countsArg    []int32
+	shardTouched [][]int32 // per-shard sorted touched lists of the current round
 
 	// acceptedRound[u] == round ⇔ server u accepted this round (from the
 	// bank's decision); burned mirrors the bank's burned flags so the
 	// neighborhood statistics and the starvation check stay client-side.
 	acceptedRound []int32
 	burned        []bool
+
+	// Per-worker reduction scratch (order-independent sums/maxima — the
+	// steal-schedule-safe accumulation shapes) and per-chunk survivor
+	// lanes for the frontier compaction (chunk boundaries are a pure
+	// function of the frontier length, so concatenating in chunk order is
+	// schedule-independent).
+	partialSent  []int64
+	partialAcc   []int64
+	partialAlive []int64
+	partialFrac  []float64
+	partialRecv  []int64
+	partialKt    []float64
+	chunkSurv    [][]int32
 
 	cumNbrReceived []int64
 	assignments    [][]int32
@@ -95,6 +118,8 @@ func NewDriver(topo bipartite.Topology, cfg Config, bank ServerBank) (*Driver, e
 	if bank == nil {
 		return nil, fmt.Errorf("core: driver needs a server bank")
 	}
+	pool := engine.NewPool(cfg.Workers)
+	workers := pool.Workers()
 	d := &Driver{
 		topo:     topo,
 		cfg:      cfg,
@@ -102,21 +127,35 @@ func NewDriver(topo bipartite.Topology, cfg Config, bank ServerBank) (*Driver, e
 		capacity: int32(cfg.Params().Capacity()),
 		d:        cfg.D,
 
+		pool:   pool,
+		router: engine.NewRouter(workers, workers, m),
+
 		alive:   make([]int32, n),
 		choices: make([]int32, n*cfg.D),
 		streams: make([]rng.Stream, n),
 
-		counts:        make([]int32, m),
-		countRound:    make([]int32, m),
 		acceptedRound: make([]int32, m),
 		burned:        make([]bool, m),
+
+		partialSent:  make([]int64, workers),
+		partialAcc:   make([]int64, workers),
+		partialAlive: make([]int64, workers),
 	}
+	d.tally = engine.NewTally(pool, m)
+	d.tally.BeginStamped()
+	d.shardTouched = make([][]int32, d.router.Shards())
 	d.csr, _ = topo.(*bipartite.Graph)
 	if d.csr == nil {
-		d.nbrBuf = make([]int32, 0, topo.MaxClientDegree())
+		d.nbrBufs = make([][]int32, workers)
+		for w := range d.nbrBufs {
+			d.nbrBufs[w] = make([]int32, 0, topo.MaxClientDegree())
+		}
 	}
 	if cfg.TrackNeighborhoods {
 		d.cumNbrReceived = make([]int64, n)
+		d.partialFrac = make([]float64, workers)
+		d.partialRecv = make([]int64, workers)
+		d.partialKt = make([]float64, workers)
 	}
 	if cfg.TrackAssignments {
 		d.assignments = make([][]int32, n)
@@ -145,13 +184,13 @@ func (dr *Driver) SetObserver(obs RoundObserver) { dr.observer = obs }
 func (dr *Driver) Reseed(seed uint64) { dr.cfg.Seed = seed }
 
 // neighbors returns client v's neighborhood: zero-copy from a CSR graph,
-// regenerated into the scratch buffer otherwise.
-func (dr *Driver) neighbors(v int) []int32 {
+// regenerated into worker w's scratch buffer otherwise.
+func (dr *Driver) neighbors(w, v int) []int32 {
 	if dr.csr != nil {
 		return dr.csr.ClientNeighbors(v)
 	}
-	dr.nbrBuf = dr.topo.AppendClientNeighbors(v, dr.nbrBuf[:0])
-	return dr.nbrBuf
+	dr.nbrBufs[w] = dr.topo.AppendClientNeighbors(v, dr.nbrBufs[w][:0])
+	return dr.nbrBufs[w]
 }
 
 // reset rebuilds all client-side per-run state and Resets the bank, so
@@ -170,8 +209,7 @@ func (dr *Driver) reset() (aliveTotal int64, err error) {
 			aliveTotal += int64(a)
 		}
 	}
-	for u := range dr.countRound {
-		dr.countRound[u] = 0
+	for u := range dr.acceptedRound {
 		dr.acceptedRound[u] = 0
 		dr.burned[u] = false
 	}
@@ -188,6 +226,8 @@ func (dr *Driver) reset() (aliveTotal int64, err error) {
 	for v := range dr.assignments {
 		dr.assignments[v] = dr.assignments[v][:0]
 	}
+	dr.router.Discard()
+	dr.tally.FullReset(dr.pool)
 	rng.ReseedStreamSlice(dr.streams, dr.cfg.Seed)
 	return aliveTotal, dr.bank.Reset(dr.cfg.InitialLoads)
 }
@@ -223,7 +263,7 @@ func (dr *Driver) Run() (*Result, error) {
 	round := 0
 	for aliveTotal > 0 && round < maxRounds {
 		round++
-		sent := dr.phaseClients(int32(round))
+		sent := dr.phaseClients()
 		dec, err := dr.decideRound(int32(round))
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d: %w", round, err)
@@ -247,7 +287,7 @@ func (dr *Driver) Run() (*Result, error) {
 			}
 			if dr.cfg.TrackNeighborhoods {
 				stats.MaxNeighborhoodBurnedFrac, stats.MaxNeighborhoodReceived, stats.MaxKt =
-					dr.neighborhoodStats(int32(round))
+					dr.neighborhoodStats()
 			}
 			res.PerRound = append(res.PerRound, stats)
 		}
@@ -282,41 +322,65 @@ func (dr *Driver) Run() (*Result, error) {
 
 // phaseClients draws this round's destinations for every alive ball —
 // the identical per-client stream reads, in the identical per-client
-// order, as Runner.clientStep — and tallies them into the epoch-stamped
-// counts. Returns the number of requests submitted.
-func (dr *Driver) phaseClients(round int32) int64 {
-	var sent int64
-	dr.touched = dr.touched[:0]
-	for _, vv := range dr.frontier {
-		v := int(vv)
-		a := dr.alive[v]
-		nbrs := dr.neighbors(v)
-		deg := len(nbrs)
-		src := &dr.streams[v]
-		base := v * dr.d
-		for i := int32(0); i < a; i++ {
-			u := nbrs[src.Intn(deg)]
-			dr.choices[base+int(i)] = u
-			if dr.countRound[u] != round {
-				dr.countRound[u] = round
-				dr.counts[u] = 0
-				dr.touched = append(dr.touched, u)
+// order, as Runner.clientStep — and routes them into the per-(worker,
+// shard) lanes. The frontier is walked by the work-stealing scheduler;
+// each client's draws depend only on its private stream, so the routed
+// multiset is independent of the chunk-to-worker schedule. Returns the
+// number of requests submitted.
+func (dr *Driver) phaseClients() int64 {
+	dr.router.ResetLanes()
+	dr.tally.StampedReset()
+	shift := dr.router.Shift()
+	clear(dr.partialSent)
+	dr.pool.StealRange(len(dr.frontier), func(w, _, lo, hi int) {
+		lanes := dr.router.Lanes(w)
+		var sent int64
+		for _, vv := range dr.frontier[lo:hi] {
+			v := int(vv)
+			a := dr.alive[v]
+			nbrs := dr.neighbors(w, v)
+			deg := len(nbrs)
+			src := &dr.streams[v]
+			base := v * dr.d
+			for i := int32(0); i < a; i++ {
+				u := nbrs[src.Intn(deg)]
+				dr.choices[base+int(i)] = u
+				s := int(u) >> shift
+				lanes[s] = append(lanes[s], u)
 			}
-			dr.counts[u]++
+			sent += int64(a)
 		}
-		sent += int64(a)
+		dr.partialSent[w] += sent
+	})
+	var sent int64
+	for _, v := range dr.partialSent {
+		sent += v
 	}
 	return sent
 }
 
-// decideRound ships the round's batch to the bank: touched sorted
-// ascending with its parallel counts, decision stamps applied to the
-// accepted/burned state.
+// decideRound folds the route lanes shard by shard (each fold owned by
+// one goroutine, each shard's touched list sorted window-locally),
+// concatenates the per-shard lists in shard order — contiguous ascending
+// windows, so the result is the globally sorted batch — and ships it to
+// the bank. Decision stamps are applied to the accepted/burned state.
 func (dr *Driver) decideRound(round int32) (RoundDecision, error) {
-	sort.Slice(dr.touched, func(i, j int) bool { return dr.touched[i] < dr.touched[j] })
+	shards := dr.router.Shards()
+	dr.pool.StealRangeGrain(shards, 1, func(_, _, lo, hi int) {
+		for s := lo; s < hi; s++ {
+			t := dr.router.FoldShard(s, dr.tally)
+			slices.Sort(t)
+			dr.shardTouched[s] = t
+		}
+	})
+	dr.touched = dr.touched[:0]
 	dr.countsArg = dr.countsArg[:0]
-	for _, u := range dr.touched {
-		dr.countsArg = append(dr.countsArg, dr.counts[u])
+	merged := dr.tally.Merged()
+	for _, t := range dr.shardTouched {
+		for _, u := range t {
+			dr.touched = append(dr.touched, u)
+			dr.countsArg = append(dr.countsArg, merged[u])
+		}
 	}
 	dec, err := dr.bank.DecideRound(dr.touched, dr.countsArg)
 	if err != nil {
@@ -332,78 +396,109 @@ func (dr *Driver) decideRound(round int32) (RoundDecision, error) {
 }
 
 // phaseUpdateClients counts each frontier client's accepted requests and
-// compacts the survivors in place (ascending order is preserved).
+// compacts the survivors: workers fill per-chunk survivor lanes, whose
+// chunk-order concatenation preserves the frontier's ascending order for
+// every steal schedule.
 func (dr *Driver) phaseUpdateClients(round int32) (accepted, alive int64) {
-	next := dr.frontier[:0]
-	for _, vv := range dr.frontier {
-		v := int(vv)
-		a := dr.alive[v]
-		base := v * dr.d
-		var got int32
-		for i := int32(0); i < a; i++ {
-			u := dr.choices[base+int(i)]
-			if dr.acceptedRound[u] == round {
-				got++
-				if dr.assignments != nil {
-					dr.assignments[v] = append(dr.assignments[v], u)
+	numChunks := dr.pool.NumChunks(len(dr.frontier))
+	for len(dr.chunkSurv) < numChunks {
+		dr.chunkSurv = append(dr.chunkSurv, nil)
+	}
+	clear(dr.partialAcc)
+	clear(dr.partialAlive)
+	dr.pool.StealRange(len(dr.frontier), func(w, chunk, lo, hi int) {
+		surv := dr.chunkSurv[chunk][:0]
+		var acc, still int64
+		for _, vv := range dr.frontier[lo:hi] {
+			v := int(vv)
+			a := dr.alive[v]
+			base := v * dr.d
+			var got int32
+			for i := int32(0); i < a; i++ {
+				u := dr.choices[base+int(i)]
+				if dr.acceptedRound[u] == round {
+					got++
+					if dr.assignments != nil {
+						dr.assignments[v] = append(dr.assignments[v], u)
+					}
 				}
 			}
+			rem := a - got
+			dr.alive[v] = rem
+			if rem > 0 {
+				surv = append(surv, vv)
+				still += int64(rem)
+			}
+			acc += int64(got)
 		}
-		rem := a - got
-		dr.alive[v] = rem
-		if rem > 0 {
-			next = append(next, vv)
-		}
-		accepted += int64(got)
-		alive += int64(rem)
+		dr.chunkSurv[chunk] = surv
+		dr.partialAcc[w] += acc
+		dr.partialAlive[w] += still
+	})
+	next := dr.frontier[:0]
+	for _, surv := range dr.chunkSurv[:numChunks] {
+		next = append(next, surv...)
 	}
 	dr.frontier = next
-	return accepted, alive
-}
-
-// receivedAt resolves server u's received count for the current round
-// through the epoch stamps.
-func (dr *Driver) receivedAt(u int32, round int32) int32 {
-	if dr.countRound[u] == round {
-		return dr.counts[u]
+	for w := range dr.partialAcc {
+		accepted += dr.partialAcc[w]
+		alive += dr.partialAlive[w]
 	}
-	return 0
+	return accepted, alive
 }
 
 // neighborhoodStats computes S_t, r_t and K_t for the current round —
 // the Runner's definitions over the client-side mirror of the server
 // state (burned flags from the decisions, received counts from the
-// tally).
-func (dr *Driver) neighborhoodStats(round int32) (maxBurnedFrac float64, maxReceived int, maxKt float64) {
+// tally) — with per-worker maxima folded after the parallel sweep
+// (order-independent, so steal-schedule-safe).
+func (dr *Driver) neighborhoodStats() (maxBurnedFrac float64, maxReceived int, maxKt float64) {
 	n := dr.topo.NumClients()
 	cd := float64(dr.cfg.C) * float64(dr.d)
-	for v := 0; v < n; v++ {
-		nbrs := dr.neighbors(v)
-		if len(nbrs) == 0 {
-			continue
-		}
-		var burnedCnt int
-		var recvSum int64
-		for _, u := range nbrs {
-			if dr.burned[u] {
-				burnedCnt++
+	clear(dr.partialFrac)
+	clear(dr.partialRecv)
+	clear(dr.partialKt)
+	dr.pool.StealRange(n, func(w, _, lo, hi int) {
+		frac, recv, kt := dr.partialFrac[w], dr.partialRecv[w], dr.partialKt[w]
+		for v := lo; v < hi; v++ {
+			nbrs := dr.neighbors(w, v)
+			if len(nbrs) == 0 {
+				continue
 			}
-			recvSum += int64(dr.receivedAt(u, round))
+			var burnedCnt int
+			var recvSum int64
+			for _, u := range nbrs {
+				if dr.burned[u] {
+					burnedCnt++
+				}
+				recvSum += int64(dr.tally.ReceivedAt(u))
+			}
+			if f := float64(burnedCnt) / float64(len(nbrs)); f > frac {
+				frac = f
+			}
+			if recvSum > recv {
+				recv = recvSum
+			}
+			dr.cumNbrReceived[v] += recvSum
+			if k := float64(dr.cumNbrReceived[v]) / (cd * float64(len(nbrs))); k > kt {
+				kt = k
+			}
 		}
-		frac := float64(burnedCnt) / float64(len(nbrs))
-		if frac > maxBurnedFrac {
-			maxBurnedFrac = frac
+		dr.partialFrac[w], dr.partialRecv[w], dr.partialKt[w] = frac, recv, kt
+	})
+	var recv int64
+	for w := range dr.partialFrac {
+		if dr.partialFrac[w] > maxBurnedFrac {
+			maxBurnedFrac = dr.partialFrac[w]
 		}
-		if int(recvSum) > maxReceived {
-			maxReceived = int(recvSum)
+		if dr.partialRecv[w] > recv {
+			recv = dr.partialRecv[w]
 		}
-		dr.cumNbrReceived[v] += recvSum
-		kt := float64(dr.cumNbrReceived[v]) / (cd * float64(len(nbrs)))
-		if kt > maxKt {
-			maxKt = kt
+		if dr.partialKt[w] > maxKt {
+			maxKt = dr.partialKt[w]
 		}
 	}
-	return maxBurnedFrac, maxReceived, maxKt
+	return maxBurnedFrac, int(recv), maxKt
 }
 
 // hasStarvedClient reports whether some frontier client's whole
@@ -411,7 +506,7 @@ func (dr *Driver) neighborhoodStats(round int32) (maxBurnedFrac float64, maxRece
 func (dr *Driver) hasStarvedClient() bool {
 	for _, vv := range dr.frontier {
 		starved := true
-		for _, u := range dr.neighbors(int(vv)) {
+		for _, u := range dr.neighbors(0, int(vv)) {
 			if !dr.burned[u] {
 				starved = false
 				break

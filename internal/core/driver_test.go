@@ -10,11 +10,12 @@ import (
 )
 
 // driverEquivalenceCase runs the same configuration through the Runner
-// (dense single-worker reference) and through Driver+LocalBank at
-// several shard counts, and fails unless every Result — PerRound series,
-// load vectors, assignments, all of it — is bit-for-bit identical. This
-// is the contract the wire transport inherits: the Driver is its client
-// side, the LocalBank stands where the remote shard processes will.
+// (dense single-worker reference) and through Driver+LocalBank across
+// client worker counts and shard counts, and fails unless every Result —
+// PerRound series, load vectors, assignments, all of it — is bit-for-bit
+// identical. This is the contract the wire transport inherits: the
+// Driver is its client side (its phases fan out over the worker pool),
+// the LocalBank stands where the remote shard processes will.
 func driverEquivalenceCase(t *testing.T, name string, topo bipartite.Topology, cfg Config) {
 	t.Helper()
 	ref := func() *Result {
@@ -27,19 +28,23 @@ func driverEquivalenceCase(t *testing.T, name string, topo bipartite.Topology, c
 		}
 		return normalizedResult(res)
 	}()
-	for _, shards := range []int{1, 2, 3, 8} {
-		dr, err := NewLocalDriver(topo, cfg, shards)
-		if err != nil {
-			t.Fatalf("%s shards=%d: %v", name, shards, err)
-		}
-		res, err := dr.Run()
-		if err != nil {
-			t.Fatalf("%s shards=%d: %v", name, shards, err)
-		}
-		got := normalizedResult(res)
-		if !reflect.DeepEqual(got, ref) {
-			t.Errorf("%s: driver shards=%d diverges from runner reference:\n  ref=%+v\n  got=%+v",
-				name, shards, ref, got)
+	for _, workers := range []int{1, 2, 4} {
+		for _, shards := range []int{1, 2, 3, 8} {
+			wcfg := cfg
+			wcfg.Workers = workers
+			dr, err := NewLocalDriver(topo, wcfg, shards)
+			if err != nil {
+				t.Fatalf("%s workers=%d shards=%d: %v", name, workers, shards, err)
+			}
+			res, err := dr.Run()
+			if err != nil {
+				t.Fatalf("%s workers=%d shards=%d: %v", name, workers, shards, err)
+			}
+			got := normalizedResult(res)
+			if !reflect.DeepEqual(got, ref) {
+				t.Errorf("%s: driver workers=%d shards=%d diverges from runner reference:\n  ref=%+v\n  got=%+v",
+					name, workers, shards, ref, got)
+			}
 		}
 	}
 }
@@ -123,6 +128,7 @@ func TestDriverMatchesRunnerImplicitTopology(t *testing.T) {
 func TestDriverReseedReuse(t *testing.T) {
 	g := regularGraph(t, 256, 16, 3)
 	cfg := NewConfig(SAER, 2, 2, 0)
+	cfg.Workers = 2 // reuse must also reset the parallel phase state
 	cfg.TrackRounds = true
 	cfg.TrackLoads = true
 	reused, err := NewLocalDriver(g, cfg, 3)

@@ -30,27 +30,21 @@ func SummarizeLatencies(samples []time.Duration) LatencySummary {
 		return s
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	// One pass builds the float view all three quantiles share; the
+	// interpolation matches stats.Percentile, so duration and float64
+	// series report identical quantiles.
+	xs := make([]float64, len(samples))
 	var sum time.Duration
-	for _, d := range samples {
+	for i, d := range samples {
 		sum += d
-	}
-	s.Mean = sum / time.Duration(len(samples))
-	s.P50 = quantileDuration(samples, 0.50)
-	s.P90 = quantileDuration(samples, 0.90)
-	s.P99 = quantileDuration(samples, 0.99)
-	s.Max = samples[len(samples)-1]
-	return s
-}
-
-// quantileDuration reads quantile q from ascending samples with the same
-// linear interpolation as stats.Percentile, so duration and float64
-// series report identical quantiles.
-func quantileDuration(sorted []time.Duration, q float64) time.Duration {
-	xs := make([]float64, len(sorted))
-	for i, d := range sorted {
 		xs[i] = float64(d)
 	}
-	return time.Duration(stats.Percentile(xs, q))
+	s.Mean = sum / time.Duration(len(samples))
+	s.P50 = time.Duration(stats.Percentile(xs, 0.50))
+	s.P90 = time.Duration(stats.Percentile(xs, 0.90))
+	s.P99 = time.Duration(stats.Percentile(xs, 0.99))
+	s.Max = samples[len(samples)-1]
+	return s
 }
 
 // String renders the summary in one line.

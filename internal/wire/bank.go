@@ -1,9 +1,7 @@
 package wire
 
 import (
-	"bufio"
 	"fmt"
-	"net"
 	"sync"
 	"time"
 
@@ -35,63 +33,115 @@ func SplitWindows(m, shards int) ([][2]int, error) {
 	return windows, nil
 }
 
-// Bank is the wire implementation of core.ServerBank: one pooled
-// connection per remote server shard, each round shipped as one batched
-// frame per touched shard. It is what turns a core.Driver into the
-// service mode's load generator — the Driver neither knows nor cares
-// that its bank crosses a socket.
+// BankConfig tunes the client side of the wire transport. The zero value
+// selects every default, so existing Dial callers are unchanged.
+type BankConfig struct {
+	// Sessions is the number of concurrent protocol sessions multiplexed
+	// over the Bank's connections (default 1). Each session is an
+	// independent core.ServerBank — its own per-session ServerShard state
+	// server-side — so S sessions run S trials concurrently over one set
+	// of sockets.
+	Sessions int
+	// Pipeline caps the request frames in flight per shard connection,
+	// across all sessions (default 8). The protocol is synchronous within
+	// a session (round t+1 depends on round t's decisions), so depth
+	// materializes when several sessions share a connection.
+	Pipeline int
+	// RedialAttempts bounds the dial attempts per reconnection (default
+	// 3): a shard killed and restarted by a failure wave takes a moment
+	// to come back.
+	RedialAttempts int
+	// RedialBackoff is the base backoff before the second attempt,
+	// doubled per further attempt with full jitter (default 25ms).
+	RedialBackoff time.Duration
+	// FrameLimit overrides the per-frame size cap (default maxFrameSize).
+	// Tests lower it to exercise frame spilling without gigabyte
+	// payloads; production callers leave it zero.
+	FrameLimit int
+}
+
+func (c BankConfig) withDefaults() BankConfig {
+	if c.Sessions < 1 {
+		c.Sessions = 1
+	}
+	if c.Pipeline < 1 {
+		c.Pipeline = 8
+	}
+	if c.RedialAttempts < 1 {
+		c.RedialAttempts = 3
+	}
+	if c.RedialBackoff <= 0 {
+		c.RedialBackoff = 25 * time.Millisecond
+	}
+	if c.FrameLimit <= 0 {
+		c.FrameLimit = maxFrameSize
+	}
+	return c
+}
+
+// Bank is the wire implementation of core.ServerBank: one pipelined
+// connection per remote server shard, shared by every session, each
+// round shipped as one batched message per touched shard (spilled across
+// continuation frames when oversized). It is what turns a core.Driver
+// into the service mode's load generator — the Driver neither knows nor
+// cares that its bank crosses a socket.
 //
-// A connection that dies (a killed server process) is redialed on the
-// next Reset: combined with the per-run statelessness of the shard
-// servers, a process kill between epochs is invisible to the scenario,
-// which is exactly the recovery model the churn failure waves assume.
+// The Bank itself implements core.ServerBank by delegating to session 0,
+// so single-session callers use it directly; Session(i) hands out the
+// other sessions for trial-parallel drivers. A connection that dies (a
+// killed server process) is redialed — with bounded, jittered backoff —
+// on the next call that needs it: combined with the per-run
+// statelessness of the shard servers, a process kill between epochs is
+// invisible to the scenario, which is exactly the recovery model the
+// churn failure waves assume.
 type Bank struct {
 	variant  core.Variant
 	capacity int32
 	m        int
+	cfg      BankConfig
 	conns    []*shardConn
-
-	// Round metrics: one latency sample per DecideRound (the full
-	// scatter/gather round trip) and the cumulative request volume.
-	roundLat []time.Duration
-	requests int64
+	sessions []*Session
 }
 
-// shardConn is the client half of one shard session.
-type shardConn struct {
-	addr   string
-	lo, hi int32
-
-	conn net.Conn
-	bw   *bufio.Writer
-	fc   *frameConn
-
-	out      []byte
-	accepted []int32
-	burned   []int32
-	loads    []int32
-	sat      int
-	err      error
-}
-
-// Dial connects one shard session per address; addrs[i] serves the i-th
-// window of SplitWindows(m, len(addrs)). The protocol identity (variant,
-// capacity) is fixed per Bank and announced to each server in the Hello.
+// Dial connects one pipelined shard connection per address with default
+// knobs; addrs[i] serves the i-th window of SplitWindows(m, len(addrs)).
 func Dial(addrs []string, variant core.Variant, capacity int32, m int) (*Bank, error) {
+	return DialConfig(addrs, variant, capacity, m, BankConfig{})
+}
+
+// DialConfig is Dial with explicit client knobs. The protocol identity
+// (variant, capacity) is fixed per Bank and announced to each server in
+// every session's Hello.
+func DialConfig(addrs []string, variant core.Variant, capacity int32, m int, cfg BankConfig) (*Bank, error) {
 	windows, err := SplitWindows(m, len(addrs))
 	if err != nil {
 		return nil, err
 	}
-	b := &Bank{variant: variant, capacity: capacity, m: m}
+	cfg = cfg.withDefaults()
+	b := &Bank{variant: variant, capacity: capacity, m: m, cfg: cfg}
 	for i, addr := range addrs {
 		b.conns = append(b.conns, &shardConn{
-			addr: addr,
-			lo:   int32(windows[i][0]),
-			hi:   int32(windows[i][1]),
+			bank:  b,
+			addr:  addr,
+			lo:    int32(windows[i][0]),
+			hi:    int32(windows[i][1]),
+			slots: make(chan struct{}, cfg.Pipeline),
 		})
 	}
+	for s := 0; s < cfg.Sessions; s++ {
+		ses := &Session{b: b, id: uint32(s), shards: make([]*sessionShard, len(addrs))}
+		for i := range ses.shards {
+			ss := &sessionShard{}
+			ss.parseRoundFn = ss.parseRound
+			ses.shards[i] = ss
+		}
+		b.sessions = append(b.sessions, ses)
+	}
 	for _, sc := range b.conns {
-		if err := sc.ensure(b); err != nil {
+		sc.wmu.Lock()
+		err := sc.ensureLocked()
+		sc.wmu.Unlock()
+		if err != nil {
 			b.Close()
 			return nil, err
 		}
@@ -99,222 +149,13 @@ func Dial(addrs []string, variant core.Variant, capacity int32, m int) (*Bank, e
 	return b, nil
 }
 
-// ensure dials and handshakes the session if it is not connected.
-func (sc *shardConn) ensure(b *Bank) error {
-	if sc.conn != nil {
-		return nil
-	}
-	conn, err := net.Dial("tcp", sc.addr)
-	if err != nil {
-		return fmt.Errorf("wire: shard [%d,%d) at %s: %w", sc.lo, sc.hi, sc.addr, err)
-	}
-	bw := bufio.NewWriterSize(conn, 1<<16)
-	fc := &frameConn{r: bufio.NewReaderSize(conn, 1<<16), w: bw}
-	sc.out = sc.out[:0]
-	sc.out = appendU32(sc.out, helloMagic)
-	sc.out = appendU32(sc.out, protoVersion)
-	sc.out = append(sc.out, byte(b.variant))
-	sc.out = appendI32(sc.out, b.capacity)
-	sc.out = appendI32(sc.out, sc.lo)
-	sc.out = appendI32(sc.out, sc.hi)
-	if err := fc.writeFrame(msgHello, sc.out); err != nil {
-		conn.Close()
-		return err
-	}
-	if err := bw.Flush(); err != nil {
-		conn.Close()
-		return err
-	}
-	if _, err := fc.expectFrame(msgHelloOK); err != nil {
-		conn.Close()
-		return fmt.Errorf("wire: shard [%d,%d) at %s: %w", sc.lo, sc.hi, sc.addr, err)
-	}
-	sc.conn, sc.bw, sc.fc = conn, bw, fc
-	return nil
-}
+// Sessions returns the number of multiplexed sessions the Bank was
+// dialed with.
+func (b *Bank) Sessions() int { return len(b.sessions) }
 
-// drop closes the session so the next ensure redials.
-func (sc *shardConn) drop() {
-	if sc.conn != nil {
-		sc.conn.Close()
-		sc.conn = nil
-	}
-}
-
-// call sends one request frame and reads the reply, dropping the session
-// on any transport error.
-func (sc *shardConn) call(reqType byte, payload []byte, replyType byte) ([]byte, error) {
-	if err := sc.fc.writeFrame(reqType, payload); err != nil {
-		sc.drop()
-		return nil, err
-	}
-	if err := sc.bw.Flush(); err != nil {
-		sc.drop()
-		return nil, err
-	}
-	reply, err := sc.fc.expectFrame(replyType)
-	if err != nil {
-		sc.drop()
-		return nil, err
-	}
-	return reply, nil
-}
-
-// Reset re-initializes every shard for a new run, redialing sessions
-// that died since the last run (killed/restarted server processes).
-func (b *Bank) Reset(initialLoads []int) error {
-	if initialLoads != nil && len(initialLoads) != b.m {
-		return fmt.Errorf("wire: reset with %d initial loads for %d servers", len(initialLoads), b.m)
-	}
-	for _, sc := range b.conns {
-		// Built apart from sc.out: a redial's Hello writes into sc.out,
-		// which must not clobber the pending reset payload.
-		var payload []byte
-		if initialLoads == nil {
-			payload = append(payload, 0)
-		} else {
-			payload = append(payload, 1)
-			payload = appendU32(payload, uint32(sc.hi-sc.lo))
-			for _, l := range initialLoads[sc.lo:sc.hi] {
-				if l < 0 {
-					l = 0
-				}
-				payload = appendI32(payload, int32(l))
-			}
-		}
-		err := func() error {
-			if err := sc.ensure(b); err != nil {
-				return err
-			}
-			_, err := sc.call(msgReset, payload, msgResetOK)
-			return err
-		}()
-		if err != nil {
-			// One redial attempt: the server may have restarted since the
-			// session was established.
-			sc.drop()
-			if err = sc.ensure(b); err != nil {
-				return err
-			}
-			if _, err = sc.call(msgReset, payload, msgResetOK); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// DecideRound splits the sorted batch across the shard windows, ships
-// each shard's slice concurrently, and concatenates the replies in shard
-// order (windows ascend, so the decision lists stay sorted). Shards that
-// received nothing are skipped entirely — no frame, no state change,
-// matching core.LocalBank.
-func (b *Bank) DecideRound(touched, counts []int32) (core.RoundDecision, error) {
-	var dec core.RoundDecision
-	if len(touched) != len(counts) {
-		return dec, fmt.Errorf("wire: round batch with %d touched but %d counts", len(touched), len(counts))
-	}
-	start := time.Now()
-	var wg sync.WaitGroup
-	from := 0
-	for _, sc := range b.conns {
-		to := from
-		for to < len(touched) && touched[to] < sc.hi {
-			to++
-		}
-		if to == from {
-			continue
-		}
-		wg.Add(1)
-		go func(sc *shardConn, touched, counts []int32) {
-			defer wg.Done()
-			sc.err = sc.decide(touched, counts)
-		}(sc, touched[from:to], counts[from:to])
-		from = to
-	}
-	if from != len(touched) {
-		wg.Wait()
-		return dec, fmt.Errorf("wire: server %d outside every shard window", touched[from])
-	}
-	wg.Wait()
-	for _, sc := range b.conns {
-		if sc.err != nil {
-			err := sc.err
-			sc.err = nil
-			return dec, err
-		}
-		dec.Accepted = append(dec.Accepted, sc.accepted...)
-		dec.NewlyBurned = append(dec.NewlyBurned, sc.burned...)
-		dec.Saturated += sc.sat
-		sc.accepted, sc.burned, sc.sat = sc.accepted[:0], sc.burned[:0], 0
-	}
-	b.roundLat = append(b.roundLat, time.Since(start))
-	for _, c := range counts {
-		b.requests += int64(c)
-	}
-	return dec, nil
-}
-
-// decide ships one shard's slice of the round and parses the reply into
-// the connection's decision buffers.
-func (sc *shardConn) decide(touched, counts []int32) error {
-	sc.out = appendI32Slice(sc.out[:0], touched)
-	sc.out = appendI32Slice(sc.out, counts)
-	reply, err := sc.call(msgRound, sc.out, msgRoundReply)
-	if err != nil {
-		return err
-	}
-	r := reader{b: reply}
-	sc.accepted = r.i32Slice(sc.accepted[:0])
-	sc.burned = r.i32Slice(sc.burned[:0])
-	sc.sat = int(r.u32())
-	return r.done()
-}
-
-// Loads gathers the shard load windows into the full per-server vector.
-func (b *Bank) Loads() ([]int32, error) {
-	loads := make([]int32, 0, b.m)
-	for _, sc := range b.conns {
-		reply, err := sc.call(msgLoads, nil, msgLoadsReply)
-		if err != nil {
-			return nil, err
-		}
-		r := reader{b: reply}
-		sc.loads = r.i32Slice(sc.loads[:0])
-		if err := r.done(); err != nil {
-			return nil, err
-		}
-		if len(sc.loads) != int(sc.hi-sc.lo) {
-			return nil, fmt.Errorf("wire: shard [%d,%d) returned %d loads", sc.lo, sc.hi, len(sc.loads))
-		}
-		loads = append(loads, sc.loads...)
-	}
-	return loads, nil
-}
-
-// Reports fetches every shard server's cumulative service tally, in
-// shard order.
-func (b *Bank) Reports() ([]Report, error) {
-	reps := make([]Report, len(b.conns))
-	for i, sc := range b.conns {
-		reply, err := sc.call(msgReport, nil, msgReportOK)
-		if err != nil {
-			return nil, err
-		}
-		r := reader{b: reply}
-		reps[i] = Report{
-			Sessions:    r.u64(),
-			Rounds:      r.u64(),
-			Requests:    r.u64(),
-			Accepted:    r.u64(),
-			DecideNanos: r.u64(),
-		}
-		if err := r.done(); err != nil {
-			return nil, err
-		}
-	}
-	return reps, nil
-}
+// Session returns the i-th session's core.ServerBank view. Each session
+// is single-caller (one Driver), but distinct sessions run concurrently.
+func (b *Bank) Session(i int) *Session { return b.sessions[i] }
 
 // Windows returns the shard windows, in shard order.
 func (b *Bank) Windows() [][2]int {
@@ -325,26 +166,257 @@ func (b *Bank) Windows() [][2]int {
 	return ws
 }
 
+// The Bank's own core.ServerBank face is session 0.
+
+// Reset re-initializes session 0's shards for a new run.
+func (b *Bank) Reset(initialLoads []int) error { return b.sessions[0].Reset(initialLoads) }
+
+// DecideRound ships session 0's round.
+func (b *Bank) DecideRound(touched, counts []int32) (core.RoundDecision, error) {
+	return b.sessions[0].DecideRound(touched, counts)
+}
+
+// Loads gathers session 0's per-server load vector.
+func (b *Bank) Loads() ([]int32, error) { return b.sessions[0].Loads() }
+
+// Reports fetches every shard server's cumulative service tally, in
+// shard order.
+func (b *Bank) Reports() ([]Report, error) {
+	reps := make([]Report, len(b.conns))
+	for i, sc := range b.conns {
+		rep := &reps[i]
+		err := sc.call(0, msgReport, nil, msgReportOK, func(payload []byte) error {
+			r := reader{b: payload}
+			rep.Sessions = r.u64()
+			rep.Rounds = r.u64()
+			rep.Requests = r.u64()
+			rep.Accepted = r.u64()
+			rep.DecideNanos = r.u64()
+			return r.done()
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reps, nil
+}
+
 // RoundLatencies returns the per-round scatter/gather round-trip times
-// recorded since the last TakeMetrics.
-func (b *Bank) RoundLatencies() []time.Duration { return b.roundLat }
+// recorded since the last TakeMetrics, merged across sessions.
+func (b *Bank) RoundLatencies() []time.Duration {
+	var lat []time.Duration
+	for _, ses := range b.sessions {
+		ses.mu.Lock()
+		lat = append(lat, ses.roundLat...)
+		ses.mu.Unlock()
+	}
+	return lat
+}
 
 // TotalRequests returns the cumulative request volume shipped since the
-// last TakeMetrics.
-func (b *Bank) TotalRequests() int64 { return b.requests }
+// last TakeMetrics, summed across sessions.
+func (b *Bank) TotalRequests() int64 {
+	var reqs int64
+	for _, ses := range b.sessions {
+		ses.mu.Lock()
+		reqs += ses.requests
+		ses.mu.Unlock()
+	}
+	return reqs
+}
 
 // TakeMetrics returns and clears the recorded round latencies and
-// request volume.
+// request volume of every session. Sessions record into their own
+// accumulators under their own locks, so concurrent DecideRounds and a
+// TakeMetrics never race.
 func (b *Bank) TakeMetrics() ([]time.Duration, int64) {
-	lat, reqs := b.roundLat, b.requests
-	b.roundLat, b.requests = nil, 0
+	var lat []time.Duration
+	var reqs int64
+	for _, ses := range b.sessions {
+		l, r := ses.TakeMetrics()
+		lat = append(lat, l...)
+		reqs += r
+	}
 	return lat, reqs
 }
 
-// Close closes every shard session.
+// Close closes every shard connection.
 func (b *Bank) Close() error {
 	for _, sc := range b.conns {
-		sc.drop()
+		sc.close()
 	}
 	return nil
 }
+
+// Session is one multiplexed protocol session of a Bank: an independent
+// core.ServerBank whose server-side state (one ServerShard per shard,
+// keyed by the session id in the frame header) lives alongside its
+// siblings' on the shared connections. One Driver drives one Session;
+// distinct Sessions run concurrently, which is how `saer-client
+// -trials T -sessions S` overlaps T trials S at a time over one socket
+// set.
+type Session struct {
+	b      *Bank
+	id     uint32
+	shards []*sessionShard
+	active []int // shard indexes with an in-flight round call
+
+	// Round metrics, session-local and lock-guarded: the Bank merges
+	// them at read, so concurrent sessions never contend on shared
+	// accumulators (and the race detector agrees).
+	mu       sync.Mutex
+	roundLat []time.Duration
+	requests int64
+}
+
+// sessionShard is one session's per-shard client state: the encode
+// scratch and the decode buffers the reply-parse hook fills. At most one
+// call per (session, shard) is in flight, so no further locking is
+// needed.
+type sessionShard struct {
+	out          []byte
+	accepted     []int32
+	burned       []int32
+	loads        []int32
+	sat          int
+	pc           *pendingCall
+	parseRoundFn func([]byte) error // bound once; avoids a per-round closure
+}
+
+func (ss *sessionShard) parseRound(payload []byte) error {
+	r := reader{b: payload}
+	ss.accepted = r.i32Slice(ss.accepted[:0])
+	ss.burned = r.i32Slice(ss.burned[:0])
+	ss.sat = int(r.u32())
+	return r.done()
+}
+
+func parseEmpty(payload []byte) error {
+	if len(payload) != 0 {
+		return fmt.Errorf("wire: unexpected %d-byte payload in empty reply", len(payload))
+	}
+	return nil
+}
+
+// Reset re-initializes every shard for a new run. A call that fails on a
+// dead connection (a killed/restarted server process) is retried once:
+// the retry redials — with the Bank's bounded backoff — and replays the
+// reset against the fresh process.
+func (s *Session) Reset(initialLoads []int) error {
+	if initialLoads != nil && len(initialLoads) != s.b.m {
+		return fmt.Errorf("wire: reset with %d initial loads for %d servers", len(initialLoads), s.b.m)
+	}
+	for i, sc := range s.b.conns {
+		ss := s.shards[i]
+		ss.out = ss.out[:0]
+		if initialLoads == nil {
+			ss.out = append(ss.out, 0)
+		} else {
+			ss.out = append(ss.out, 1)
+			ss.out = appendU32(ss.out, uint32(sc.hi-sc.lo))
+			for _, l := range initialLoads[sc.lo:sc.hi] {
+				if l < 0 {
+					l = 0
+				}
+				ss.out = appendI32(ss.out, int32(l))
+			}
+		}
+		if err := sc.call(s.id, msgReset, ss.out, msgResetOK, parseEmpty); err != nil {
+			if err = sc.call(s.id, msgReset, ss.out, msgResetOK, parseEmpty); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DecideRound splits the sorted batch across the shard windows, begins
+// one pipelined call per touched shard (the writes overlap every shard's
+// server-side decide), then gathers the replies in shard order — windows
+// ascend, so the concatenated decision lists stay sorted. Shards that
+// received nothing are skipped entirely — no frame, no state change,
+// matching core.LocalBank.
+func (s *Session) DecideRound(touched, counts []int32) (core.RoundDecision, error) {
+	var dec core.RoundDecision
+	if len(touched) != len(counts) {
+		return dec, fmt.Errorf("wire: round batch with %d touched but %d counts", len(touched), len(counts))
+	}
+	start := time.Now()
+	s.active = s.active[:0]
+	from := 0
+	for i, sc := range s.b.conns {
+		to := from
+		for to < len(touched) && touched[to] < sc.hi {
+			to++
+		}
+		if to == from {
+			continue
+		}
+		ss := s.shards[i]
+		ss.out = appendI32Slice(ss.out[:0], touched[from:to])
+		ss.out = appendI32Slice(ss.out, counts[from:to])
+		ss.pc = sc.begin(s.id, msgRound, ss.out, msgRoundReply, ss.parseRoundFn)
+		s.active = append(s.active, i)
+		from = to
+	}
+	var firstErr error
+	if from != len(touched) {
+		firstErr = fmt.Errorf("wire: server %d outside every shard window", touched[from])
+	}
+	for _, i := range s.active {
+		if err := s.b.conns[i].wait(s.shards[i].pc); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return dec, firstErr
+	}
+	for _, i := range s.active {
+		ss := s.shards[i]
+		dec.Accepted = append(dec.Accepted, ss.accepted...)
+		dec.NewlyBurned = append(dec.NewlyBurned, ss.burned...)
+		dec.Saturated += ss.sat
+	}
+	s.mu.Lock()
+	s.roundLat = append(s.roundLat, time.Since(start))
+	for _, c := range counts {
+		s.requests += int64(c)
+	}
+	s.mu.Unlock()
+	return dec, nil
+}
+
+// Loads gathers the shard load windows into the full per-server vector.
+func (s *Session) Loads() ([]int32, error) {
+	loads := make([]int32, 0, s.b.m)
+	for i, sc := range s.b.conns {
+		ss := s.shards[i]
+		err := sc.call(s.id, msgLoads, nil, msgLoadsReply, func(payload []byte) error {
+			r := reader{b: payload}
+			ss.loads = r.i32Slice(ss.loads[:0])
+			return r.done()
+		})
+		if err != nil {
+			return nil, err
+		}
+		if len(ss.loads) != int(sc.hi-sc.lo) {
+			return nil, fmt.Errorf("wire: shard [%d,%d) returned %d loads", sc.lo, sc.hi, len(ss.loads))
+		}
+		loads = append(loads, ss.loads...)
+	}
+	return loads, nil
+}
+
+// TakeMetrics returns and clears this session's recorded round latencies
+// and request volume.
+func (s *Session) TakeMetrics() ([]time.Duration, int64) {
+	s.mu.Lock()
+	lat, reqs := s.roundLat, s.requests
+	s.roundLat, s.requests = nil, 0
+	s.mu.Unlock()
+	return lat, reqs
+}
+
+// Close satisfies core.ServerBank; the connections belong to the Bank,
+// so a session close is a no-op.
+func (s *Session) Close() error { return nil }

@@ -12,12 +12,20 @@ import (
 // per-epoch configuration (carried loads and request counts aliased to
 // its state), so the executor sees each epoch's state exactly as the
 // in-process one does; because the Driver Resets the bank at every
-// epoch, the scenario's outcomes are bit-for-bit those of the local
-// executor even when shard servers are killed and restarted between
-// epochs.
+// epoch — redialing dead connections with bounded backoff — the
+// scenario's outcomes are bit-for-bit those of the local executor even
+// when shard servers are killed and restarted between epochs.
 func NewExecutorFactory(addrs []string) func(*churn.Topology, core.Config) (churn.Executor, error) {
+	return NewExecutorFactoryConfig(addrs, BankConfig{})
+}
+
+// NewExecutorFactoryConfig is NewExecutorFactory with explicit client
+// knobs (pipeline depth, redial attempts/backoff; the Sessions knob is
+// ignored — the scheduler drives one session).
+func NewExecutorFactoryConfig(addrs []string, bcfg BankConfig) func(*churn.Topology, core.Config) (churn.Executor, error) {
+	bcfg.Sessions = 1
 	return func(topo *churn.Topology, cfg core.Config) (churn.Executor, error) {
-		bank, err := Dial(addrs, cfg.Variant, int32(cfg.Params().Capacity()), topo.NumServers())
+		bank, err := DialConfig(addrs, cfg.Variant, int32(cfg.Params().Capacity()), topo.NumServers(), bcfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,22 +1,41 @@
 // Package wire is the service mode's transport: the protocol run over
 // real sockets instead of function calls. A client process (the load
 // generator, cmd/saer-client, or the churn scheduler's wire executor)
-// drives a core.Driver whose ServerBank speaks this package's frame
-// protocol to one server-shard process per contiguous server window
-// (cmd/saer-server). Because the bank interface carries one batched
-// (server, count) frame per round — not per-ball messages — and the
-// server side reuses core.ServerShard verbatim, a loopback wire run
-// reproduces the in-process core.Run result bit for bit; the equivalence
-// tests and the CI service smoke pin exactly that.
+// drives one core.Driver per session whose ServerBank speaks this
+// package's frame protocol to one server-shard process per contiguous
+// server window (cmd/saer-server). Because the bank interface carries
+// one batched (server, count) message per round — not per-ball messages
+// — and the server side reuses core.ServerShard verbatim, a loopback
+// wire run reproduces the in-process core.Run result bit for bit; the
+// equivalence tests and the CI service smoke pin exactly that.
 //
-// Frame format: every message is one length-prefixed frame,
+// Frame format (protocol version 2): every frame is length-prefixed,
 //
-//	uint32 LE  payload length (including the type byte)
-//	uint8      message type
+//	uint32 LE  frame size (type byte + session id + payload chunk)
+//	uint8      message type; bit 0x80 marks a continuation fragment
+//	uint32 LE  session id
 //	payload    little-endian fixed-width integers, layout per type
 //
 // Integer arrays are written as a uint32 count followed by the raw
 // int32 values — compact, allocation-free to encode, and O(1) to size.
+//
+// Two version-2 additions carry the scaled-up client:
+//
+//   - Sessions: every frame names the session it belongs to, and the
+//     per-session server state (one core.ServerShard per Hello'd id) is
+//     keyed by it, so N independent protocol sessions multiplex over one
+//     connection per shard. Replies echo the request's session id; a
+//     server processes a connection's messages strictly in order, so
+//     replies come back in request order (the client's conn-level FIFO
+//     matching relies on it).
+//
+//   - Spilling: a logical message larger than maxFrameSize is written as
+//     a run of continuation fragments (type | frameCont) followed by one
+//     final frame with the plain type, all with the same session id and
+//     contiguous on the connection; readMessage reassembles them. A
+//     round batch therefore never fails on size — the frame limit bounds
+//     a single corrupt length prefix, not a round.
+//
 // The session opens with a Hello that carries the protocol identity
 // (variant, capacity) and the shard window the client expects, so a
 // server process needs no protocol configuration of its own and a
@@ -33,7 +52,7 @@ import (
 const (
 	msgHello      = 1  // client→server: magic, version, variant, capacity, window
 	msgHelloOK    = 2  // server→client: window accepted
-	msgReset      = 3  // client→server: re-initialize the shard (optional initial loads)
+	msgReset      = 3  // client→server: re-initialize the session's shard (optional initial loads)
 	msgResetOK    = 4  // server→client
 	msgRound      = 5  // client→server: one round's (server, count) batch
 	msgRoundReply = 6  // server→client: accepted list, newly-burned list, saturated count
@@ -42,17 +61,33 @@ const (
 	msgReport     = 9  // client→server: request the shard's service tally
 	msgReportOK   = 10 // server→client: Report fields
 	msgError      = 11 // server→client: fatal session error (UTF-8 message)
+
+	// frameCont marks a continuation fragment: the frame carries a
+	// non-final chunk of its logical message's payload, and more frames
+	// of the same (type, session) follow contiguously.
+	frameCont = 0x80
 )
 
 const (
 	// helloMagic guards against a stray client dialing the wrong port.
 	helloMagic = 0x53414552 // "SAER"
 	// protoVersion is bumped on any incompatible frame-layout change.
-	protoVersion = 1
-	// maxFrameSize bounds a frame to what a full-m round batch at the
-	// n = 2²² sweep ceiling needs, with headroom; anything larger is a
-	// corrupt length prefix.
+	// Version 2: session ids in every frame header + continuation
+	// (spill) fragments.
+	protoVersion = 2
+	// frameHeaderSize is the non-payload portion counted by the length
+	// prefix: the type byte plus the session id.
+	frameHeaderSize = 5
+	// maxFrameSize bounds one frame. A round batch larger than this is
+	// not an error: writeMessage spills it across continuation
+	// fragments. The limit exists so a corrupt length prefix fails fast
+	// instead of allocating gigabytes.
 	maxFrameSize = 1 << 28
+	// maxMessageSize bounds a reassembled logical message (the sum of a
+	// fragment run's payload chunks): far beyond any round batch the
+	// n = 2²² sweeps produce, but finite, so a corrupt stream cannot
+	// grow the reassembly buffer without bound.
+	maxMessageSize = 1 << 31
 )
 
 // Report is a server process's cumulative service tally, summed over
@@ -73,72 +108,138 @@ type Report struct {
 	DecideNanos uint64
 }
 
-// frameConn wraps one side of a connection with buffered frame I/O and a
-// reusable payload buffer. Not concurrency-safe; each peer owns its
-// frameConn from a single goroutine.
+// frameConn wraps one side of a connection with buffered frame I/O and
+// reusable payload buffers. The read half (readMessage and its buffers)
+// and the write half (writeMessage and its header scratch) may be used
+// from one goroutine each, concurrently with each other — the pipelined
+// client conn has a persistent reader goroutine while callers write.
+// Neither half may be shared by two goroutines.
 type frameConn struct {
-	r   io.Reader
-	w   io.Writer
-	buf []byte // reused encode/decode payload buffer
-	hdr [4]byte
+	r io.Reader
+	w io.Writer
+
+	// limit is the per-frame size cap: maxFrameSize in production,
+	// lowered by tests to exercise spilling without gigabyte payloads.
+	limit int
+
+	rbuf []byte  // reused frame read buffer
+	msg  []byte  // reused reassembly buffer for spilled messages
+	rhdr [4]byte // read-side length prefix scratch
+	whdr [9]byte // write-side header scratch (length + type + session)
 }
 
 func newFrameConn(rw io.ReadWriter) *frameConn {
-	return &frameConn{r: rw, w: rw}
+	return &frameConn{r: rw, w: rw, limit: maxFrameSize}
 }
 
-// writeFrame sends one frame; the payload is everything after the type
-// byte.
-func (c *frameConn) writeFrame(typ byte, payload []byte) error {
-	binary.LittleEndian.PutUint32(c.hdr[:], uint32(1+len(payload)))
-	if _, err := c.w.Write(c.hdr[:]); err != nil {
+// writeFrame sends one raw frame (a single fragment).
+func (c *frameConn) writeFrame(typ byte, session uint32, chunk []byte) error {
+	binary.LittleEndian.PutUint32(c.whdr[0:], uint32(frameHeaderSize+len(chunk)))
+	c.whdr[4] = typ
+	binary.LittleEndian.PutUint32(c.whdr[5:], session)
+	if _, err := c.w.Write(c.whdr[:]); err != nil {
 		return err
 	}
-	if _, err := c.w.Write([]byte{typ}); err != nil {
-		return err
-	}
-	if len(payload) > 0 {
-		if _, err := c.w.Write(payload); err != nil {
+	if len(chunk) > 0 {
+		if _, err := c.w.Write(chunk); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// readFrame reads one frame into the reused buffer, returning the type
-// and the payload (valid until the next read).
-func (c *frameConn) readFrame() (typ byte, payload []byte, err error) {
-	if _, err = io.ReadFull(c.r, c.hdr[:]); err != nil {
-		return 0, nil, err
+// writeMessage sends one logical message, spilling the payload across
+// continuation fragments when it exceeds the frame limit. Fragments are
+// written back to back, so a logical message occupies a contiguous run
+// of frames on the connection.
+func (c *frameConn) writeMessage(typ byte, session uint32, payload []byte) error {
+	maxChunk := c.limit - frameHeaderSize
+	for len(payload) > maxChunk {
+		if err := c.writeFrame(typ|frameCont, session, payload[:maxChunk]); err != nil {
+			return err
+		}
+		payload = payload[maxChunk:]
 	}
-	size := binary.LittleEndian.Uint32(c.hdr[:])
-	if size == 0 || size > maxFrameSize {
-		return 0, nil, fmt.Errorf("wire: frame size %d out of range", size)
-	}
-	if cap(c.buf) < int(size) {
-		c.buf = make([]byte, size)
-	}
-	c.buf = c.buf[:size]
-	if _, err = io.ReadFull(c.r, c.buf); err != nil {
-		return 0, nil, err
-	}
-	typ = c.buf[0]
-	if typ == msgError {
-		return typ, nil, fmt.Errorf("wire: server error: %s", c.buf[1:])
-	}
-	return typ, c.buf[1:], nil
+	return c.writeFrame(typ, session, payload)
 }
 
-// expectFrame reads one frame and checks its type.
-func (c *frameConn) expectFrame(want byte) ([]byte, error) {
-	typ, payload, err := c.readFrame()
+// readFrame reads one raw frame into the reused buffer, returning the
+// type byte (continuation bit included) and the payload chunk (valid
+// until the next read).
+func (c *frameConn) readFrame() (typ byte, session uint32, chunk []byte, err error) {
+	if _, err = io.ReadFull(c.r, c.rhdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	size := binary.LittleEndian.Uint32(c.rhdr[:])
+	if size < frameHeaderSize || int64(size) > int64(c.limit) {
+		return 0, 0, nil, fmt.Errorf("wire: frame size %d out of range", size)
+	}
+	if cap(c.rbuf) < int(size) {
+		c.rbuf = make([]byte, size)
+	}
+	c.rbuf = c.rbuf[:size]
+	if _, err = io.ReadFull(c.r, c.rbuf); err != nil {
+		return 0, 0, nil, err
+	}
+	typ = c.rbuf[0]
+	session = binary.LittleEndian.Uint32(c.rbuf[1:])
+	return typ, session, c.rbuf[frameHeaderSize:], nil
+}
+
+// readMessage reads one logical message, reassembling continuation
+// fragments. The returned payload is valid until the next read. An
+// error-frame message is surfaced as an error.
+func (c *frameConn) readMessage() (typ byte, session uint32, payload []byte, err error) {
+	typ, session, payload, err = c.readFrame()
 	if err != nil {
-		return nil, err
+		return 0, 0, nil, err
+	}
+	if typ&frameCont != 0 {
+		// Spilled message: accumulate fragments until the final frame.
+		want := typ &^ frameCont
+		c.msg = append(c.msg[:0], payload...)
+		for typ&frameCont != 0 {
+			var fragSession uint32
+			typ, fragSession, payload, err = c.readFrame()
+			if err != nil {
+				return 0, 0, nil, err
+			}
+			if typ&^frameCont != want || fragSession != session {
+				return 0, 0, nil, fmt.Errorf("wire: interleaved fragments (type %d session %d inside type %d session %d)",
+					typ&^frameCont, fragSession, want, session)
+			}
+			if len(c.msg)+len(payload) > maxMessageSize {
+				return 0, 0, nil, fmt.Errorf("wire: spilled message exceeds %d bytes", maxMessageSize)
+			}
+			c.msg = append(c.msg, payload...)
+		}
+		payload = c.msg
+		typ = want
+	}
+	if typ == msgError {
+		return typ, session, nil, &serverError{msg: string(payload)}
+	}
+	return typ, session, payload, nil
+}
+
+// serverError is a fatal error the server reported in an error frame —
+// a semantic rejection (bad handshake, malformed round), as opposed to a
+// transport failure. The redial logic treats it as permanent: retrying
+// the same request against a restarted server would fail identically.
+type serverError struct{ msg string }
+
+func (e *serverError) Error() string { return "wire: server error: " + e.msg }
+
+// expectMessage reads one logical message and checks its type.
+func (c *frameConn) expectMessage(want byte) (session uint32, payload []byte, err error) {
+	typ, session, payload, err := c.readMessage()
+	if err != nil {
+		return session, nil, err
 	}
 	if typ != want {
-		return nil, fmt.Errorf("wire: expected message type %d, got %d", want, typ)
+		return session, nil, fmt.Errorf("wire: expected message type %d, got %d", want, typ)
 	}
-	return payload, nil
+	return session, payload, nil
 }
 
 // Payload append helpers: frames are assembled into a scratch slice and
@@ -156,10 +257,24 @@ func appendI32(b []byte, v int32) []byte {
 	return binary.LittleEndian.AppendUint32(b, uint32(v))
 }
 
+// appendI32Slice writes a counted int32 array. The buffer is grown once
+// and filled with a tight PutUint32 loop — this is the round-batch
+// encode hot path, where per-element append calls showed up in the wire
+// profile.
 func appendI32Slice(b []byte, vs []int32) []byte {
-	b = appendU32(b, uint32(len(vs)))
+	need := 4 + 4*len(vs)
+	if cap(b)-len(b) < need {
+		nb := make([]byte, len(b), len(b)+need+len(b)/2)
+		copy(nb, b)
+		b = nb
+	}
+	off := len(b)
+	b = b[:off+need]
+	binary.LittleEndian.PutUint32(b[off:], uint32(len(vs)))
+	off += 4
 	for _, v := range vs {
-		b = appendI32(b, v)
+		binary.LittleEndian.PutUint32(b[off:], uint32(v))
+		off += 4
 	}
 	return b
 }
@@ -215,7 +330,7 @@ func (r *reader) i32Slice(dst []int32) []int32 {
 	if r.err != nil {
 		return dst
 	}
-	if r.off+4*k > len(r.b) {
+	if k < 0 || r.off+4*k > len(r.b) {
 		r.fail()
 		return dst
 	}

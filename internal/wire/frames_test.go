@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// pipeConn builds a frameConn whose writes land in a buffer that its
+// reads drain — a loopback transport without sockets.
+func pipeConn(limit int) (*frameConn, *bytes.Buffer) {
+	buf := &bytes.Buffer{}
+	return &frameConn{r: buf, w: buf, limit: limit}, buf
+}
+
+// rawFrame encodes one frame by hand: the golden reference the writer
+// is checked against and the forge for malformed inputs.
+func rawFrame(typ byte, session uint32, chunk []byte) []byte {
+	out := make([]byte, 0, frameHeaderSize+len(chunk))
+	out = binary.LittleEndian.AppendUint32(out, uint32(frameHeaderSize+len(chunk)))
+	out = append(out, typ)
+	out = binary.LittleEndian.AppendUint32(out, session)
+	return append(out, chunk...)
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	fc, _ := pipeConn(maxFrameSize)
+	msgs := []struct {
+		typ     byte
+		session uint32
+		payload []byte
+	}{
+		{msgHello, 0, []byte{1, 2, 3}},
+		{msgRound, 7, bytes.Repeat([]byte{0xAB}, 1000)},
+		{msgResetOK, 0xFFFFFFFF, nil}, // empty payload: a bare header frame
+		{msgLoads, 3, []byte{}},
+	}
+	for _, m := range msgs {
+		if err := fc.writeMessage(m.typ, m.session, m.payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, m := range msgs {
+		typ, session, payload, err := fc.readMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != m.typ || session != m.session || !bytes.Equal(payload, m.payload) {
+			t.Fatalf("round trip: got (%d, %d, %v), want (%d, %d, %v)",
+				typ, session, payload, m.typ, m.session, m.payload)
+		}
+	}
+}
+
+// TestSpillGolden pins the exact byte stream of a spilled message: with
+// limit 16 each frame carries at most 11 payload bytes, so 23 bytes
+// spill into two continuation frames and a 1-byte final frame.
+func TestSpillGolden(t *testing.T) {
+	const limit = 16
+	payload := make([]byte, 23)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	fc, buf := pipeConn(limit)
+	if err := fc.writeMessage(msgRound, 5, payload); err != nil {
+		t.Fatal(err)
+	}
+	want := rawFrame(msgRound|frameCont, 5, payload[:11])
+	want = append(want, rawFrame(msgRound|frameCont, 5, payload[11:22])...)
+	want = append(want, rawFrame(msgRound, 5, payload[22:])...)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("spilled stream:\n got %x\nwant %x", buf.Bytes(), want)
+	}
+	typ, session, got, err := fc.readMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgRound || session != 5 || !bytes.Equal(got, payload) {
+		t.Fatalf("reassembly: got (%d, %d, %x)", typ, session, got)
+	}
+}
+
+// TestSpillOneByteOver pins the boundary: a payload exactly at the
+// per-frame budget rides one unflagged frame; one byte more spills into
+// a full continuation frame plus a 1-byte final frame.
+func TestSpillOneByteOver(t *testing.T) {
+	const limit = 64
+	const budget = limit - frameHeaderSize
+
+	exact := bytes.Repeat([]byte{0xEE}, budget)
+	fc, buf := pipeConn(limit)
+	if err := fc.writeMessage(msgReset, 2, exact); err != nil {
+		t.Fatal(err)
+	}
+	if want := rawFrame(msgReset, 2, exact); !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exact-fit batch spilled: %x", buf.Bytes())
+	}
+	if _, _, got, err := fc.readMessage(); err != nil || !bytes.Equal(got, exact) {
+		t.Fatalf("exact-fit read back: %x, %v", got, err)
+	}
+
+	over := bytes.Repeat([]byte{0xEE}, budget+1)
+	fc, buf = pipeConn(limit)
+	if err := fc.writeMessage(msgReset, 2, over); err != nil {
+		t.Fatal(err)
+	}
+	want := rawFrame(msgReset|frameCont, 2, over[:budget])
+	want = append(want, rawFrame(msgReset, 2, over[budget:])...)
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("one-over batch:\n got %x\nwant %x", buf.Bytes(), want)
+	}
+	typ, session, got, err := fc.readMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != msgReset || session != 2 || !bytes.Equal(got, over) {
+		t.Fatalf("one-over read back: (%d, %d, %d bytes)", typ, session, len(got))
+	}
+}
+
+// TestReadRejectsMalformedFrames pins the decoder guards: frames outside
+// the size bounds, truncated streams, and inconsistent continuation runs
+// are all rejected rather than misparsed.
+func TestReadRejectsMalformedFrames(t *testing.T) {
+	frame := func(parts ...[]byte) []byte { return bytes.Join(parts, nil) }
+	sizeOnly := func(size uint32) []byte {
+		return binary.LittleEndian.AppendUint32(nil, size)
+	}
+	cases := []struct {
+		name  string
+		limit int
+		raw   []byte
+	}{
+		{"size zero", 64, frame(sizeOnly(0), []byte{msgHello}, sizeOnly(0))},
+		{"size below header", 64, frame(sizeOnly(4), []byte{msgHello}, sizeOnly(0))},
+		{"size above limit", 64, rawFrame(msgHello, 0, bytes.Repeat([]byte{1}, 60))},
+		{"truncated header", 64, sizeOnly(10)},
+		{"truncated payload", 64, rawFrame(msgHello, 0, []byte{1, 2, 3})[:10]},
+		{"dangling continuation", 64, rawFrame(msgRound|frameCont, 1, []byte{1, 2})},
+		{"continuation type flip", 64, frame(
+			rawFrame(msgRound|frameCont, 1, []byte{1}),
+			rawFrame(msgLoads, 1, []byte{2}))},
+		{"continuation session flip", 64, frame(
+			rawFrame(msgRound|frameCont, 1, []byte{1}),
+			rawFrame(msgRound, 2, []byte{2}))},
+	}
+	for _, tc := range cases {
+		fc := &frameConn{r: bytes.NewReader(tc.raw), w: io.Discard, limit: tc.limit}
+		if _, _, _, err := fc.readMessage(); err == nil {
+			t.Errorf("%s: decoder accepted the stream", tc.name)
+		}
+	}
+}
+
+// TestServerErrorFrame pins the error channel: an Error message read by
+// the client surfaces as a *serverError carrying the server's text.
+func TestServerErrorFrame(t *testing.T) {
+	fc, _ := pipeConn(maxFrameSize)
+	if err := fc.writeMessage(msgError, 9, []byte("shard exploded")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := fc.readMessage()
+	var se *serverError
+	if !errors.As(err, &se) {
+		t.Fatalf("error frame surfaced as %T: %v", err, err)
+	}
+	if se.Error() != "wire: server error: shard exploded" {
+		t.Fatalf("error text: %q", se.Error())
+	}
+}
+
+// TestReaderHelpers pins the payload cursor: truncation and trailing
+// garbage are both errors, and i32Slice round-trips through the bulk
+// encoder.
+func TestReaderHelpers(t *testing.T) {
+	vals := []int32{0, -1, 1 << 30, -(1 << 30), 42}
+	var out []byte
+	out = appendU32(out, 0xCAFE)
+	out = appendU64(out, 1<<40)
+	out = append(out, 7)
+	out = appendI32Slice(out, vals)
+
+	r := reader{b: out}
+	if got := r.u32(); got != 0xCAFE {
+		t.Fatalf("u32: %#x", got)
+	}
+	if got := r.u64(); got != 1<<40 {
+		t.Fatalf("u64: %#x", got)
+	}
+	if got := r.u8(); got != 7 {
+		t.Fatalf("u8: %d", got)
+	}
+	got := r.i32Slice(nil)
+	if len(got) != len(vals) {
+		t.Fatalf("i32Slice: %v", got)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("i32Slice[%d]: %d != %d", i, got[i], vals[i])
+		}
+	}
+	if err := r.done(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trailing garbage is an error.
+	r = reader{b: append(append([]byte(nil), out...), 0xFF)}
+	r.u32()
+	r.u64()
+	r.u8()
+	r.i32Slice(nil)
+	if err := r.done(); err == nil {
+		t.Fatal("reader accepted trailing bytes")
+	}
+
+	// Truncation is an error, not a zero value that parses onward.
+	r = reader{b: out[:5]}
+	r.u32()
+	r.u64()
+	if err := r.done(); err == nil {
+		t.Fatal("reader accepted a truncated payload")
+	}
+}

@@ -20,12 +20,19 @@ import (
 // and restarted shard indistinguishable from one that stayed up: the
 // failure-wave scenarios rely on it. Only the service tally (Report)
 // survives a session.
+//
+// One connection may carry several multiplexed sessions: every frame
+// names its session id, each id gets its own ServerShard on Hello, and
+// messages are processed strictly in connection order with the reply
+// written before the next read — the ordering the client's pipelined
+// FIFO reply matching depends on.
 type Server struct {
 	ln net.Listener
 
 	mu     sync.Mutex
 	report Report
 	conns  map[net.Conn]struct{}
+	limit  int
 
 	wg     sync.WaitGroup
 	closed chan struct{}
@@ -38,15 +45,36 @@ func Listen(addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{ln: ln, conns: make(map[net.Conn]struct{}), closed: make(chan struct{})}, nil
+	return &Server{
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+		limit:  maxFrameSize,
+		closed: make(chan struct{}),
+	}, nil
 }
 
 // Addr returns the listener's bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Serve accepts and serves sessions until Close. Each connection is
-// served on its own goroutine with its own shard state, so a new client
-// can dial while an old session drains.
+// SetFrameLimit lowers the per-frame size cap for connections accepted
+// after the call — a test knob for exercising oversized-batch spilling
+// without gigabyte payloads. Production servers keep the default
+// maxFrameSize.
+func (s *Server) SetFrameLimit(limit int) {
+	s.mu.Lock()
+	s.limit = limit
+	s.mu.Unlock()
+}
+
+func (s *Server) frameLimit() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.limit
+}
+
+// Serve accepts and serves connections until Close. Each connection is
+// served on its own goroutine with its own session states, so a new
+// client can dial while an old connection drains.
 func (s *Server) Serve() error {
 	for {
 		conn, err := s.ln.Accept()
@@ -70,12 +98,12 @@ func (s *Server) Serve() error {
 				s.mu.Unlock()
 				conn.Close()
 			}()
-			s.serveSession(conn)
+			s.serveConn(conn)
 		}()
 	}
 }
 
-// Close stops accepting and waits for in-flight sessions to finish.
+// Close stops accepting and waits for in-flight connections to finish.
 func (s *Server) Close() error {
 	select {
 	case <-s.closed:
@@ -84,7 +112,7 @@ func (s *Server) Close() error {
 	}
 	close(s.closed)
 	err := s.ln.Close()
-	// A closed server is a killed process: in-flight sessions die with
+	// A closed server is a killed process: in-flight connections die with
 	// it rather than draining (the failure-wave model the restart tests
 	// and the churn executor's redial rely on).
 	s.mu.Lock()
@@ -103,15 +131,11 @@ func (s *Server) Report() Report {
 	return s.report
 }
 
-// session holds one connection's state: the buffered frame transport,
-// the shard the Hello configured, and scratch buffers reused across
-// rounds.
-type session struct {
-	fc    *frameConn
-	bw    *bufio.Writer
+// connSession is one (connection, session id)'s state: the shard the
+// session's Hello configured plus scratch buffers reused across rounds.
+type connSession struct {
 	shard *core.ServerShard
 
-	out      []byte  // encode scratch
 	touched  []int32 // decode scratch: the round's servers
 	counts   []int32 // decode scratch: the round's counts
 	loads    []int32 // decode scratch: reset initial loads
@@ -119,59 +143,77 @@ type session struct {
 	burned   []int32 // decision scratch
 }
 
-// serveSession runs one session to connection close. Protocol errors are
-// reported to the client as an error frame before disconnecting.
-func (s *Server) serveSession(conn net.Conn) {
-	br := bufio.NewReaderSize(conn, 1<<16)
+// connState is one connection's state: the buffered frame transport and
+// the session map the Hellos populate.
+type connState struct {
+	fc       *frameConn
+	bw       *bufio.Writer
+	sessions map[uint32]*connSession
+	sid      uint32 // session of the message being processed (error tagging)
+	out      []byte // encode scratch
+}
+
+// serveConn runs one connection to close. Protocol errors are reported
+// to the client as an error frame (tagged with the offending session)
+// before disconnecting.
+func (s *Server) serveConn(conn net.Conn) {
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	ses := &session{fc: &frameConn{r: br, w: bw}, bw: bw}
-	if err := s.runSession(ses); err != nil && !errors.Is(err, net.ErrClosed) {
+	st := &connState{
+		fc:       &frameConn{r: bufio.NewReaderSize(conn, 1<<16), w: bw, limit: s.frameLimit()},
+		bw:       bw,
+		sessions: make(map[uint32]*connSession),
+	}
+	if err := s.runConn(st); err != nil && !errors.Is(err, net.ErrClosed) {
 		// Best effort: the connection may already be gone.
-		ses.fc.writeFrame(msgError, []byte(err.Error()))
+		st.fc.writeMessage(msgError, st.sid, []byte(err.Error()))
 		bw.Flush()
 	}
 }
 
-func (s *Server) runSession(ses *session) error {
-	if err := s.handshake(ses); err != nil {
-		return err
-	}
+func (s *Server) runConn(st *connState) error {
 	for {
-		typ, payload, err := ses.fc.readFrame()
+		typ, sid, payload, err := st.fc.readMessage()
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-				// Clean client disconnect between frames.
+				// Clean client disconnect between messages.
 				return nil
 			}
 			return err
 		}
-		switch typ {
-		case msgReset:
-			err = s.handleReset(ses, payload)
-		case msgRound:
-			err = s.handleRound(ses, payload)
-		case msgLoads:
-			err = s.handleLoads(ses, payload)
-		case msgReport:
-			err = s.handleReport(ses, payload)
-		default:
-			err = fmt.Errorf("wire: unexpected message type %d", typ)
+		st.sid = sid
+		if typ == msgHello {
+			if err := s.handleHello(st, sid, payload); err != nil {
+				return err
+			}
+		} else {
+			ses := st.sessions[sid]
+			if ses == nil {
+				return fmt.Errorf("wire: message type %d for session %d before its hello", typ, sid)
+			}
+			switch typ {
+			case msgReset:
+				err = s.handleReset(st, ses, payload)
+			case msgRound:
+				err = s.handleRound(st, ses, payload)
+			case msgLoads:
+				err = s.handleLoads(st, ses, payload)
+			case msgReport:
+				err = s.handleReport(st, payload)
+			default:
+				err = fmt.Errorf("wire: unexpected message type %d", typ)
+			}
+			if err != nil {
+				return err
+			}
 		}
-		if err != nil {
-			return err
-		}
-		if err := ses.bw.Flush(); err != nil {
+		if err := st.bw.Flush(); err != nil {
 			return err
 		}
 	}
 }
 
-// handshake reads the Hello, validates it, and builds the session shard.
-func (s *Server) handshake(ses *session) error {
-	payload, err := ses.fc.expectFrame(msgHello)
-	if err != nil {
-		return err
-	}
+// handleHello validates a session's Hello and builds its shard.
+func (s *Server) handleHello(st *connState, sid uint32, payload []byte) error {
 	r := reader{b: payload}
 	magic := r.u32()
 	version := r.u32()
@@ -188,26 +230,26 @@ func (s *Server) handshake(ses *session) error {
 	if version != protoVersion {
 		return fmt.Errorf("wire: protocol version %d, this server speaks %d", version, protoVersion)
 	}
+	if st.sessions[sid] != nil {
+		return fmt.Errorf("wire: duplicate hello for session %d", sid)
+	}
 	shard, err := core.NewServerShard(core.Variant(variant), capacity, int(lo), int(hi))
 	if err != nil {
 		return err
 	}
-	ses.shard = shard
+	st.sessions[sid] = &connSession{shard: shard}
 	s.mu.Lock()
 	s.report.Sessions++
 	s.mu.Unlock()
-	if err := ses.fc.writeFrame(msgHelloOK, nil); err != nil {
-		return err
-	}
-	return ses.bw.Flush()
+	return st.fc.writeMessage(msgHelloOK, sid, nil)
 }
 
-func (ses *session) window() int {
+func (ses *connSession) window() int {
 	lo, hi := ses.shard.Window()
 	return hi - lo
 }
 
-func (s *Server) handleReset(ses *session, payload []byte) error {
+func (s *Server) handleReset(st *connState, ses *connSession, payload []byte) error {
 	r := reader{b: payload}
 	hasLoads := r.u8()
 	var loads []int32
@@ -224,10 +266,10 @@ func (s *Server) handleReset(ses *session, payload []byte) error {
 	if err := ses.shard.Reset(loads); err != nil {
 		return err
 	}
-	return ses.fc.writeFrame(msgResetOK, nil)
+	return st.fc.writeMessage(msgResetOK, st.sid, nil)
 }
 
-func (s *Server) handleRound(ses *session, payload []byte) error {
+func (s *Server) handleRound(st *connState, ses *connSession, payload []byte) error {
 	r := reader{b: payload}
 	ses.touched = r.i32Slice(ses.touched[:0])
 	ses.counts = r.i32Slice(ses.counts[:0])
@@ -261,33 +303,33 @@ func (s *Server) handleRound(ses *session, payload []byte) error {
 	s.report.DecideNanos += uint64(time.Since(start).Nanoseconds())
 	s.mu.Unlock()
 
-	ses.out = ses.out[:0]
-	ses.out = appendI32Slice(ses.out, acc)
-	ses.out = appendI32Slice(ses.out, nb)
-	ses.out = appendU32(ses.out, uint32(sat))
-	return ses.fc.writeFrame(msgRoundReply, ses.out)
+	st.out = st.out[:0]
+	st.out = appendI32Slice(st.out, acc)
+	st.out = appendI32Slice(st.out, nb)
+	st.out = appendU32(st.out, uint32(sat))
+	return st.fc.writeMessage(msgRoundReply, st.sid, st.out)
 }
 
-func (s *Server) handleLoads(ses *session, payload []byte) error {
+func (s *Server) handleLoads(st *connState, ses *connSession, payload []byte) error {
 	if len(payload) != 0 {
 		return fmt.Errorf("wire: loads request carries a payload")
 	}
-	ses.out = appendI32Slice(ses.out[:0], ses.shard.Loads())
-	return ses.fc.writeFrame(msgLoadsReply, ses.out)
+	st.out = appendI32Slice(st.out[:0], ses.shard.Loads())
+	return st.fc.writeMessage(msgLoadsReply, st.sid, st.out)
 }
 
-func (s *Server) handleReport(ses *session, payload []byte) error {
+func (s *Server) handleReport(st *connState, payload []byte) error {
 	if len(payload) != 0 {
 		return fmt.Errorf("wire: report request carries a payload")
 	}
 	rep := s.Report()
-	ses.out = ses.out[:0]
-	ses.out = appendU64(ses.out, rep.Sessions)
-	ses.out = appendU64(ses.out, rep.Rounds)
-	ses.out = appendU64(ses.out, rep.Requests)
-	ses.out = appendU64(ses.out, rep.Accepted)
-	ses.out = appendU64(ses.out, rep.DecideNanos)
-	return ses.fc.writeFrame(msgReportOK, ses.out)
+	st.out = st.out[:0]
+	st.out = appendU64(st.out, rep.Sessions)
+	st.out = appendU64(st.out, rep.Rounds)
+	st.out = appendU64(st.out, rep.Requests)
+	st.out = appendU64(st.out, rep.Accepted)
+	st.out = appendU64(st.out, rep.DecideNanos)
+	return st.fc.writeMessage(msgReportOK, st.sid, st.out)
 }
 
 // ServerSet runs one goroutine-isolated Server per shard inside this

@@ -2,9 +2,12 @@ package wire
 
 import (
 	"bufio"
+	"fmt"
 	"net"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/bipartite"
 	"repro/internal/churn"
@@ -22,19 +25,27 @@ func testGraph(t testing.TB, n, delta int, seed uint64) *bipartite.Graph {
 	return g
 }
 
-// runWire executes cfg on topo through a Driver over a Bank dialed to a
-// fresh in-process server set of `shards` listeners.
-func runWire(t *testing.T, topo bipartite.Topology, cfg core.Config, shards int) (*core.Result, *Bank, *ServerSet) {
+// startWire brings up a fresh in-process server set of `shards`
+// listeners and dials a Bank to it.
+func startWire(t *testing.T, cfg core.Config, m, shards int, bcfg BankConfig) (*Bank, *ServerSet) {
 	t.Helper()
 	ss, err := StartLocalSet(shards)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bank, err := Dial(ss.Addrs(), cfg.Variant, int32(cfg.Params().Capacity()), topo.NumServers())
+	bank, err := DialConfig(ss.Addrs(), cfg.Variant, int32(cfg.Params().Capacity()), m, bcfg)
 	if err != nil {
 		ss.Close()
 		t.Fatal(err)
 	}
+	return bank, ss
+}
+
+// runWire executes cfg on topo through a Driver over a Bank dialed to a
+// fresh in-process server set of `shards` listeners.
+func runWire(t *testing.T, topo bipartite.Topology, cfg core.Config, shards int) (*core.Result, *Bank, *ServerSet) {
+	t.Helper()
+	bank, ss := startWire(t, cfg, topo.NumServers(), shards, BankConfig{})
 	dr, err := core.NewDriver(topo, cfg, bank)
 	if err != nil {
 		bank.Close()
@@ -50,10 +61,54 @@ func runWire(t *testing.T, topo bipartite.Topology, cfg core.Config, shards int)
 	return res, bank, ss
 }
 
+// normalizedResult strips the one field that legitimately differs
+// between runs of the same instance — the worker count echoed in
+// Params — so bit-for-bit comparison covers everything else.
+func normalizedResult(res *core.Result) *core.Result {
+	c := *res
+	c.Params.Workers = 0
+	return &c
+}
+
+// runWireSessions runs one trial per session concurrently — every
+// session drives its own Driver with the same seed over the shared
+// connections — and requires each session's result to equal ref.
+func runWireSessions(t *testing.T, g bipartite.Topology, cfg core.Config, bank *Bank, ref *core.Result, label string) {
+	t.Helper()
+	sessions := bank.Sessions()
+	results := make([]*core.Result, sessions)
+	errs := make([]error, sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			dr, err := core.NewDriver(g, cfg, bank.Session(s))
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			results[s], errs[s] = dr.Run()
+		}(s)
+	}
+	wg.Wait()
+	for s := 0; s < sessions; s++ {
+		if errs[s] != nil {
+			t.Fatalf("%s session %d: %v", label, s, errs[s])
+		}
+		if !reflect.DeepEqual(normalizedResult(results[s]), normalizedResult(ref)) {
+			t.Errorf("%s session %d: wire run diverges from in-process run:\n  ref=%+v\n  got=%+v",
+				label, s, ref, results[s])
+		}
+	}
+}
+
 // TestWireLoopbackEquivalence is the service mode's core contract: a
 // loopback wire run — real TCP sockets, one server-shard listener per
 // window — reproduces the in-process core.Run result bit for bit, for
-// both variants and across shard counts.
+// both variants, across shard counts, client worker counts, and
+// multiplexed session counts (every session running the same trial
+// concurrently over the shared connections).
 func TestWireLoopbackEquivalence(t *testing.T) {
 	n := 512
 	g := testGraph(t, n, 24, 77)
@@ -68,34 +123,50 @@ func TestWireLoopbackEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
+			// The full workers × sessions cross runs on one (variant, c)
+			// cell; the others pin the multi-worker multi-session shape.
+			workersList, sessionsList := []int{2}, []int{2}
+			if variant == core.SAER && c == 4 {
+				workersList, sessionsList = []int{1, 2, 4}, []int{1, 2}
+			}
 			for _, shards := range []int{1, 2, 3, 8} {
-				res, bank, ss := runWire(t, g, cfg, shards)
-				if !reflect.DeepEqual(res, ref) {
-					t.Errorf("%v c=%g shards=%d: wire run diverges from in-process run:\n  ref=%+v\n  got=%+v",
-						variant, c, shards, ref, res)
-				}
-				if lat := bank.RoundLatencies(); len(lat) != res.Rounds {
-					t.Errorf("%v c=%g shards=%d: %d latency samples for %d rounds", variant, c, shards, len(lat), res.Rounds)
-				}
-				reps, err := bank.Reports()
-				if err != nil {
-					t.Fatal(err)
-				}
-				var reqs uint64
-				for _, rep := range reps {
-					reqs += rep.Requests
-				}
-				if reqs != uint64(res.TotalRequests) {
-					t.Errorf("%v c=%g shards=%d: shard reports carry %d requests, result %d",
-						variant, c, shards, reqs, res.TotalRequests)
-				}
-				bank.Close()
-				if err := ss.Close(); err != nil {
-					t.Fatal(err)
+				for _, workers := range workersList {
+					for _, sessions := range sessionsList {
+						wcfg := cfg
+						wcfg.Workers = workers
+						label := pointLabel(variant, c, shards, workers, sessions)
+						bank, ss := startWire(t, wcfg, n, shards, BankConfig{Sessions: sessions, Pipeline: 4})
+						runWireSessions(t, g, wcfg, bank, ref, label)
+						if lat := bank.RoundLatencies(); len(lat) != ref.Rounds*sessions {
+							t.Errorf("%s: %d latency samples for %d rounds × %d sessions",
+								label, len(lat), ref.Rounds, sessions)
+						}
+						reps, err := bank.Reports()
+						if err != nil {
+							t.Fatal(err)
+						}
+						var reqs uint64
+						for _, rep := range reps {
+							reqs += rep.Requests
+						}
+						if reqs != uint64(ref.TotalRequests)*uint64(sessions) {
+							t.Errorf("%s: shard reports carry %d requests, want %d × %d sessions",
+								label, reqs, ref.TotalRequests, sessions)
+						}
+						bank.Close()
+						if err := ss.Close(); err != nil {
+							t.Fatal(err)
+						}
+					}
 				}
 			}
 		}
 	}
+}
+
+func pointLabel(variant core.Variant, c float64, shards, workers, sessions int) string {
+	return fmt.Sprintf("variant=%v c=%g shards=%d workers=%d sessions=%d",
+		variant, c, shards, workers, sessions)
 }
 
 // TestWireDynamicState exercises the epoch shape the churn executor
@@ -125,6 +196,39 @@ func TestWireDynamicState(t *testing.T) {
 	if !reflect.DeepEqual(res, ref) {
 		t.Errorf("dynamic state wire run diverges:\n  ref=%+v\n  got=%+v", ref, res)
 	}
+}
+
+// TestWireSpillLoopback pins frame spilling end to end: with the frame
+// limit lowered far below a round batch's size on both sides, every
+// Decide request and every reply crosses the sockets as continuation
+// fragment runs — and the run still reproduces the in-process result bit
+// for bit. (At the production maxFrameSize the same mechanism carries a
+// 256 MB+ batch instead of erroring.)
+func TestWireSpillLoopback(t *testing.T) {
+	n := 256
+	g := testGraph(t, n, 16, 9)
+	cfg := core.NewConfig(core.SAER, 2, 4, 0xBEEF)
+	cfg.TrackLoads = true
+	ref, err := cfg.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 64 // bytes per frame: a ~250-server batch spills into dozens of fragments
+	ss, err := StartLocalSet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ss.Close()
+	for _, srv := range ss.Servers() {
+		srv.SetFrameLimit(limit)
+	}
+	bank, err := DialConfig(ss.Addrs(), cfg.Variant, int32(cfg.Params().Capacity()), n,
+		BankConfig{Sessions: 2, FrameLimit: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bank.Close()
+	runWireSessions(t, g, cfg, bank, ref, "spill limit=64")
 }
 
 // TestWireDriverReuse pins trial reuse over one set of live servers: the
@@ -172,6 +276,82 @@ func TestWireDriverReuse(t *testing.T) {
 		if rep.Sessions != 1 {
 			t.Errorf("shard %d served %d sessions across 4 trials, want 1 (pooled connection)", i, rep.Sessions)
 		}
+	}
+}
+
+// TestWireRedialBackoff pins the bounded-backoff reconnection: the only
+// server is killed and a cold replacement comes up on the same address
+// only after a delay, so the next trial's Reset finds the connection
+// dead, gets refused on its first redial attempts, and must ride the
+// jittered backoff until the listener returns.
+func TestWireRedialBackoff(t *testing.T) {
+	g := testGraph(t, 128, 8, 21)
+	cfg := core.NewConfig(core.SAER, 2, 4, 5)
+	ref, err := cfg.Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	go srv.Serve()
+	bank, err := DialConfig([]string{addr}, cfg.Variant, int32(cfg.Params().Capacity()), g.NumServers(),
+		BankConfig{RedialAttempts: 6, RedialBackoff: 10 * time.Millisecond})
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	defer bank.Close()
+	dr, err := core.NewDriver(g, cfg, bank)
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	if _, err := dr.Run(); err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+
+	// Kill the process and bring the replacement up only after a delay:
+	// the immediate redial attempt is refused.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var srv2 *Server
+	done := make(chan error, 1)
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		s, err := Listen(addr)
+		if err != nil {
+			done <- err
+			return
+		}
+		mu.Lock()
+		srv2 = s
+		mu.Unlock()
+		done <- nil
+		s.Serve()
+	}()
+	defer func() {
+		mu.Lock()
+		if srv2 != nil {
+			srv2.Close()
+		}
+		mu.Unlock()
+	}()
+
+	got, err := dr.Run()
+	if err != nil {
+		t.Fatalf("run across delayed restart: %v", err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("run across delayed restart diverges from in-process result")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("restarting server on %s: %v", addr, err)
 	}
 }
 
@@ -237,10 +417,12 @@ func wireChurnScenario(t *testing.T, policy churn.Policy, factory func(*churn.To
 // TestWireChurnFailureWaveKillRestart is the process-kill failure wave:
 // the same E16-style scenario runs once in process and once against live
 // shard servers, where one shard server is killed right before the
-// scenario's fail wave and restarted (cold, same address) before the
-// recover wave. Every failed-load policy must produce bit-for-bit the
-// in-process scheduler's epoch outcomes — the per-epoch Reset rebuilds
-// server state, so a process restart is invisible to the protocol.
+// scenario's fail wave and restarted — cold, same address, and only
+// after a delay, so the wave epoch's Reset hits refused connections and
+// must redial through the bounded backoff. Every failed-load policy must
+// produce bit-for-bit the in-process scheduler's epoch outcomes — the
+// per-epoch Reset rebuilds server state, so a process restart is
+// invisible to the protocol.
 func TestWireChurnFailureWaveKillRestart(t *testing.T) {
 	ss, err := StartLocalSet(3)
 	if err != nil {
@@ -251,30 +433,54 @@ func TestWireChurnFailureWaveKillRestart(t *testing.T) {
 
 	// shard1 tracks whichever process currently serves addrs[1]; each
 	// policy's scenario kills it and brings up a cold replacement on the
-	// same address.
+	// same address after a delay.
+	var mu sync.Mutex
 	shard1 := ss.Servers()[1]
-	defer func() { shard1.Close() }()
+	defer func() {
+		mu.Lock()
+		shard1.Close()
+		mu.Unlock()
+	}()
 
+	factory := NewExecutorFactoryConfig(addrs, BankConfig{
+		RedialAttempts: 6,
+		RedialBackoff:  10 * time.Millisecond,
+	})
 	for _, policy := range []churn.Policy{churn.PolicyDrop, churn.PolicyReinject, churn.PolicySaturate} {
 		ref := wireChurnScenario(t, policy, nil, nil)
 
+		restarted := make(chan error, 1)
 		onEpoch := func(epoch int) {
 			if epoch != 3 {
 				return
 			}
-			// Kill shard 1 between epochs: the wave epoch's Reset redials
-			// it and finds a cold restarted process on the same address.
-			if err := shard1.Close(); err != nil {
+			// Kill shard 1 between epochs; the replacement binds the same
+			// address 30ms later, while the wave epoch's Reset is already
+			// retrying.
+			mu.Lock()
+			err := shard1.Close()
+			mu.Unlock()
+			if err != nil {
 				t.Fatal(err)
 			}
-			srv, err := Listen(addrs[1])
-			if err != nil {
-				t.Fatalf("restarting shard 1 on %s: %v", addrs[1], err)
-			}
-			shard1 = srv
-			go srv.Serve()
+			go func() {
+				time.Sleep(30 * time.Millisecond)
+				srv, err := Listen(addrs[1])
+				if err != nil {
+					restarted <- err
+					return
+				}
+				mu.Lock()
+				shard1 = srv
+				mu.Unlock()
+				restarted <- nil
+				srv.Serve()
+			}()
 		}
-		got := wireChurnScenario(t, policy, NewExecutorFactory(addrs), onEpoch)
+		got := wireChurnScenario(t, policy, factory, onEpoch)
+		if err := <-restarted; err != nil {
+			t.Fatalf("policy=%v: restarting shard 1 on %s: %v", policy, addrs[1], err)
+		}
 
 		if !reflect.DeepEqual(got, ref) {
 			for i := range ref {
@@ -341,7 +547,7 @@ func TestServerRejectsBadHello(t *testing.T) {
 	}
 	defer conn.Close()
 	bw := bufio.NewWriter(conn)
-	fc := &frameConn{r: bufio.NewReader(conn), w: bw}
+	fc := &frameConn{r: bufio.NewReader(conn), w: bw, limit: maxFrameSize}
 	var payload []byte
 	payload = appendU32(payload, 0xDEADBEEF) // wrong magic
 	payload = appendU32(payload, protoVersion)
@@ -349,13 +555,13 @@ func TestServerRejectsBadHello(t *testing.T) {
 	payload = appendI32(payload, 8)
 	payload = appendI32(payload, 0)
 	payload = appendI32(payload, 4)
-	if err := fc.writeFrame(msgHello, payload); err != nil {
+	if err := fc.writeMessage(msgHello, 0, payload); err != nil {
 		t.Fatal(err)
 	}
 	if err := bw.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fc.expectFrame(msgHelloOK); err == nil {
+	if _, _, err := fc.expectMessage(msgHelloOK); err == nil {
 		t.Fatal("server accepted a hello with the wrong magic")
 	}
 }

@@ -50,8 +50,11 @@ done
 addrs="$(awk '/listening on/ {print $NF}' "$work/server.log" | paste -sd, -)"
 echo "wire-smoke: 3 shards at $addrs"
 
-"$work/bin/saer-client" -connect "$addrs" -n "$n" -c 4 -trials 2 -verify \
-    -records "$work/run.jsonl"
+# -workers 4 exercises the parallel client phase, -sessions 2 the
+# multiplexed trial fan-out; -verify asserts each trial is still
+# bit-for-bit the in-process result.
+"$work/bin/saer-client" -connect "$addrs" -n "$n" -c 4 -trials 4 \
+    -workers 4 -sessions 2 -verify -records "$work/run.jsonl"
 
 "$work/bin/saer-aggregate" -json "$work/folded.jsonl" "$work/run.jsonl"
 
