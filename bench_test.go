@@ -200,6 +200,60 @@ func BenchmarkShardedRound1(b *testing.B) {
 	}
 }
 
+// benchRowOnly hides a topology's point-query (and version) interfaces
+// so the engines take the row-regeneration path. Only safe around
+// implicit topologies: AppendClientNeighbors fills the caller's buffer,
+// so no aliasing is lost by dropping the CSR fast path.
+type benchRowOnly struct{ bipartite.Topology }
+
+// BenchmarkPointQueryDraw is the point-query kernel's headline ablation:
+// one dense round at n = 2²⁰ in the paper's Δ = log²n = 400 regime,
+// where each client needs d = 2 destination draws from a 400-entry row.
+// The point-query path asks the topology for exactly those 2 neighbors
+// (2 Feistel images per client); the row-regen path — the pre-kernel
+// behaviour, forced here by hiding the PointQueryable interface —
+// regenerates all 400 entries to use 2 of them. Both paths consume the
+// identical Intn draw sequence, so results are bit-for-bit equal (the
+// core equivalence suite pins it) and the ratio is pure regeneration
+// waste: ~Δ/d ≈ 200× fewer sampler evaluations, bounded in practice by
+// the tally traffic the round also pays. Numbers in PERFORMANCE.md.
+func BenchmarkPointQueryDraw(b *testing.B) {
+	const n = 1 << 20
+	const delta = 400
+	impl, err := gen.RegularImplicit(n, delta, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, access := range []struct {
+		name string
+		topo bipartite.Topology
+	}{
+		{"point-query", impl},
+		{"row-regen", benchRowOnly{impl}},
+	} {
+		b.Run(fmt.Sprintf("n=%d/%s", n, access.name), func(b *testing.B) {
+			r, err := core.NewRunner(access.topo, core.SAER,
+				core.Params{D: 2, C: 4, MaxRounds: 1},
+				core.Options{Engine: core.EngineDense})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One untimed run reaches buffer steady state, as in
+			// BenchmarkShardedRound1.
+			r.Reseed(0)
+			r.Run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reseed(uint64(i))
+				if res := r.Run(); res.Rounds != 1 {
+					b.Fatalf("expected exactly one round, got %v", res)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkLateRoundTail measures the workload the sparse engine is built
 // for: a near-threshold c forces heavy burning, so the run spends most of
 // its rounds on a long tail with a tiny alive frontier while the dense

@@ -34,7 +34,7 @@ func main() {
 		only     = flag.String("only", "", "comma-separated experiment IDs to run (e.g. E1,E4); empty = all")
 		csvDir   = flag.String("csv-dir", "", "directory to write one CSV file per experiment table")
 		jsonOut  = flag.Bool("json", false, "stream machine-readable JSON records to stdout instead of rendered tables: one object per protocol trial, tracked round (per-round series of the tracked experiments and the per-epoch rounds of E12/E15-E17), table row and note")
-		maxN     = flag.Int("max-n", 0, "override the scaling experiments' size ceiling: lower trims the sweep, higher raises it (up to n=4194304); in -quick mode a raised ceiling appends just that probe point (0 = per-experiment defaults)")
+		maxN     = flag.Int("max-n", 0, "override the scaling experiments' size ceiling: lower trims the sweep, higher raises it (up to n=16777216); in -quick mode a raised ceiling appends just that probe point (0 = per-experiment defaults)")
 		listOnly = flag.Bool("list", false, "list the available experiments and exit")
 	)
 	flag.Parse()

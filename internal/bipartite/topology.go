@@ -50,6 +50,51 @@ type Topology interface {
 	Validate() error
 }
 
+// PointQueryable is implemented by topologies that can answer single
+// neighbor lookups without materializing the whole row. The contract:
+// whenever CanPointQuery reports true, NeighborAt(v, i) equals
+// AppendClientNeighbors(v, nil)[i] for every client v and every
+// 0 <= i < ClientDegree(v), and ClientDegree answers in O(1). The
+// protocol engines use this to draw a client's d = O(1) ball
+// destinations in O(d) point lookups instead of regenerating the full
+// Θ(Δ) row — in the paper's Δ = log²n regime that removes ~99% of the
+// dense client phase's per-visit work (see internal/core).
+//
+// CanPointQuery may change over the lifetime of a mutable topology:
+// internal/churn's Topology answers point queries through its rewire
+// marks but reports false while server failures are active (a failure
+// filters rows at read time, so entry i is no longer a single
+// regenerable image). Engines therefore re-derive queryability whenever
+// the TopologyVersion moves, exactly like the row caches do.
+//
+// Implementations must be safe for concurrent readers, like the rest of
+// Topology.
+type PointQueryable interface {
+	Topology
+	// CanPointQuery reports whether NeighborAt currently honors the
+	// contract above. Implementations whose queryability never changes
+	// return a constant.
+	CanPointQuery() bool
+	// NeighborAt returns the i-th entry of client v's neighbor row,
+	// equal to AppendClientNeighbors(v, nil)[i]. Behavior is undefined
+	// when CanPointQuery is false or i is out of range.
+	NeighborAt(v, i int) int32
+}
+
+// PointQuerier returns t as a PointQueryable when t implements the
+// interface and currently answers point queries, and nil otherwise. It
+// is the single entry point the engines use, so the "implements but
+// temporarily non-queryable" state (churn under failures) and the
+// "never implements" state (Erdős–Rényi skip-sampling) collapse into
+// the same row-regeneration fallback.
+func PointQuerier(t Topology) PointQueryable {
+	pq, ok := t.(PointQueryable)
+	if !ok || !pq.CanPointQuery() {
+		return nil
+	}
+	return pq
+}
+
 // Versioned is implemented by mutable topologies whose adjacency can be
 // patched in place between protocol runs (see internal/churn). The
 // version is a monotone counter bumped on every mutation batch; caches
@@ -114,6 +159,17 @@ func (g *Graph) AppendClientNeighbors(v int, buf []int32) []int32 {
 	}
 	return append(buf, nbrs...)
 }
+
+// CanPointQuery reports true: a CSR row answers point queries by array
+// read.
+func (g *Graph) CanPointQuery() bool { return true }
+
+// NeighborAt returns the i-th neighbor of client v in O(1).
+func (g *Graph) NeighborAt(v, i int) int32 {
+	return g.clientNbr[int(g.clientOff[v])+i]
+}
+
+var _ PointQueryable = (*Graph)(nil)
 
 // Materialize builds the CSR Graph holding exactly the edges t describes,
 // with every client row in t's neighbor order. If t already is a *Graph it

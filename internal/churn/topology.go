@@ -47,7 +47,17 @@ func (b Backend) String() string {
 // O(row) with no shared state. MaxDegree bounds the length of any row
 // the sampler can produce (it sizes scratch buffers).
 type Sampler struct {
-	Row       func(epochSeed uint64, v int, buf []int32) []int32
+	Row func(epochSeed uint64, v int, buf []int32) []int32
+	// At returns Row(epochSeed, v, nil)[i] in O(1) without producing the
+	// rest of the row, and Degree returns that row's length in O(1).
+	// Both are optional: when either is nil, the implicit backend
+	// reports CanPointQuery() == false and the engines fall back to
+	// whole-row regeneration (the CSR-patch backend answers from its
+	// arena and never needs them). When set, they must agree exactly
+	// with Row — the equivalence suites sweep both access paths.
+	At     func(epochSeed uint64, v, i int) int32
+	Degree func(epochSeed uint64, v int) int
+
 	MaxDegree int
 }
 
@@ -60,6 +70,13 @@ func TrustSampler(numServers, k int) Sampler {
 			s := rng.StreamAt(epochSeed, v)
 			return gen.SampleRow(&s, numServers, k, buf)
 		},
+		// A rewired row is a k-prefix partial shuffle, so entry i is one
+		// Feistel image and the degree is the constant k.
+		At: func(epochSeed uint64, v, i int) int32 {
+			s := rng.StreamAt(epochSeed, v)
+			return gen.SampleAt(&s, numServers, i)
+		},
+		Degree:    func(uint64, int) int { return k },
 		MaxDegree: k,
 	}
 }
@@ -112,6 +129,10 @@ type Topology struct {
 	// buffer — churn reads copy its rows instead (see the no-alias
 	// guarantee on AppendClientNeighbors).
 	baseCSR *bipartite.Graph
+	// basePQ is base's point-query view when base implements
+	// bipartite.PointQueryable (fixed at construction; its CanPointQuery
+	// is re-checked per call since a versioned base may flip).
+	basePQ  bipartite.PointQueryable
 	sampler Sampler
 	seed    uint64
 	backend Backend
@@ -167,9 +188,11 @@ func New(cfg Config) (*Topology, error) {
 	n := cfg.Base.NumClients()
 	m := cfg.Base.NumServers()
 	baseCSR, _ := cfg.Base.(*bipartite.Graph)
+	basePQ, _ := cfg.Base.(bipartite.PointQueryable)
 	t := &Topology{
 		base:       cfg.Base,
 		baseCSR:    baseCSR,
+		basePQ:     basePQ,
 		sampler:    cfg.Sampler,
 		seed:       cfg.Seed,
 		backend:    cfg.Backend,
@@ -219,20 +242,66 @@ func (t *Topology) EpochSeed(epoch int) uint64 {
 // buffers, for which a bound is exactly as good as the maximum.
 func (t *Topology) MaxClientDegree() int { return t.maxDeg }
 
-// ClientDegree returns |N(v)|. It regenerates (and, under failures,
-// filters) the row, costing O(Δ); hot paths use AppendClientNeighbors.
+// ClientDegree returns |N(v)|. With no failures active every branch is
+// O(1) modulo the base topology's own degree cost (the patch arena and
+// the samplers both know their row lengths); under failures the row is
+// regenerated and filtered, costing O(Δ).
 func (t *Topology) ClientDegree(v int) int {
 	if t.numFailed == 0 {
-		if t.rewired[v] < 0 {
+		e := t.rewired[v]
+		if e < 0 {
 			return t.base.ClientDegree(v)
 		}
 		if t.patch != nil {
 			row, _ := t.patch.row(v)
 			return len(row)
 		}
+		if t.sampler.Degree != nil {
+			return t.sampler.Degree(t.EpochSeed(int(e)), v)
+		}
 	}
 	return len(t.AppendClientNeighbors(v, make([]int32, 0, t.maxDeg)))
 }
+
+// CanPointQuery reports whether NeighborAt currently honors the
+// bipartite.PointQueryable contract: no failures may be active (failure
+// filtering makes entry i a function of the whole row), the base must
+// answer point queries for never-rewired clients, and rewired rows must
+// be answerable either from the patch arena (CSR-patch backend) or
+// through the sampler's At/Degree (implicit backend). Failures and
+// recoveries bump the version, so engines that cached a point-query
+// view re-derive it exactly when queryability can have flipped.
+func (t *Topology) CanPointQuery() bool {
+	if t.numFailed > 0 {
+		return false
+	}
+	if t.basePQ == nil || !t.basePQ.CanPointQuery() {
+		return false
+	}
+	if t.patch == nil && (t.sampler.At == nil || t.sampler.Degree == nil) {
+		return false
+	}
+	return true
+}
+
+// NeighborAt returns the i-th entry of client v's current row in O(1):
+// the patch arena row in place (no copy, no resample — the CSR-patch
+// backend's dense rounds read each patched row `rounds·d` times through
+// here), one sampler Feistel image (implicit backend), or the base
+// topology's own point query. It must only be called while
+// CanPointQuery reports true.
+func (t *Topology) NeighborAt(v, i int) int32 {
+	if e := t.rewired[v]; e >= 0 {
+		if t.patch != nil {
+			row, _ := t.patch.row(v)
+			return row[i]
+		}
+		return t.sampler.At(t.EpochSeed(int(e)), v, i)
+	}
+	return t.basePQ.NeighborAt(v, i)
+}
+
+var _ bipartite.PointQueryable = (*Topology)(nil)
 
 // Validate answers from construction-time and mutation-time guarantees
 // in O(1): the base graph was validated at construction, samplers never

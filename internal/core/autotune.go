@@ -45,9 +45,11 @@ type TunedKnobs struct {
 // AutotuneKnobs derives the routed pipeline's shard count and the sparse-
 // switch divisor for an instance with n clients, maximum client degree
 // delta, m servers, and the given worker count, sizing shard windows
-// against the probed cache hierarchy. implicitRows says whether client
-// rows are regenerated per visit (implicit topologies) rather than read
-// from a materialized CSR.
+// against the probed cache hierarchy. regenRows says whether client rows
+// are regenerated per visit: implicit topologies *without* point-query
+// support (bipartite.PointQueryable). Point-queryable implicit families
+// and materialized CSR graphs both read draws in O(1), so they pass
+// false.
 //
 // The function is pure: for fixed inputs it always returns the same
 // knobs, so runs stay reproducible on a fixed machine, and every knob it
@@ -68,15 +70,21 @@ type TunedKnobs struct {
 //   - The sparse switch leaves the dense scan earlier (divisor 2: switch
 //     at 1/2 density instead of 1/4) when dense rounds are expensive
 //     relative to the frontier walk: a tally past L2 streams DRAM every
-//     round, and on *large* implicit instances rows of large degree cost
-//     Θ(Δ) to regenerate per visit — the earlier the run goes sparse,
-//     the earlier the frontier row cache can pin the survivors' rows.
-//     The implicit rule is gated on n ≥ 2¹⁶: below that the dense scan
-//     is cheap (tally in L1/L2) and an earlier switch only buys frontier
-//     bookkeeping — measured on E16's churn scenario (n = 2¹², Δ = 144),
-//     where the ungated rule cost +37% wall-clock and re-snapshotted the
-//     row cache every epoch (25 MB/epoch of garbage).
-func AutotuneKnobs(n, delta, m, workers int, implicitRows bool, cache engine.CacheInfo) TunedKnobs {
+//     round, and on *large* row-regenerating instances rows of large
+//     degree cost Θ(Δ) to regenerate per visit — the earlier the run
+//     goes sparse, the earlier the frontier row cache can pin the
+//     survivors' rows. The regen rule existed solely because of that
+//     tax: point-queryable implicit families (regular, trust-subset,
+//     almost-regular) now draw in O(1) per ball, so their dense rounds
+//     cost CSR-like work and they keep the default divisor — only the
+//     sequential-sampler families (Erdős–Rényi) and churn under active
+//     failures still pay Θ(Δ) and flee the dense scan early. The rule
+//     stays gated on n ≥ 2¹⁶: below that the dense scan is cheap (tally
+//     in L1/L2) and an earlier switch only buys frontier bookkeeping —
+//     measured on E16's churn scenario (n = 2¹², Δ = 144), where the
+//     ungated rule cost +37% wall-clock and re-snapshotted the row cache
+//     every epoch (25 MB/epoch of garbage).
+func AutotuneKnobs(n, delta, m, workers int, regenRows bool, cache engine.CacheInfo) TunedKnobs {
 	// Bytes per tally cell in the stamped pipeline: 4 B count + 4 B
 	// epoch stamp.
 	const perCell = 8
@@ -99,7 +107,7 @@ func AutotuneKnobs(n, delta, m, workers int, implicitRows bool, cache engine.Cac
 	if maxShards := max(workers, n/256); k.Shards > maxShards {
 		k.Shards = maxShards
 	}
-	if tallyBytes > l2 || (implicitRows && delta >= 64 && n >= 1<<16) {
+	if tallyBytes > l2 || (regenRows && delta >= 64 && n >= 1<<16) {
 		k.SparseSwitchDivisor = 2
 	}
 	return k

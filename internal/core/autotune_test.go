@@ -17,24 +17,24 @@ import (
 func TestAutotuneDeterminism(t *testing.T) {
 	cache := engine.CacheInfo{L2: 2 << 20, LLC: 8 << 20}
 	cases := []struct {
-		name         string
-		n, delta, m  int
-		workers      int
-		implicitRows bool
-		want         TunedKnobs
+		name        string
+		n, delta, m int
+		workers     int
+		regenRows   bool
+		want        TunedKnobs
 	}{
 		// Quick-mode instances: tally far below L2, single worker — the
 		// tuner must leave everything at the legacy defaults.
 		{"quick-csr", 2048, 121, 2048, 1, false, TunedKnobs{Shards: 1, SparseSwitchDivisor: 4}},
-		{"quick-implicit-small-delta", 2048, 16, 2048, 1, true, TunedKnobs{Shards: 1, SparseSwitchDivisor: 4}},
-		// Implicit rows with a large degree on a large instance:
-		// regeneration costs Θ(Δ) per visit, so the run leaves the dense
-		// scan earlier (divisor 2).
-		{"implicit-big-delta", 1 << 16, 256, 1 << 16, 1, true, TunedKnobs{Shards: 1, SparseSwitchDivisor: 2}},
+		{"quick-regen-small-delta", 2048, 16, 2048, 1, true, TunedKnobs{Shards: 1, SparseSwitchDivisor: 4}},
+		// Row-regenerating topology (no point-query support) with a large
+		// degree on a large instance: regeneration costs Θ(Δ) per visit,
+		// so the run leaves the dense scan earlier (divisor 2).
+		{"regen-big-delta", 1 << 16, 256, 1 << 16, 1, true, TunedKnobs{Shards: 1, SparseSwitchDivisor: 2}},
 		// …but below the n = 2¹⁶ gate the dense scan is cheap and the
 		// earlier switch only thrashes the row cache (E16's churn
 		// scenario shape: +37% wall-clock before the gate existed).
-		{"implicit-big-delta-small-n", 1 << 12, 144, 1 << 12, 1, true, TunedKnobs{Shards: 1, SparseSwitchDivisor: 4}},
+		{"regen-big-delta-small-n", 1 << 12, 144, 1 << 12, 1, true, TunedKnobs{Shards: 1, SparseSwitchDivisor: 4}},
 		// Tally exactly at the L2 boundary (2¹⁸ cells × 8 B = 2 MiB):
 		// sharding on one worker is not yet worth it.
 		{"l2-boundary", 1 << 18, 16, 1 << 18, 1, false, TunedKnobs{Shards: 1, SparseSwitchDivisor: 4}},
@@ -52,12 +52,12 @@ func TestAutotuneDeterminism(t *testing.T) {
 		{"tiny-n-cap", 1024, 8, 1 << 20, 1, false, TunedKnobs{Shards: 4, SparseSwitchDivisor: 2}},
 	}
 	for _, tc := range cases {
-		got := AutotuneKnobs(tc.n, tc.delta, tc.m, tc.workers, tc.implicitRows, cache)
+		got := AutotuneKnobs(tc.n, tc.delta, tc.m, tc.workers, tc.regenRows, cache)
 		if got != tc.want {
-			t.Errorf("%s: AutotuneKnobs(n=%d, Δ=%d, m=%d, workers=%d, implicit=%v) = %+v, want %+v",
-				tc.name, tc.n, tc.delta, tc.m, tc.workers, tc.implicitRows, got, tc.want)
+			t.Errorf("%s: AutotuneKnobs(n=%d, Δ=%d, m=%d, workers=%d, regen=%v) = %+v, want %+v",
+				tc.name, tc.n, tc.delta, tc.m, tc.workers, tc.regenRows, got, tc.want)
 		}
-		again := AutotuneKnobs(tc.n, tc.delta, tc.m, tc.workers, tc.implicitRows, cache)
+		again := AutotuneKnobs(tc.n, tc.delta, tc.m, tc.workers, tc.regenRows, cache)
 		if again != got {
 			t.Errorf("%s: AutotuneKnobs is not deterministic: %+v then %+v", tc.name, got, again)
 		}

@@ -192,17 +192,28 @@ type ResolvedKnobs struct {
 	Steal bool
 }
 
+// rowRegenerating reports whether topo's client rows cost Θ(Δ) to read
+// per visit: an implicit (non-CSR) topology without point-query support.
+// It is the autotuner's regenRows input — point-queryable families draw
+// in O(1) and tune like materialized graphs.
+func rowRegenerating(topo bipartite.Topology) bool {
+	if _, isCSR := topo.(*bipartite.Graph); isCSR {
+		return false
+	}
+	return bipartite.PointQuerier(topo) == nil
+}
+
 // resolveKnobs is the single knob-normalization step shared by NewRunner
 // and Config.ResolveKnobs: explicit values win, the autotuner fills what
 // is unset (when enabled), and static defaults cover the rest.
-func resolveKnobs(o Options, n, maxDeg, m, workers int, isCSR bool) ResolvedKnobs {
+func resolveKnobs(o Options, n, maxDeg, m, workers int, regenRows bool) ResolvedKnobs {
 	k := ResolvedKnobs{
 		Workers:             workers,
 		Shards:              o.Shards,
 		SparseSwitchDivisor: o.SparseSwitchDivisor,
 	}
 	if o.Autotune == AutotuneOn && (k.Shards == 0 || k.SparseSwitchDivisor == 0) {
-		tuned := AutotuneKnobs(n, maxDeg, m, workers, !isCSR, engine.DetectCache())
+		tuned := AutotuneKnobs(n, maxDeg, m, workers, regenRows, engine.DetectCache())
 		if k.Shards == 0 {
 			k.Shards = tuned.Shards
 		}
@@ -230,7 +241,6 @@ func resolveKnobs(o Options, n, maxDeg, m, workers int, isCSR bool) ResolvedKnob
 // ResolveKnobs reports the effective performance knobs the configuration
 // resolves to on topo, without allocating any run state.
 func (c Config) ResolveKnobs(topo bipartite.Topology) ResolvedKnobs {
-	_, isCSR := topo.(*bipartite.Graph)
 	workers := engine.NewPool(c.Workers).Workers()
-	return resolveKnobs(c.Options(), topo.NumClients(), topo.MaxClientDegree(), topo.NumServers(), workers, isCSR)
+	return resolveKnobs(c.Options(), topo.NumClients(), topo.MaxClientDegree(), topo.NumServers(), workers, rowRegenerating(topo))
 }

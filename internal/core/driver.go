@@ -36,6 +36,12 @@ type Driver struct {
 
 	csr     *bipartite.Graph
 	nbrBufs [][]int32 // per-worker neighborhood scratch (implicit topologies)
+	// pq mirrors Runner.pq: the point-query view used by phaseClients to
+	// draw ball destinations in O(1) instead of regenerating rows. Nil on
+	// the CSR path or when the topology cannot answer point queries;
+	// re-derived per Run (reset), since the wire executor reuses one
+	// Driver across mutating churn epochs whose queryability can flip.
+	pq bipartite.PointQueryable
 
 	capacity int32
 	d        int
@@ -228,6 +234,10 @@ func (dr *Driver) reset() (aliveTotal int64, err error) {
 	}
 	dr.router.Discard()
 	dr.tally.FullReset(dr.pool)
+	dr.pq = nil
+	if dr.csr == nil {
+		dr.pq = bipartite.PointQuerier(dr.topo)
+	}
 	rng.ReseedStreamSlice(dr.streams, dr.cfg.Seed)
 	return aliveTotal, dr.bank.Reset(dr.cfg.InitialLoads)
 }
@@ -338,10 +348,24 @@ func (dr *Driver) phaseClients() int64 {
 		for _, vv := range dr.frontier[lo:hi] {
 			v := int(vv)
 			a := dr.alive[v]
-			nbrs := dr.neighbors(w, v)
-			deg := len(nbrs)
 			src := &dr.streams[v]
 			base := v * dr.d
+			if pq := dr.pq; pq != nil {
+				// Point-query path: one O(1) NeighborAt per ball instead
+				// of a Θ(Δ) row regeneration — same Intn sequence, same
+				// choices, bit-for-bit the row path's batch.
+				deg := pq.ClientDegree(v)
+				for i := int32(0); i < a; i++ {
+					u := pq.NeighborAt(v, src.Intn(deg))
+					dr.choices[base+int(i)] = u
+					s := int(u) >> shift
+					lanes[s] = append(lanes[s], u)
+				}
+				sent += int64(a)
+				continue
+			}
+			nbrs := dr.neighbors(w, v)
+			deg := len(nbrs)
 			for i := int32(0); i < a; i++ {
 				u := nbrs[src.Intn(deg)]
 				dr.choices[base+int(i)] = u

@@ -119,7 +119,11 @@ func TestDriverMatchesRunnerImplicitTopology(t *testing.T) {
 	cfg := NewConfig(RAES, 2, 3, 0xBEEF)
 	cfg.TrackRounds = true
 	cfg.TrackLoads = true
+	// The bare topology drives the Driver's point-query draw path, the
+	// rowOnly wrapper its row-regeneration path; both must match the
+	// Runner reference bit for bit.
 	driverEquivalenceCase(t, "implicit", topo, cfg)
+	driverEquivalenceCase(t, "implicit-row", rowOnly{topo}, cfg)
 }
 
 // TestDriverReseedReuse pins the trial-reuse contract: a reused Driver

@@ -89,6 +89,17 @@ type Runner struct {
 	nbrBuf [][]int32
 	maxDeg int
 
+	// pq is the topology's point-query view (bipartite.PointQueryable)
+	// when rows would otherwise be regenerated: the client phases draw
+	// each ball's destination as one NeighborAt lookup instead of
+	// regenerating the whole Θ(Δ) row — same Intn draw sequence, same
+	// choices layout, so results are bit-for-bit identical to the row
+	// path. Nil on the CSR fast path (rows are already zero-copy reads)
+	// and for non-queryable topologies (Erdős–Rényi, churn under
+	// failures); re-derived whenever the topology version moves, since
+	// churn mutations can flip queryability.
+	pq bipartite.PointQueryable
+
 	// rowCache holds the frontier row cache for implicit topologies;
 	// rowCacheBuilt records whether the current run has snapshotted its
 	// frontier into it (at most once per run — the frontier only shrinks).
@@ -245,8 +256,7 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 	if opts.TrackAssignments {
 		r.assignments = make([][]int32, n)
 	}
-	_, isCSR := topo.(*bipartite.Graph)
-	knobs := resolveKnobs(opts, n, topo.MaxClientDegree(), m, pool.Workers(), isCSR)
+	knobs := resolveKnobs(opts, n, topo.MaxClientDegree(), m, pool.Workers(), rowRegenerating(topo))
 	r.switchDivisor = knobs.SparseSwitchDivisor
 	r.steal = knobs.Steal
 	if knobs.Shards > 1 {
@@ -271,6 +281,7 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 func (r *Runner) bindTopology(topo bipartite.Topology) {
 	r.topo = topo
 	r.csr, _ = topo.(*bipartite.Graph)
+	r.pq = nil
 	if r.csr == nil {
 		r.maxDeg = topo.MaxClientDegree()
 		if r.nbrBuf == nil {
@@ -279,6 +290,7 @@ func (r *Runner) bindTopology(topo bipartite.Topology) {
 				r.nbrBuf[w] = make([]int32, 0, r.maxDeg)
 			}
 		}
+		r.pq = bipartite.PointQuerier(topo)
 	}
 	// A swapped topology regenerates different rows, so any cached
 	// frontier rows are stale.
@@ -489,6 +501,12 @@ func (r *Runner) beginRound() {
 			if r.router != nil {
 				r.router.SyncTopologyVersion(v)
 			}
+			// Mutations can flip point-queryability (churn failures make
+			// rows read-time filtered, recoveries make them queryable
+			// again), so the point-query view is version-keyed too.
+			if r.csr == nil {
+				r.pq = bipartite.PointQuerier(r.topo)
+			}
 		}
 		if r.rowCacheBuilt && !r.rowCache.ValidFor(r.topoVersion) {
 			r.rowCache.Invalidate()
@@ -520,12 +538,15 @@ func (r *Runner) beginRound() {
 			}
 		}
 	}
-	// Late-round frontier row cache: on implicit topologies, once the
-	// sparse frontier's worst-case row footprint fits the budget, snapshot
-	// the survivors' regenerated rows so the remaining rounds read them
-	// instead of resampling. One snapshot per run suffices: the frontier
-	// only shrinks, so every later survivor is already cached.
-	if r.sparse && r.csr == nil && !r.rowCacheBuilt &&
+	// Late-round frontier row cache: on implicit topologies whose draws
+	// regenerate whole rows, once the sparse frontier's worst-case row
+	// footprint fits the budget, snapshot the survivors' regenerated
+	// rows so the remaining rounds read them instead of resampling. One
+	// snapshot per run suffices: the frontier only shrinks, so every
+	// later survivor is already cached. Point-queryable topologies skip
+	// the snapshot — their draws never touch rows, so pinning them would
+	// be pure cost (the occasional whole-row consumers regenerate).
+	if r.sparse && r.csr == nil && r.pq == nil && !r.rowCacheBuilt &&
 		len(r.frontier)*r.maxDeg <= rowCacheEdgeBudget(r.topo.NumClients()) {
 		if r.rowCache == nil {
 			r.rowCache = bipartite.NewRowCache(r.topo.NumClients())
@@ -679,10 +700,32 @@ func (r *Runner) Run() *Result {
 // difference between the paths is how v is enumerated.
 func (r *Runner) clientStep(worker, v int, denseLocal []int32) int64 {
 	a := r.alive[v]
-	nbrs := r.neighbors(worker, v)
-	deg := len(nbrs)
 	src := &r.streams[v]
 	base := v * r.d
+	if pq := r.pq; pq != nil {
+		// Point-query path: draw each ball's destination as one O(1)
+		// NeighborAt lookup instead of regenerating the Θ(Δ) row. The
+		// Intn draw sequence and the choices layout are identical to the
+		// row path, and NeighborAt(v, i) equals row[i] by contract, so
+		// results are bit-for-bit unchanged.
+		deg := pq.ClientDegree(v)
+		if denseLocal != nil {
+			for i := int32(0); i < a; i++ {
+				u := pq.NeighborAt(v, src.Intn(deg))
+				r.choices[base+int(i)] = u
+				denseLocal[u]++
+			}
+		} else {
+			for i := int32(0); i < a; i++ {
+				u := pq.NeighborAt(v, src.Intn(deg))
+				r.choices[base+int(i)] = u
+				r.tally.SparseAdd(worker, u)
+			}
+		}
+		return int64(a)
+	}
+	nbrs := r.neighbors(worker, v)
+	deg := len(nbrs)
 	if denseLocal != nil {
 		for i := int32(0); i < a; i++ {
 			u := nbrs[src.Intn(deg)]
@@ -706,10 +749,22 @@ func (r *Runner) clientStep(worker, v int, denseLocal []int32) int64 {
 // owner.
 func (r *Runner) clientStepRoute(worker, v int, lanes [][]int32, shift uint) int64 {
 	a := r.alive[v]
-	nbrs := r.neighbors(worker, v)
-	deg := len(nbrs)
 	src := &r.streams[v]
 	base := v * r.d
+	if pq := r.pq; pq != nil {
+		// Point-query path, as in clientStep: same draws, same choices,
+		// destinations routed to lanes instead of tallied.
+		deg := pq.ClientDegree(v)
+		for i := int32(0); i < a; i++ {
+			u := pq.NeighborAt(v, src.Intn(deg))
+			r.choices[base+int(i)] = u
+			s := int(u) >> shift
+			lanes[s] = append(lanes[s], u)
+		}
+		return int64(a)
+	}
+	nbrs := r.neighbors(worker, v)
+	deg := len(nbrs)
 	for i := int32(0); i < a; i++ {
 		u := nbrs[src.Intn(deg)]
 		r.choices[base+int(i)] = u

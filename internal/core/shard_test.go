@@ -107,7 +107,10 @@ func TestShardedRunnerReuseAfterStarvedRun(t *testing.T) {
 // is n rather than its small-n floor): a near-threshold c forces a long
 // sparse tail, the cache must activate during it, stay within the edge
 // budget (a small fraction of what the CSR twin would materialize), and
-// leave results bit-for-bit equal to the materialized run.
+// leave results bit-for-bit equal to the materialized run. The topology
+// is wrapped rowOnly: point-queryable families skip the cache entirely
+// (their draws never touch rows), and this test exercises the
+// row-regeneration path the cache exists for.
 func TestShardedRowCacheMemoryGuard(t *testing.T) {
 	n := 1 << 16
 	topo, err := gen.RegularImplicit(n, 64, 0xCAFE)
@@ -120,7 +123,7 @@ func TestShardedRowCacheMemoryGuard(t *testing.T) {
 	}
 	p := Params{D: 2, C: 2, Seed: 9, Workers: 2}
 	opts := Options{TrackRounds: true, TrackLoads: true, Shards: 4}
-	r, err := NewRunner(topo, SAER, p, opts)
+	r, err := NewRunner(rowOnly{topo}, SAER, p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +172,7 @@ func TestRowCacheInvalidatedOnSwap(t *testing.T) {
 	}
 	p := Params{D: 2, C: 2, Seed: 5, Workers: 2}
 	opts := Options{TrackLoads: true, Shards: 2}
-	r, err := NewRunner(first, SAER, p, opts)
+	r, err := NewRunner(rowOnly{first}, SAER, p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +180,7 @@ func TestRowCacheInvalidatedOnSwap(t *testing.T) {
 	if !r.rowCacheBuilt {
 		t.Fatal("setup broken: first run did not build the row cache")
 	}
-	if err := r.SwapTopology(second); err != nil {
+	if err := r.SwapTopology(rowOnly{second}); err != nil {
 		t.Fatal(err)
 	}
 	r.Reseed(5)

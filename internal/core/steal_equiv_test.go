@@ -46,7 +46,7 @@ func TestStealScheduleEquivalence(t *testing.T) {
 	backends := []struct {
 		name string
 		topo bipartite.Topology
-	}{{"csr", csr}, {"implicit", impl}}
+	}{{"csr", csr}, {"implicit", impl}, {"implicit-row", rowOnly{impl}}}
 	for _, backend := range backends {
 		for _, steal := range stealModes() {
 			for _, mode := range []EngineMode{EngineDense, EngineSparse, EngineAuto} {

@@ -30,7 +30,7 @@ func ExperimentCompletionScaling(cfg SuiteConfig) (*Table, error) {
 	// count is visible; with large c the protocol finishes in 1-2 rounds
 	// at every size and the scaling claim is trivially satisfied.
 	cconst := 2.5
-	for _, n := range largeSizes(cfg, 1<<22) {
+	for _, n := range largeSizes(cfg, 1<<24) {
 		n, delta := n, regularDelta(n)
 		spec.Points = append(spec.Points, sweep.Point{
 			ID:       fmt.Sprintf("n=%d", n),

@@ -17,8 +17,9 @@ import (
 // is actually visible. Consecutive points share the topology and the
 // per-trial seeds, so each row pair really is the two protocols on
 // identical instances — the pairing Corollary 2's domination argument is
-// about; the sweep extends to n = 2²² on implicit topologies in full
-// mode.
+// about; the sweep extends to n = 2²⁴ on implicit topologies in full
+// mode (the point-query draw path keeps the dense rounds O(n·d), not
+// O(n·Δ), which is what makes the top octaves affordable).
 func ExperimentSAERvsRAES(cfg SuiteConfig) (*Table, error) {
 	spec := sweep.Spec{
 		ID:    "E4",
@@ -29,7 +30,7 @@ func ExperimentSAERvsRAES(cfg SuiteConfig) (*Table, error) {
 
 	d := 2
 	cconst := 2.5 // small enough that servers actually reach the threshold
-	for _, n := range largeSizes(cfg, 1<<22) {
+	for _, n := range largeSizes(cfg, 1<<24) {
 		n, delta := n, regularDelta(n)
 		for _, variant := range []core.Variant{core.SAER, core.RAES} {
 			variant := variant

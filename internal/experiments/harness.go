@@ -53,8 +53,9 @@ func sizes(cfg SuiteConfig) []int {
 // Δ = log² n graph at 2²⁰ clients needs gigabytes. expMaxN lets
 // tracking-heavy experiments (E3's O(|E|)-per-round neighborhood
 // statistics) stop at 2¹⁸ while the untracked sweeps go to 2²⁰ and the
-// completion sweeps (E1/E4) to 2²². cfg.MaxN, when set, overrides the
-// ceiling in both directions (see sweep.Config).
+// completion sweeps (E1/E4) to 2²⁴ (affordable since the point-query
+// draw path made dense rounds O(n·d)). cfg.MaxN, when set, overrides
+// the ceiling in both directions (see sweep.Config).
 func largeSizes(cfg SuiteConfig, expMaxN int) []int {
 	maxN := expMaxN
 	if cfg.MaxN > 0 {
@@ -73,7 +74,7 @@ func largeSizes(cfg SuiteConfig, expMaxN int) []int {
 		}
 		return s
 	}
-	for _, n := range []int{1 << 16, 1 << 18, 1 << 20, 1 << 22} {
+	for _, n := range []int{1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24} {
 		if n <= maxN && n > s[len(s)-1] {
 			s = append(s, n)
 		}

@@ -46,6 +46,9 @@ func TestLargeSizes(t *testing.T) {
 	if huge := largeSizes(full, 1<<22); huge[len(huge)-1] != 1<<22 {
 		t.Errorf("full sweep with the raised ceiling should reach 2^22, got %v", huge)
 	}
+	if huge := largeSizes(full, 1<<24); huge[len(huge)-1] != 1<<24 {
+		t.Errorf("full sweep with the E1/E4 ceiling should reach 2^24, got %v", huge)
+	}
 	capped := largeSizes(full, 1<<18)
 	if capped[len(capped)-1] != 1<<18 {
 		t.Errorf("capped sweep should stop at 2^18, got %v", capped)

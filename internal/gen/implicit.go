@@ -40,6 +40,13 @@ type Implicit struct {
 	degree func(v int) int
 	// row appends N(v) to buf in the topology's canonical order.
 	row func(v int, buf []int32) []int32
+	// at returns row(v, nil)[i] in O(1) without generating the rest of
+	// the row, for the families whose rows are images of keyed
+	// permutations (regular: row[i] = π_i(v); partial-shuffle families:
+	// row[i] = f_v(i)). Nil for families that can only produce rows
+	// sequentially (Erdős–Rényi skip-sampling), which then report
+	// CanPointQuery() == false and keep the row-regeneration path.
+	at func(v, i int) int32
 
 	// serverDegFn computes the exact per-server degree table for the
 	// families whose threshold prescriptions need measured server degrees
@@ -91,14 +98,29 @@ func (t *Implicit) Validate() error {
 	return nil
 }
 
-// NumEdges returns the total number of edges (Σ_v |N(v)|).
+// NumEdges returns the total number of edges (Σ_v |N(v)|). Uniform-
+// degree families (regular, trust-subset: minDeg == maxDeg by
+// construction) answer in O(1); the rest sum their degree table.
 func (t *Implicit) NumEdges() int {
+	if t.minDeg == t.maxDeg {
+		return t.numClients * t.minDeg
+	}
 	total := 0
 	for v := 0; v < t.numClients; v++ {
 		total += t.degree(v)
 	}
 	return total
 }
+
+// CanPointQuery reports whether the family supports O(1) point queries
+// (see bipartite.PointQueryable); queryability is fixed at construction.
+func (t *Implicit) CanPointQuery() bool { return t.at != nil }
+
+// NeighborAt returns row(v)[i] in O(1). It must only be called when
+// CanPointQuery reports true.
+func (t *Implicit) NeighborAt(v, i int) int32 { return t.at(v, i) }
+
+var _ bipartite.PointQueryable = (*Implicit)(nil)
 
 // Materialize builds the CSR twin of the topology: the same edges in the
 // same per-client order, stored explicitly.
@@ -238,6 +260,9 @@ func RegularImplicit(n, delta int, seed uint64) (*Implicit, error) {
 				buf = append(buf, int32(perms[k].apply(uint64(v))))
 			}
 			return buf
+		},
+		at: func(v, i int) int32 {
+			return int32(perms[i].apply(uint64(v)))
 		},
 	}, nil
 }
@@ -440,6 +465,15 @@ func AlmostRegularImplicit(cfg AlmostRegularConfig, seed uint64) (*Implicit, err
 		serverDegFn: serverDegFn,
 		degree:      func(v int) int { return baseDeg(v) + len(extraOf[int32(v)]) },
 		row:         row,
+		// Entry i is either the i-th pool sample (one Feistel image) or,
+		// past baseDeg(v), a stored overlay edge — O(1) either way.
+		at: func(v, i int) int32 {
+			if k := baseDeg(v); i >= k {
+				return extraOf[int32(v)][i-k]
+			}
+			s := rng.StreamAt(seed, v)
+			return SampleAt(&s, pool, i)
+		},
 	}, nil
 }
 

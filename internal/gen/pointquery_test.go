@@ -1,0 +1,116 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestSampleAtMatchesSampleRow pins the point-query identity of the
+// partial-shuffle sampler: SampleAt(s, pool, i) equals
+// SampleRow(s, pool, k, nil)[i] for every i < k, and both consume
+// exactly one stream value (the permutation key), leaving the stream in
+// the same state.
+func TestSampleAtMatchesSampleRow(t *testing.T) {
+	for _, pool := range []int{1, 2, 7, 64, 1000} {
+		for seed := uint64(0); seed < 5; seed++ {
+			k := pool
+			if k > 40 {
+				k = 40
+			}
+			s := rng.StreamAt(seed, 11)
+			row := SampleRow(&s, pool, k, nil)
+			after := s.Uint64()
+			for i := 0; i < k; i++ {
+				s2 := rng.StreamAt(seed, 11)
+				if got := SampleAt(&s2, pool, i); got != row[i] {
+					t.Fatalf("pool=%d seed=%d: SampleAt(%d) = %d, row[%d] = %d", pool, seed, i, got, i, row[i])
+				}
+				if next := s2.Uint64(); next != after {
+					t.Fatalf("pool=%d seed=%d i=%d: SampleAt left the stream in a different state", pool, seed, i)
+				}
+			}
+		}
+	}
+}
+
+// TestNeighborAtMatchesRow is the cross-family point-query property
+// suite: for every implicit family and every client, NeighborAt(v, i)
+// must equal AppendClientNeighbors(v, nil)[i] at every index i, and
+// ClientDegree must equal the row length. Families without point-query
+// support (Erdős–Rényi) must report CanPointQuery() == false.
+func TestNeighborAtMatchesRow(t *testing.T) {
+	regular, err := RegularImplicit(257, 19, 0xABCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trust, err := TrustSubsetImplicit(200, 111, 17, 0x7057)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost, err := AlmostRegularImplicit(DefaultAlmostRegularConfig(256), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	er, err := ErdosRenyiImplicit(128, 90, 0.07, true, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.CanPointQuery() {
+		t.Error("erdos-renyi: skip-sampled rows unexpectedly answer point queries")
+	}
+
+	for _, tc := range []struct {
+		name string
+		topo *Implicit
+	}{
+		{"regular", regular},
+		{"trust-subset", trust},
+		{"almost-regular", almost},
+	} {
+		if !tc.topo.CanPointQuery() {
+			t.Errorf("%s: family does not answer point queries", tc.name)
+			continue
+		}
+		var row []int32
+		for v := 0; v < tc.topo.NumClients(); v++ {
+			row = tc.topo.AppendClientNeighbors(v, row[:0])
+			if got := tc.topo.ClientDegree(v); got != len(row) {
+				t.Fatalf("%s: ClientDegree(%d) = %d, row length %d", tc.name, v, got, len(row))
+			}
+			for i, want := range row {
+				if got := tc.topo.NeighborAt(v, i); got != want {
+					t.Fatalf("%s: NeighborAt(%d, %d) = %d, row[%d] = %d", tc.name, v, i, got, i, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNumEdgesUniformDegreeO1 pins the O(1) NumEdges answer of the
+// uniform-degree families against the row-by-row sum.
+func TestNumEdgesUniformDegreeO1(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() (*Implicit, error)
+	}{
+		{"regular", func() (*Implicit, error) { return RegularImplicit(300, 12, 5) }},
+		{"trust-subset", func() (*Implicit, error) { return TrustSubsetImplicit(211, 150, 9, 5) }},
+		{"erdos-renyi", func() (*Implicit, error) { return ErdosRenyiImplicit(100, 80, 0.1, true, 5) }},
+		{"almost-regular", func() (*Implicit, error) {
+			return AlmostRegularImplicit(DefaultAlmostRegularConfig(128), 5)
+		}},
+	} {
+		topo, err := tc.mk()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want := 0
+		for v := 0; v < topo.NumClients(); v++ {
+			want += len(topo.AppendClientNeighbors(v, nil))
+		}
+		if got := topo.NumEdges(); got != want {
+			t.Errorf("%s: NumEdges() = %d, row sum %d", tc.name, got, want)
+		}
+	}
+}

@@ -37,6 +37,19 @@ func SampleRow(s *rng.Stream, pool, k int, buf []int32) []int32 {
 	return buf
 }
 
+// SampleAt returns element i of the row SampleRow(s, pool, k, nil)
+// for any k > i, without generating the other k−1 entries: the row is a
+// permutation prefix, so entry i is the single Feistel image of i. It
+// consumes the same one stream value as SampleRow (the permutation
+// key), leaving s in the same state — which is what lets point queries
+// and whole-row regeneration coexist against one per-client stream. It
+// is exported for internal/churn, whose rewired clients answer point
+// queries through exactly this identity.
+func SampleAt(s *rng.Stream, pool, i int) int32 {
+	f := newFeistel(pool, s.Uint64())
+	return int32(f.apply(uint64(i)))
+}
+
 // TrustSubsetImplicit returns the implicit counterpart of TrustSubset:
 // every client trusts k servers chosen without replacement from
 // [0, numServers), regenerated on demand from the client's
@@ -64,6 +77,10 @@ func TrustSubsetImplicit(numClients, numServers, k int, seed uint64) (*Implicit,
 		row: func(v int, buf []int32) []int32 {
 			s := rng.StreamAt(seed, v)
 			return SampleRow(&s, numServers, k, buf)
+		},
+		at: func(v, i int) int32 {
+			s := rng.StreamAt(seed, v)
+			return SampleAt(&s, numServers, i)
 		},
 	}, nil
 }

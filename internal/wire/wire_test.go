@@ -169,6 +169,49 @@ func pointLabel(variant core.Variant, c float64, shards, workers, sessions int) 
 		variant, c, shards, workers, sessions)
 }
 
+// rowOnlyTopo hides a topology's point-query support, forcing the
+// Driver onto the whole-row regeneration path (the wire twin of
+// internal/core's rowOnly test wrapper).
+type rowOnlyTopo struct{ bipartite.Topology }
+
+// TestWireLoopbackPointQuery covers the point-query draw path over the
+// wire: an implicit point-queryable topology driven through real TCP
+// sockets must reproduce the in-process result bit for bit — on the
+// point-query path and, via the row-only wrapper, on the
+// row-regeneration path, so the two access paths also agree end to end
+// across the transport.
+func TestWireLoopbackPointQuery(t *testing.T) {
+	topo, err := gen.TrustSubsetImplicit(512, 512, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.NewConfig(core.SAER, 2, 2.5, 0xFEED)
+	cfg.Workers = 2
+	cfg.TrackRounds = true
+	cfg.TrackLoads = true
+	ref, err := cfg.Run(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := []struct {
+		name string
+		topo bipartite.Topology
+	}{{"point-query", topo}, {"row-regen", rowOnlyTopo{topo}}}
+	for _, path := range paths {
+		for _, shards := range []int{1, 3} {
+			res, bank, ss := runWire(t, path.topo, cfg, shards)
+			if !reflect.DeepEqual(normalizedResult(res), normalizedResult(ref)) {
+				t.Errorf("%s shards=%d: wire run diverges from in-process run:\n  ref=%+v\n  got=%+v",
+					path.name, shards, ref, res)
+			}
+			bank.Close()
+			if err := ss.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
 // TestWireDynamicState exercises the epoch shape the churn executor
 // ships: pre-loaded servers (some burned from the start) and per-client
 // request counts.
