@@ -26,6 +26,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/netsim"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -197,6 +198,45 @@ func BenchmarkShardedRound1(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkTelemetryRound is the telemetry layer's overhead ablation on
+// the same hot spot as BenchmarkShardedRound1 (the dense first round at
+// n = 2¹⁸, sharded pipeline): "off" runs with a nil registry — every
+// instrument handle is a typed nil whose methods return before touching
+// memory, so the delta against the matching BenchmarkShardedRound1
+// configuration is the cost of the disabled fast path and must stay
+// within noise (<2%, see PERFORMANCE.md) — while "on" attaches a live
+// registry, bounding what full phase spans plus counters cost per round.
+func BenchmarkTelemetryRound(b *testing.B) {
+	const n = 1 << 18
+	g := benchGraph(b, n, 16)
+	for _, mode := range []struct {
+		name string
+		reg  *telemetry.Registry
+	}{
+		{"off", nil},
+		{"on", telemetry.NewRegistry()},
+	} {
+		b.Run(fmt.Sprintf("n=%d/shards=8/%s", n, mode.name), func(b *testing.B) {
+			r, err := core.NewRunner(g, core.SAER,
+				core.Params{D: 2, C: 4, MaxRounds: 1},
+				core.Options{Engine: core.EngineDense, Shards: 8, Telemetry: mode.reg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Reseed(0)
+			r.Run()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Reseed(uint64(i))
+				if res := r.Run(); res.Rounds != 1 {
+					b.Fatalf("expected exactly one round, got %v", res)
+				}
+			}
+		})
 	}
 }
 

@@ -2,9 +2,12 @@
 // typically the -records outputs of saer-client runs against different
 // shard sets or seeds — into a unified summary: per-point trial
 // aggregates (completion rate, round and max-load envelopes, total work)
-// and per-shard service tallies summed across streams. The folded result
-// prints as a table and, with -json, re-emits as a saer-records stream
-// (schema header, one row per point, one shard record per shard), so the
+// and per-shard service tallies summed across streams. Telemetry
+// snapshot records fold too: matching counter/gauge/histogram series
+// sum across processes, so a fleet of clients rolls up into one
+// snapshot. The folded result prints as a table and, with -json,
+// re-emits as a saer-records stream (schema header, one row per point,
+// one shard record per shard, one folded telemetry record), so the
 // aggregation composes: aggregate outputs aggregate again.
 //
 // Examples:
@@ -22,6 +25,7 @@ import (
 	"sort"
 
 	"repro/internal/records"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -78,6 +82,11 @@ func run(paths []string, jsonOut string) error {
 	shards := make(map[string]*shardAgg)
 	var pointOrder, shardOrder []string
 	var notes []records.Record
+	// Telemetry snapshots fold by summing matching series (Merge); one
+	// folded snapshot per experiment, carried through to the -json output.
+	telemetryAgg := make(map[string]*telemetry.Snapshot)
+	telemetryStreams := make(map[string]int)
+	var telemetryOrder []string
 	for _, r := range recs {
 		switch r.Type {
 		case records.TypeTrial:
@@ -141,6 +150,18 @@ func run(paths []string, jsonOut string) error {
 				s.maxLoad = *r.MaxLoad
 			}
 			s.streams++
+		case records.TypeTelemetry:
+			if r.Telemetry == nil {
+				continue
+			}
+			agg := telemetryAgg[r.Experiment]
+			if agg == nil {
+				agg = &telemetry.Snapshot{}
+				telemetryAgg[r.Experiment] = agg
+				telemetryOrder = append(telemetryOrder, r.Experiment)
+			}
+			agg.Merge(r.Telemetry)
+			telemetryStreams[r.Experiment]++
 		case records.TypeNote:
 			notes = append(notes, r)
 		}
@@ -148,8 +169,8 @@ func run(paths []string, jsonOut string) error {
 	sort.Strings(pointOrder)
 	sort.Strings(shardOrder)
 
-	if len(pointOrder) == 0 && len(shardOrder) == 0 {
-		return fmt.Errorf("no trial or shard records in %d input records", len(recs))
+	if len(pointOrder) == 0 && len(shardOrder) == 0 && len(telemetryOrder) == 0 {
+		return fmt.Errorf("no trial, shard or telemetry records in %d input records", len(recs))
 	}
 
 	var rec *records.Recorder
@@ -209,6 +230,20 @@ func run(paths []string, jsonOut string) error {
 				})
 			}
 		}
+	}
+	for _, exp := range telemetryOrder {
+		agg := telemetryAgg[exp]
+		label := "telemetry"
+		if exp != "" {
+			label = fmt.Sprintf("telemetry (%s)", exp)
+		}
+		fmt.Printf("\n%s: %d snapshot(s) folded — %d counters, %d gauges, %d histograms\n",
+			label, telemetryStreams[exp], len(agg.Counters), len(agg.Gauges), len(agg.Histograms))
+		if v, ok := agg.Counters["saer_rounds_total"]; ok {
+			fmt.Printf("  rounds=%d requests=%d accepted=%d\n",
+				v, agg.Counters["saer_requests_total"], agg.Counters["saer_accepted_total"])
+		}
+		rec.Telemetry(exp, "aggregate", agg)
 	}
 	for _, n := range notes {
 		rec.Emit(n)

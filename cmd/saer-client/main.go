@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/records"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -58,6 +59,7 @@ func main() {
 		verify      = flag.Bool("verify", false, "also run each trial in-process and require bit-for-bit equality")
 		track       = flag.Bool("track", false, "track per-round series (streamed to -records)")
 		recordsPath = flag.String("records", "", "write a saer-records JSONL stream to this file")
+		debugAddr   = flag.String("debug-addr", "", "serve Prometheus /metrics and net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -65,7 +67,7 @@ func main() {
 		connect: *connect, graphKind: *graphKind, n: *n, delta: *delta,
 		expectedDeg: *expectedDeg, topoMode: *topoMode, trials: *trials,
 		sessions: *sessions, pipeline: *pipeline, verify: *verify,
-		track: *track, recordsPath: *recordsPath,
+		track: *track, recordsPath: *recordsPath, debugAddr: *debugAddr,
 	}
 	if err := run(rf, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "saer-client:", err)
@@ -86,6 +88,7 @@ type clientOpts struct {
 	verify      bool
 	track       bool
 	recordsPath string
+	debugAddr   string
 }
 
 // trialOut is one trial's collected outcome; the session goroutines fill
@@ -164,8 +167,28 @@ func run(rf cli.RunFlags, o clientOpts) error {
 	}
 	point := fmt.Sprintf("%s n=%d", strings.ToLower(strings.TrimSpace(o.graphKind)), o.n)
 
+	// One registry spans the drivers and the wire bank: the round-loop
+	// series (saer_*) and the transport series (saer_wire_*) of every
+	// session fold into it, and -debug-addr serves it live. Telemetry is
+	// always on when -records or -debug-addr asks for it; results are
+	// bit-for-bit identical either way (the -verify path checks exactly
+	// that against an un-instrumented in-process run).
+	var reg *telemetry.Registry
+	if o.debugAddr != "" || rec != nil {
+		reg = telemetry.NewRegistry()
+	}
+	if o.debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(o.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("debug listening on %s\n", dbg.Addr())
+	}
+	cfg.Telemetry = reg
+
 	bank, err := wire.DialConfig(addrs, cfg.Variant, int32(cfg.Params().Capacity()), g.NumServers(),
-		wire.BankConfig{Sessions: o.sessions, Pipeline: o.pipeline})
+		wire.BankConfig{Sessions: o.sessions, Pipeline: o.pipeline, Telemetry: reg})
 	if err != nil {
 		return err
 	}
@@ -205,6 +228,11 @@ func run(rf cli.RunFlags, o clientOpts) error {
 				if o.verify {
 					ref := cfg
 					ref.Seed = seed
+					// The reference run stays un-instrumented: the comparison
+					// then doubles as a telemetry-on vs -off equivalence
+					// check, and the reference rounds don't inflate the
+					// client's own counters.
+					ref.Telemetry = nil
 					want, err := ref.Run(g)
 					if err != nil {
 						errs[s] = fmt.Errorf("trial %d in-process reference run: %w", t, err)
@@ -303,6 +331,7 @@ func run(rf cli.RunFlags, o clientOpts) error {
 	tput := metrics.Throughput{Requests: totalReqs, Elapsed: wallElapsed, Cores: cores}
 	fmt.Printf("\nall trials: %v\n            %v (wall)\n", lsum, tput)
 	rec.Note("wire", fmt.Sprintf("latency %v; throughput %v", lsum, tput))
+	rec.Telemetry("wire", "client", reg.Snapshot())
 	if rec != nil {
 		if err := rec.Err(); err != nil {
 			return err

@@ -36,6 +36,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "stream machine-readable JSON records to stdout instead of rendered tables: one object per protocol trial, tracked round (per-round series of the tracked experiments and the per-epoch rounds of E12/E15-E17), table row and note")
 		maxN     = flag.Int("max-n", 0, "override the scaling experiments' size ceiling: lower trims the sweep, higher raises it (up to n=16777216); in -quick mode a raised ceiling appends just that probe point (0 = per-experiment defaults)")
 		listOnly = flag.Bool("list", false, "list the available experiments and exit")
+		progress = flag.Bool("progress", false, "print live per-point progress lines (completed trials, rate, ETA) to stderr")
 	)
 	flag.Parse()
 
@@ -65,6 +66,11 @@ func main() {
 	}
 	if *jsonOut {
 		cfg.Records = sweep.NewRecorder(os.Stdout)
+	}
+	if *progress {
+		// Stderr keeps the lines clear of the tables / -json stream on
+		// stdout; the sweep engine supplies the backing registry.
+		cfg.Progress = os.Stderr
 	}
 	if *maxN < 0 {
 		fmt.Fprintln(os.Stderr, "saer-experiments: -max-n must be non-negative")

@@ -11,6 +11,13 @@
 //
 //	saer-server -listen 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
 //	saer-server -shards 3   # three loopback shards on kernel-picked ports
+//	saer-server -shards 3 -debug-addr 127.0.0.1:6060   # + /metrics and pprof
+//
+// -debug-addr serves live observability over HTTP: Prometheus-text
+// /metrics with the per-shard saer_server_* series and the stock
+// net/http/pprof handlers under /debug/pprof/. Telemetry is pure
+// observation — the protocol bytes and results are identical with or
+// without it.
 //
 // The bound addresses are printed one per line ("shard I listening on
 // ADDR"), then "ready"; scripts wait for that line before dialing. On
@@ -27,13 +34,15 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
 func main() {
 	var (
-		listen = flag.String("listen", "", "comma-separated listen addresses, one per shard (overrides -shards)")
-		shards = flag.Int("shards", 1, "number of loopback shards on kernel-picked ports when -listen is empty")
+		listen    = flag.String("listen", "", "comma-separated listen addresses, one per shard (overrides -shards)")
+		shards    = flag.Int("shards", 1, "number of loopback shards on kernel-picked ports when -listen is empty")
+		debugAddr = flag.String("debug-addr", "", "serve Prometheus /metrics and net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -58,13 +67,26 @@ func main() {
 		os.Exit(1)
 	}
 
-	set, err := wire.StartSet(addrs)
+	var reg *telemetry.Registry
+	if *debugAddr != "" {
+		reg = telemetry.NewRegistry()
+	}
+	set, err := wire.StartSetTelemetry(addrs, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "saer-server:", err)
 		os.Exit(1)
 	}
 	for i, addr := range set.Addrs() {
 		fmt.Printf("shard %d listening on %s\n", i, addr)
+	}
+	if *debugAddr != "" {
+		dbg, err := telemetry.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "saer-server:", err)
+			os.Exit(1)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug listening on %s\n", dbg.Addr())
 	}
 	fmt.Println("ready")
 

@@ -1,5 +1,17 @@
 package bipartite
 
+import "repro/internal/telemetry"
+
+// RowCacheMetrics are the optional telemetry counters of a RowCache:
+// hits and misses count CachedRow outcomes, evictions counts rows
+// dropped by Invalidate (including the implicit Invalidate at the start
+// of every Cache). All fields may be nil — the counters are
+// nil-receiver-safe — so a zero value attached to a cache only counts
+// what the caller wired up.
+type RowCacheMetrics struct {
+	Hits, Misses, Evictions *telemetry.Counter
+}
+
 // RowCache memoizes regenerated neighborhood rows of an implicit
 // Topology for a fixed set of clients. It exists for the late rounds of
 // a protocol run on a regenerative topology: once the active frontier
@@ -29,7 +41,13 @@ type RowCache struct {
 	// version is the topology version the cached rows were regenerated
 	// from (see bipartite.Versioned). Static topologies leave it zero.
 	version uint64
+	// met, when non-nil, receives hit/miss/eviction counts (SetMetrics).
+	met *RowCacheMetrics
 }
+
+// SetMetrics attaches telemetry counters to the cache. Call it before
+// concurrent CachedRow readers start; a nil argument detaches.
+func (c *RowCache) SetMetrics(m *RowCacheMetrics) { c.met = m }
 
 // NewRowCache returns an empty cache for a topology with numClients
 // clients.
@@ -67,7 +85,13 @@ func (c *RowCache) Cache(t Topology, clients []int32) {
 func (c *RowCache) CachedRow(v int) ([]int32, bool) {
 	i := c.idx[v]
 	if i < 0 {
+		if c.met != nil {
+			c.met.Misses.Inc(v)
+		}
 		return nil, false
+	}
+	if c.met != nil {
+		c.met.Hits.Inc(v)
 	}
 	return c.buf[c.off[i]:c.off[i+1]], true
 }
@@ -87,6 +111,9 @@ func (c *RowCache) ValidFor(v uint64) bool { return c.version == v }
 
 // Invalidate drops every cached row, keeping the allocations for reuse.
 func (c *RowCache) Invalidate() {
+	if c.met != nil && len(c.cached) > 0 {
+		c.met.Evictions.Add(0, int64(len(c.cached)))
+	}
 	for _, v := range c.cached {
 		c.idx[v] = -1
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // Policy selects what happens to the load a failing server carried.
@@ -74,6 +75,12 @@ type SchedulerConfig struct {
 	// EpochOutcome (for the -json round records). It does not change
 	// any outcome.
 	TrackRounds bool
+	// Telemetry, when non-nil, receives the scenario-level counters
+	// (saer_churn_* series: epochs, churn mutations, failed-load policy
+	// actions). The per-epoch protocol runs are instrumented separately
+	// through Protocol.Telemetry. Pure observation: scenario outcomes
+	// are bit-for-bit identical with or without it.
+	Telemetry *telemetry.Registry
 	// NewExecutor overrides how an epoch's protocol run executes: the
 	// scheduler calls it once with the scenario topology and the fully
 	// assembled per-epoch run configuration (InitialLoads/RequestCounts
@@ -210,6 +217,7 @@ type Scheduler struct {
 	pending  int // balls awaiting re-injection (PolicyReinject)
 	capacity int
 	presBuf  []int32
+	tel      *schedTel
 }
 
 // NewScheduler returns a Scheduler for topo. The seed determines the
@@ -229,6 +237,7 @@ func NewScheduler(topo *Topology, cfg SchedulerConfig, seed uint64) (*Scheduler,
 		reqs:     make([]int, topo.NumClients()),
 		seq:      rng.New(seed ^ 0xc5ee71a52d9c0d4b),
 		capacity: cfg.Protocol.Params().Capacity(),
+		tel:      newSchedTel(cfg.Telemetry, cfg.Policy),
 	}
 	proto := cfg.Protocol
 	proto.InitialLoads = s.loads
@@ -277,8 +286,8 @@ func (s *Scheduler) Step(e EpochEvent) (*EpochOutcome, error) {
 	}
 
 	// 2. Failures release the crashed servers' carried load per policy.
+	released := 0
 	if len(e.Fail) > 0 {
-		released := 0
 		for _, u := range e.Fail {
 			if !s.topo.FailedServer(int(u)) {
 				released += s.loads[u]
@@ -345,6 +354,7 @@ func (s *Scheduler) Step(e EpochEvent) (*EpochOutcome, error) {
 	}
 	reinjected := s.distributePending()
 	demand += reinjected
+	s.tel.countEpoch(&e, released, reinjected)
 
 	burnedAtStart := 0
 	for u, l := range s.loads {

@@ -1,0 +1,61 @@
+package churn
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// schedTel bundles the scenario-level instruments a Scheduler bumps once
+// per epoch: the epoch counter, the churn mutation counters, and the
+// failed-load policy counter (labeled with the configured policy, so a
+// drop scenario and a reinject scenario stay distinct series under one
+// registry). A nil *schedTel is the disabled state; Step guards every
+// touch with one nil test. The protocol runs inside each epoch carry
+// their own instruments via SchedulerConfig.Protocol.Telemetry.
+type schedTel struct {
+	epochs     *telemetry.Counter
+	arrivals   *telemetry.Counter
+	departures *telemetry.Counter
+	rewires    *telemetry.Counter
+	fails      *telemetry.Counter
+	recovers   *telemetry.Counter
+	// policyBalls counts the balls released by server failures and handled
+	// under the configured policy (dropped, queued for re-injection, or
+	// pushed onto survivors).
+	policyBalls *telemetry.Counter
+	// reinjected counts the balls actually re-issued through present
+	// clients' spare capacity (PolicyReinject's delivery side).
+	reinjected *telemetry.Counter
+}
+
+func newSchedTel(reg *telemetry.Registry, policy Policy) *schedTel {
+	if reg == nil {
+		return nil
+	}
+	return &schedTel{
+		epochs:      reg.Counter("saer_churn_epochs_total"),
+		arrivals:    reg.Counter("saer_churn_arrivals_total"),
+		departures:  reg.Counter("saer_churn_departures_total"),
+		rewires:     reg.Counter("saer_churn_rewires_total"),
+		fails:       reg.Counter("saer_churn_server_failures_total"),
+		recovers:    reg.Counter("saer_churn_server_recoveries_total"),
+		policyBalls: reg.Counter(fmt.Sprintf(`saer_churn_policy_balls_total{policy="%s"}`, policy)),
+		reinjected:  reg.Counter("saer_churn_reinjected_balls_total"),
+	}
+}
+
+// countEpoch records one epoch's churn volumes.
+func (t *schedTel) countEpoch(e *EpochEvent, released, reinjected int) {
+	if t == nil {
+		return
+	}
+	t.epochs.Inc(0)
+	t.arrivals.Add(0, int64(len(e.Arrive)))
+	t.departures.Add(0, int64(len(e.Depart)))
+	t.rewires.Add(0, int64(len(e.Rewire)))
+	t.fails.Add(0, int64(len(e.Fail)))
+	t.recovers.Add(0, int64(len(e.Recover)))
+	t.policyBalls.Add(0, int64(released))
+	t.reinjected.Add(0, int64(reinjected))
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bipartite"
 	"repro/internal/engine"
+	"repro/internal/telemetry"
 )
 
 // Config is the single validated configuration surface of a protocol
@@ -66,6 +67,11 @@ type Config struct {
 	// RequestCounts gives each client its own ball count in [0, D];
 	// length must equal the client count when non-nil.
 	RequestCounts []int
+
+	// Telemetry, when non-nil, receives live run counters and phase
+	// histograms (see Options.Telemetry and internal/telemetry). Results
+	// are bit-for-bit independent of it.
+	Telemetry *telemetry.Registry
 }
 
 // NewConfig returns a Config for one protocol execution with every
@@ -97,6 +103,7 @@ func ConfigFrom(variant Variant, p Params, o Options) Config {
 		TrackAssignments:    o.TrackAssignments,
 		InitialLoads:        o.InitialLoads,
 		RequestCounts:       o.RequestCounts,
+		Telemetry:           o.Telemetry,
 	}
 }
 
@@ -120,6 +127,7 @@ func (c Config) Options() Options {
 		TrackAssignments:    c.TrackAssignments,
 		InitialLoads:        c.InitialLoads,
 		RequestCounts:       c.RequestCounts,
+		Telemetry:           c.Telemetry,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/engine"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // Driver is the transport-agnostic client side of the protocol: it draws
@@ -88,6 +89,10 @@ type Driver struct {
 	// the bank's decision is applied) — the wire client hooks its latency
 	// and throughput capture here.
 	observer RoundObserver
+
+	// tel is the run's telemetry bundle (nil when Config.Telemetry is
+	// unset); shared instrument names with the Runner, see runTel.
+	tel *runTel
 }
 
 // RoundObserver receives one callback per completed round with the
@@ -147,6 +152,8 @@ func NewDriver(topo bipartite.Topology, cfg Config, bank ServerBank) (*Driver, e
 		partialAcc:   make([]int64, workers),
 		partialAlive: make([]int64, workers),
 	}
+	d.tel = newRunTel(cfg.Telemetry)
+	instrumentPool(cfg.Telemetry, pool)
 	d.tally = engine.NewTally(pool, m)
 	d.tally.BeginStamped()
 	d.shardTouched = make([][]int32, d.router.Shards())
@@ -273,13 +280,18 @@ func (dr *Driver) Run() (*Result, error) {
 	round := 0
 	for aliveTotal > 0 && round < maxRounds {
 		round++
+		sp := telemetry.StartSpan(dr.tel.drawHist())
 		sent := dr.phaseClients()
+		sp.End()
 		dec, err := dr.decideRound(int32(round))
 		if err != nil {
 			return nil, fmt.Errorf("core: round %d: %w", round, err)
 		}
 		newlyBurned := len(dec.NewlyBurned)
+		sp = telemetry.StartSpan(dr.tel.updateHist())
 		accepted, stillAlive := dr.phaseUpdateClients(int32(round))
+		sp.End()
+		dr.tel.countRound(sent, accepted)
 
 		burnedTotal += newlyBurned
 		res.TotalRequests += sent
@@ -389,6 +401,7 @@ func (dr *Driver) phaseClients() int64 {
 // windows, so the result is the globally sorted batch — and ships it to
 // the bank. Decision stamps are applied to the accepted/burned state.
 func (dr *Driver) decideRound(round int32) (RoundDecision, error) {
+	sp := telemetry.StartSpan(dr.tel.foldHist())
 	shards := dr.router.Shards()
 	dr.pool.StealRangeGrain(shards, 1, func(_, _, lo, hi int) {
 		for s := lo; s < hi; s++ {
@@ -406,7 +419,10 @@ func (dr *Driver) decideRound(round int32) (RoundDecision, error) {
 			dr.countsArg = append(dr.countsArg, merged[u])
 		}
 	}
+	sp.End()
+	sp = telemetry.StartSpan(dr.tel.decideHist())
 	dec, err := dr.bank.DecideRound(dr.touched, dr.countsArg)
+	sp.End()
 	if err != nil {
 		return dec, err
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bipartite"
 	"repro/internal/engine"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // EngineMode selects how the round loop iterates over entities.
@@ -185,6 +186,10 @@ type Runner struct {
 	// previous run's state.
 	initialized bool
 
+	// tel is the run's telemetry bundle (nil when Options.Telemetry is
+	// unset); see runTel for the disabled-path contract.
+	tel *runTel
+
 	// Per-worker partial accumulators, reused every round.
 	partialSent     []int64
 	partialAccepted []int64
@@ -256,6 +261,8 @@ func NewRunner(topo bipartite.Topology, variant Variant, p Params, opts Options)
 	if opts.TrackAssignments {
 		r.assignments = make([][]int32, n)
 	}
+	r.tel = newRunTel(opts.Telemetry)
+	instrumentPool(opts.Telemetry, pool)
 	knobs := resolveKnobs(opts, n, topo.MaxClientDegree(), m, pool.Workers(), rowRegenerating(topo))
 	r.switchDivisor = knobs.SparseSwitchDivisor
 	r.steal = knobs.Steal
@@ -550,6 +557,9 @@ func (r *Runner) beginRound() {
 		len(r.frontier)*r.maxDeg <= rowCacheEdgeBudget(r.topo.NumClients()) {
 		if r.rowCache == nil {
 			r.rowCache = bipartite.NewRowCache(r.topo.NumClients())
+			if r.tel != nil {
+				r.rowCache.SetMetrics(r.tel.rowCache)
+			}
 		}
 		r.rowCache.Cache(r.topo, r.frontier)
 		r.rowCache.SetVersion(r.topoVersion)
@@ -620,20 +630,29 @@ func (r *Runner) Run() *Result {
 	for aliveTotal > 0 && round < maxRounds {
 		round++
 		r.beginRound()
+		sp := telemetry.StartSpan(r.tel.drawHist())
 		sent := r.phaseClients()
+		sp.End()
+		sp = telemetry.StartSpan(r.tel.foldHist())
 		var touched []int32
 		switch {
 		case r.router != nil:
 			// Sharded rounds (dense and sparse alike) have no merge step:
 			// phase B folds each shard's route lanes into the stamped
-			// merged view itself.
+			// merged view itself (timed under the decide span).
 		case r.sparse:
 			touched = r.tally.SparseMerge()
 		default:
 			r.tally.Merge(r.pool)
 		}
+		sp.End()
+		sp = telemetry.StartSpan(r.tel.decideHist())
 		newlyBurned, saturated := r.phaseServers(touched)
+		sp.End()
+		sp = telemetry.StartSpan(r.tel.updateHist())
 		accepted, stillAlive := r.phaseUpdateClients()
+		sp.End()
+		r.tel.countRound(sent, accepted)
 
 		burnedTotal += newlyBurned
 		res.TotalRequests += sent

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/bipartite"
+	"repro/internal/telemetry"
 )
 
 // RoundStats records the observable quantities of a single round. The
@@ -170,6 +171,13 @@ type Options struct {
 	// [0, D]; the slice length must equal the number of clients. When nil,
 	// every client has exactly D balls.
 	RequestCounts []int
+	// Telemetry, when non-nil, receives live counters and per-phase
+	// latency histograms from the run (rounds/requests totals, phase
+	// spans, steal and row-cache counters; see internal/telemetry).
+	// Pure observation: results are bit-for-bit identical whether it is
+	// set or nil — the telemetry equivalence suite pins this — and the
+	// nil path costs one pointer test per phase per round.
+	Telemetry *telemetry.Registry
 }
 
 // String summarizes the result in one line.

@@ -15,6 +15,8 @@ package engine
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Pool executes data-parallel phases over a fixed number of workers.
@@ -32,6 +34,14 @@ type Pool struct {
 	// steal schedule (stall one worker and force the others to steal its
 	// chunks) and assert that results stay bit-for-bit identical.
 	ChunkDelay func(worker, chunk int)
+
+	// Steals and StealFails, when non-nil, count successful chunk steals
+	// and empty victim scans (a worker going idle because every deque was
+	// drained). Both sit on the steal slow path only — the pop fast path
+	// never touches them — so instrumented and uninstrumented pools run
+	// the hot loop identically. Set them before the first StealRange call
+	// (core wires them from Options.Telemetry).
+	Steals, StealFails *telemetry.Counter
 
 	// Reusable per-worker reduction accumulators: ReduceInt64 and
 	// ReduceMaxFloat64 run once or more per round, and a fresh

@@ -198,8 +198,10 @@ func (p *Pool) stealInto(w int) bool {
 		victim := &p.deques[(w+off)%p.workers]
 		if lo, hi, ok := victim.stealHalf(); ok {
 			p.deques[w].reset(lo, hi)
+			p.Steals.Inc(w)
 			return true
 		}
 	}
+	p.StealFails.Inc(w)
 	return false
 }

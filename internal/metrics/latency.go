@@ -24,6 +24,16 @@ type LatencySummary struct {
 // SummarizeLatencies computes the summary of the samples (order is not
 // preserved; the slice is sorted in place). Zero samples yield the zero
 // summary.
+//
+// Quantile method: linear interpolation between closest ranks (the
+// "R-7" estimator, numpy's default) — quantile p of n sorted samples is
+// read at position p·(n−1), interpolating between the two neighboring
+// samples when that position is fractional. A single sample is every
+// quantile of itself, duplicated samples interpolate to the duplicated
+// value, and P50/P90/P99 are exact data points whenever p·(n−1) lands
+// on an integer rank. The arithmetic is delegated to stats.Percentile
+// so duration series and the float64 experiment series report identical
+// quantiles.
 func SummarizeLatencies(samples []time.Duration) LatencySummary {
 	s := LatencySummary{Count: len(samples)}
 	if len(samples) == 0 {

@@ -32,9 +32,39 @@ func TestSummarizeLatencies(t *testing.T) {
 	}
 }
 
-func TestSummarizeLatenciesEmpty(t *testing.T) {
-	if s := SummarizeLatencies(nil); s != (LatencySummary{}) {
-		t.Errorf("empty summary = %+v", s)
+// TestSummarizeLatenciesEdgeCases pins the degenerate inputs the R-7
+// interpolation must handle: no samples (zero summary), one sample
+// (every quantile is that sample), and all-duplicate samples (the
+// interpolation between equal neighbors is the value itself).
+func TestSummarizeLatenciesEdgeCases(t *testing.T) {
+	const ms = time.Millisecond
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		want    LatencySummary
+	}{
+		{"empty-nil", nil, LatencySummary{}},
+		{"empty-slice", []time.Duration{}, LatencySummary{}},
+		{"single", []time.Duration{7 * ms},
+			LatencySummary{Count: 1, Mean: 7 * ms, P50: 7 * ms, P90: 7 * ms, P99: 7 * ms, Max: 7 * ms}},
+		{"duplicates", []time.Duration{3 * ms, 3 * ms, 3 * ms, 3 * ms},
+			LatencySummary{Count: 4, Mean: 3 * ms, P50: 3 * ms, P90: 3 * ms, P99: 3 * ms, Max: 3 * ms}},
+		{"two-samples", []time.Duration{10 * ms, 20 * ms},
+			// p·(n−1) over two points interpolates linearly between them.
+			LatencySummary{Count: 2, Mean: 15 * ms, P50: 15 * ms, P90: 19 * ms,
+				P99: time.Duration(19.9 * float64(ms)), Max: 20 * ms}},
+		{"unsorted-duplicates", []time.Duration{5 * ms, 1 * ms, 5 * ms, 1 * ms, 5 * ms},
+			// Sorted: [1,1,5,5,5]; p50 at rank 2 is exact, p90 at 3.6 and
+			// p99 at 3.96 interpolate between equal neighbors.
+			LatencySummary{Count: 5, Mean: time.Duration(3.4 * float64(ms)),
+				P50: 5 * ms, P90: 5 * ms, P99: 5 * ms, Max: 5 * ms}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SummarizeLatencies(tc.samples); got != tc.want {
+				t.Errorf("SummarizeLatencies = %+v, want %+v", got, tc.want)
+			}
+		})
 	}
 }
 

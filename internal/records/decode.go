@@ -9,13 +9,14 @@ import (
 
 // knownTypes is the set of record types this schema revision defines.
 var knownTypes = map[string]bool{
-	TypeSchema: true,
-	TypeTable:  true,
-	TypeTrial:  true,
-	TypeRound:  true,
-	TypeRow:    true,
-	TypeNote:   true,
-	TypeShard:  true,
+	TypeSchema:    true,
+	TypeTable:     true,
+	TypeTrial:     true,
+	TypeRound:     true,
+	TypeRow:       true,
+	TypeNote:      true,
+	TypeShard:     true,
+	TypeTelemetry: true,
 }
 
 // Decoder reads a record stream line by line.
@@ -26,6 +27,15 @@ type Decoder struct {
 	// record, or SchemaVersion when the stream opens without one (the
 	// pre-version sweep streams).
 	Version string
+	// SkipUnknown makes Next silently drop records of unknown type
+	// instead of failing, counting them in Skipped. The strict default is
+	// right for consumers that must account for every record (the
+	// aggregator); SkipUnknown is for forward-compatible readers that
+	// only care about the types they understand and accept streams from
+	// future, type-adding schema revisions.
+	SkipUnknown bool
+	// Skipped counts the unknown-type records dropped under SkipUnknown.
+	Skipped int
 }
 
 // NewDecoder returns a Decoder over r. Lines can be long (a tracked
@@ -37,11 +47,12 @@ func NewDecoder(r io.Reader) *Decoder {
 }
 
 // Next returns the next record of the stream, or io.EOF when the stream
-// is exhausted. Unknown record types are an error — a consumer built
-// against this schema revision must not silently drop data it does not
-// understand — while unknown *fields* inside a known type are ignored,
-// which is what lets revision-1 decoders read streams from future
-// field-adding revisions.
+// is exhausted. Unknown record types are an error by default — a
+// consumer built against this schema revision must not silently drop
+// data it does not understand — unless SkipUnknown opted into dropping
+// (and counting) them. Unknown *fields* inside a known type are always
+// ignored, which is what lets revision-1 decoders read streams from
+// future field-adding revisions.
 func (d *Decoder) Next() (Record, error) {
 	for d.sc.Scan() {
 		d.line++
@@ -54,6 +65,10 @@ func (d *Decoder) Next() (Record, error) {
 			return Record{}, fmt.Errorf("records: line %d: %w", d.line, err)
 		}
 		if !knownTypes[rec.Type] {
+			if d.SkipUnknown {
+				d.Skipped++
+				continue
+			}
 			return Record{}, fmt.Errorf("records: line %d: unknown record type %q", d.line, rec.Type)
 		}
 		if rec.Type == TypeSchema {

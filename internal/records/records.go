@@ -22,6 +22,7 @@ import (
 	"strconv"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // SchemaVersion identifies the current record-schema revision. Revision 1
@@ -49,6 +50,11 @@ const (
 	// TypeShard is a wire-mode per-server-shard summary: the aggregator
 	// emits one per shard report before the folded trial record.
 	TypeShard = "shard"
+	// TypeTelemetry is one process's telemetry snapshot (counters, gauges
+	// and histograms from internal/telemetry): the wire client emits one
+	// at the end of a run, and the aggregator folds snapshots from many
+	// processes by summing matching series.
+	TypeTelemetry = "telemetry"
 )
 
 // Record is one line of the machine-readable output stream: the sweep
@@ -118,6 +124,11 @@ type Record struct {
 	Shard    *int `json:"shard,omitempty"`
 	ServerLo *int `json:"server_lo,omitempty"`
 	ServerHi *int `json:"server_hi,omitempty"`
+
+	// Telemetry snapshot (type "telemetry"): one process's registry
+	// contents. Source names the emitting process (e.g. "client").
+	Source    string              `json:"source,omitempty"`
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 }
 
 // Recorder streams Records as JSON lines to a writer. All emitters are
@@ -237,6 +248,16 @@ func (r *Recorder) RoundSeries(experiment, point string, trial, epoch int, round
 		}
 		r.Emit(rec)
 	}
+}
+
+// Telemetry records one process's telemetry snapshot. Nil snapshots
+// (a nil registry's Snapshot) are swallowed: an un-instrumented run
+// emits no telemetry record rather than an empty one.
+func (r *Recorder) Telemetry(experiment, source string, snap *telemetry.Snapshot) {
+	if r == nil || snap == nil {
+		return
+	}
+	r.Emit(Record{Type: TypeTelemetry, Experiment: experiment, Source: source, Telemetry: snap})
 }
 
 // Row records one rendered table row for a point.

@@ -6,8 +6,10 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // trackedResult builds a small result with a per-round series, the shape
@@ -141,6 +143,87 @@ func TestDecoderEOF(t *testing.T) {
 	d := NewDecoder(strings.NewReader(""))
 	if _, err := d.Next(); err != io.EOF {
 		t.Fatalf("empty stream must return io.EOF, got %v", err)
+	}
+}
+
+// TestTelemetryRecordRoundTrip pins the telemetry snapshot's journey
+// through the stream: a Recorder.Telemetry record decodes to the same
+// counters, gauges and histograms, and a nil snapshot emits nothing.
+func TestTelemetryRecordRoundTrip(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Counter("saer_rounds_total").Add(0, 12)
+	reg.Gauge("saer_server_open_conns").Set(3)
+	reg.Histogram(`saer_phase_seconds{phase="draw"}`).Observe(time.Millisecond)
+	snap := reg.Snapshot()
+
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	r.Telemetry("wire", "client", snap)
+	r.Telemetry("wire", "client", nil) // swallowed, not an empty record
+	if err := r.Err(); err != nil {
+		t.Fatalf("recorder error: %v", err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatalf("decoding: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d records, want 1 (nil snapshot must emit nothing)", len(got))
+	}
+	rec := got[0]
+	if rec.Type != TypeTelemetry || rec.Experiment != "wire" || rec.Source != "client" {
+		t.Fatalf("telemetry record header mismatch: %+v", rec)
+	}
+	if rec.Telemetry == nil || !reflect.DeepEqual(rec.Telemetry, snap) {
+		t.Fatalf("snapshot round-trip mismatch:\n got %+v\nwant %+v", rec.Telemetry, snap)
+	}
+}
+
+// TestDecoderSkipUnknown pins the forward-compatibility escape hatch: a
+// stream interleaving current records (including the telemetry type)
+// with record types from a future schema revision is an error for the
+// strict default — the aggregator must not silently drop data — while a
+// SkipUnknown decoder skips exactly the foreign records, counts them,
+// and still yields every known record in order.
+func TestDecoderSkipUnknown(t *testing.T) {
+	stream := `{"type":"schema","schema":"saer-records/v1"}
+{"type":"note","experiment":"E1","note":"first"}
+{"type":"hologram","experiment":"E1","shimmer":3}
+{"type":"telemetry","experiment":"wire","source":"client","telemetry":{"counters":{"saer_rounds_total":9}}}
+{"type":"quantum_trace","payload":[1,2,3]}
+{"type":"note","experiment":"E1","note":"last"}
+`
+	// Strict default: the first foreign type aborts the stream.
+	if _, err := ReadAll(strings.NewReader(stream)); err == nil ||
+		!strings.Contains(err.Error(), "unknown record type") {
+		t.Fatalf("strict decoder must reject future types, got %v", err)
+	}
+
+	d := NewDecoder(strings.NewReader(stream))
+	d.SkipUnknown = true
+	var got []Record
+	for {
+		rec, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("tolerant decoder failed: %v", err)
+		}
+		got = append(got, rec)
+	}
+	if d.Skipped != 2 {
+		t.Fatalf("Skipped = %d, want 2", d.Skipped)
+	}
+	if len(got) != 4 {
+		t.Fatalf("decoded %d known records, want 4: %+v", len(got), got)
+	}
+	if got[1].Note != "first" || got[3].Note != "last" {
+		t.Fatalf("known records out of order: %+v", got)
+	}
+	if got[2].Type != TypeTelemetry || got[2].Telemetry == nil ||
+		got[2].Telemetry.Counters["saer_rounds_total"] != 9 {
+		t.Fatalf("telemetry record lost in tolerant decode: %+v", got[2])
 	}
 }
 

@@ -9,7 +9,12 @@
 // this engine instead of hand-rolling its own sweep loop.
 package sweep
 
-import "runtime"
+import (
+	"io"
+	"runtime"
+
+	"repro/internal/telemetry"
+)
 
 // Config is the shared configuration of all experiment sweeps (the
 // experiments package aliases it as SuiteConfig).
@@ -42,6 +47,17 @@ type Config struct {
 	// row and note as the engine executes (see Recorder). Nil disables
 	// the stream; the Table output is unaffected either way.
 	Records *Recorder
+	// Telemetry, when non-nil, instruments every trial's protocol run
+	// (core round counters and phase histograms) plus the engine's own
+	// trial-completion counter (saer_trials_total). Results and tables
+	// are bit-for-bit identical with or without it.
+	Telemetry *telemetry.Registry
+	// Progress, when non-nil, receives live per-point progress lines
+	// (completed trials, rate, ETA) driven by the saer_trials_total
+	// counter — typically os.Stderr, so the lines never mix into a
+	// table or record stream on stdout. Run supplies a private registry
+	// when Progress is set and Telemetry is nil.
+	Progress io.Writer
 	// MaxN, when positive, overrides each scaling experiment's size
 	// ceiling in both directions: a lower value trims the sweep (bounding
 	// a run's time and memory), a higher value pushes it past the
@@ -89,6 +105,15 @@ func (c Config) UseImplicit(n int) bool {
 	default:
 		return n >= ImplicitSizeThreshold
 	}
+}
+
+// trialCounter returns the engine's trial-completion counter, or nil
+// (nil-receiver-safe) when telemetry is off.
+func (c Config) trialCounter() *telemetry.Counter {
+	if c.Telemetry == nil {
+		return nil
+	}
+	return c.Telemetry.Counter("saer_trials_total")
 }
 
 // TrialSeed derives a deterministic seed for (experiment, point, trial):

@@ -19,10 +19,12 @@ func forEachTrial(cfg Config, trials int, g bipartite.Topology, fn func(worker, 
 		return nil
 	}
 	errs := make([]error, trials)
+	done := cfg.trialCounter() // nil (and nil-receiver-safe) without telemetry
 	workers := concurrentTrials(cfg, trials, g)
 	if workers <= 1 {
 		for i := 0; i < trials; i++ {
 			errs[i] = fn(0, i)
+			done.Inc(0)
 		}
 	} else {
 		var next atomic.Int64
@@ -37,6 +39,7 @@ func forEachTrial(cfg Config, trials int, g bipartite.Topology, fn func(worker, 
 						return
 					}
 					errs[i] = fn(w, i)
+					done.Inc(w)
 				}
 			}(w)
 		}
@@ -107,6 +110,7 @@ func runPooledTrials(cfg Config, trials int, g bipartite.Topology, variant core.
 	// The Point grid still declares the (variant, params, options) triple;
 	// execution goes through the single validated core.Config surface.
 	rcfg := core.ConfigFrom(variant, params, opts)
+	rcfg.Telemetry = cfg.Telemetry
 	results := make([]*core.Result, trials)
 	runners := make([]*core.Runner, concurrentTrials(cfg, trials, g))
 	err := forEachTrial(cfg, trials, g, func(worker, i int) error {

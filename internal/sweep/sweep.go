@@ -2,11 +2,13 @@ package sweep
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/bipartite"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 )
 
 // Family enumerates the graph families the engine can build
@@ -237,6 +239,11 @@ type Spec struct {
 // returned table is identical for every Config.TrialParallelism — the
 // engine inherits the determinism contract of runPooledTrials.
 func Run(cfg Config, spec Spec) (*Table, error) {
+	if cfg.Progress != nil && cfg.Telemetry == nil {
+		// The progress reporter reads the trial-completion counter, so a
+		// progress-only run still needs a registry to bump.
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
 	t := NewTable(spec.ID, spec.Title, spec.Columns...)
 	cfg.Records.TableHeader(t.ID, t.Title, t.Columns)
 	outs := make([]*Outcome, 0, len(spec.Points))
@@ -299,6 +306,11 @@ func runPoint(cfg Config, expID string, p *Point, g bipartite.Topology) (*Outcom
 	}
 	out := &Outcome{Point: p, Topology: g}
 	seed := func(trial int) uint64 { return p.trialSeed(cfg, trial) }
+	if cfg.Progress != nil {
+		rep := telemetry.NewReporter(cfg.Progress, fmt.Sprintf("%s %s", expID, p.ID),
+			cfg.trialCounter(), int64(trials), time.Second)
+		defer rep.Stop()
+	}
 	if p.Run != nil {
 		custom := make([]any, trials)
 		err := forEachTrial(cfg, trials, g, func(_, trial int) error {

@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// A DebugServer serves /metrics (Prometheus text format) and the stock
+// net/http/pprof endpoints for one registry. It exists so saer-server
+// and saer-client can expose live internals behind -debug-addr without
+// polluting http.DefaultServeMux or taking a dependency on a metrics
+// stack.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug binds addr (e.g. "127.0.0.1:0") and serves /metrics plus
+// /debug/pprof/* on it in a background goroutine until Close.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listening on %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone; nothing to do but drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{
+		ln: ln,
+		// No write timeout: pprof profile/trace streams for the
+		// caller-chosen ?seconds= duration.
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+	}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return d, nil
+}
+
+// Addr returns the bound address (resolves ":0" to the real port).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (d *DebugServer) Close() error { return d.srv.Close() }

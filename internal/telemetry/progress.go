@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// A Reporter prints periodic rate/ETA lines for one monotone counter —
+// the live face of `saer-experiments -progress`. It reads the same
+// counter the sweep engine bumps, so the printed rate is the measured
+// trial-completion rate, not an estimate layered on top.
+type Reporter struct {
+	w        io.Writer
+	label    string
+	c        *Counter
+	base     int64 // counter value when the reporter started
+	total    int64 // work items expected this point (0 = unknown)
+	start    time.Time
+	interval time.Duration
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewReporter starts printing "<label>: done/total (rate, ETA)" lines
+// to w every interval until Stop. total is the number of items the
+// counter is expected to advance by; 0 suppresses the ETA. A nil
+// counter or nil writer yields an inert reporter.
+func NewReporter(w io.Writer, label string, c *Counter, total int64, interval time.Duration) *Reporter {
+	r := &Reporter{
+		w: w, label: label, c: c, total: total,
+		start: time.Now(), interval: interval,
+		stop: make(chan struct{}),
+	}
+	if w == nil || c == nil {
+		return r
+	}
+	r.base = c.Value()
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+func (r *Reporter) loop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	var last int64 = -1
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			done := r.c.Value() - r.base
+			if done == last {
+				continue // nothing moved; don't spam identical lines
+			}
+			last = done
+			r.print(done)
+		}
+	}
+}
+
+func (r *Reporter) print(done int64) {
+	elapsed := time.Since(r.start).Seconds()
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed
+	}
+	if r.total > 0 {
+		eta := "?"
+		if rate > 0 && done < r.total {
+			eta = (time.Duration(float64(r.total-done)/rate*1e9) * time.Nanosecond).Round(time.Second).String()
+		} else if done >= r.total {
+			eta = "0s"
+		}
+		fmt.Fprintf(r.w, "%s: %d/%d trials (%.1f/s, ETA %s)\n", r.label, done, r.total, rate, eta)
+		return
+	}
+	fmt.Fprintf(r.w, "%s: %d trials (%.1f/s)\n", r.label, done, rate)
+}
+
+// Stop halts the ticker and prints one final line with the closing
+// numbers (so short points that never crossed a tick still report).
+func (r *Reporter) Stop() {
+	if r.w == nil || r.c == nil {
+		return
+	}
+	close(r.stop)
+	r.wg.Wait()
+	r.print(r.c.Value() - r.base)
+}

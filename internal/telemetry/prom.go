@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// splitName separates an instrument name into its family (the metric
+// name proper) and the embedded label set, e.g.
+// `saer_wire_rtt_seconds{shard="3"}` → ("saer_wire_rtt_seconds",
+// `shard="3"`). Names without a '{' have an empty label set.
+func splitName(name string) (family, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// joinLabels renders a label set with an extra label appended (used for
+// the histogram `le` label).
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus renders every instrument in the Prometheus text
+// exposition format, deterministically ordered (families sorted, one
+// # TYPE line per family). Durations are rendered in seconds per the
+// Prometheus base-unit convention. A nil registry renders nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+
+	writeFamily := func(names []string, typ string, line func(name string)) {
+		seen := make(map[string]bool)
+		for _, name := range names {
+			fam, _ := splitName(name)
+			if !seen[fam] {
+				seen[fam] = true
+				fmt.Fprintf(bw, "# TYPE %s %s\n", fam, typ)
+			}
+			line(name)
+		}
+	}
+
+	// Group counters and gauges so all names of one family sit under its
+	// single # TYPE line even when sorting interleaves families.
+	counterNames := sortedNames(r.counters)
+	sortByFamily(counterNames)
+	writeFamily(counterNames, "counter", func(name string) {
+		fmt.Fprintf(bw, "%s %d\n", name, r.counters[name].Value())
+	})
+
+	gaugeNames := sortedNames(r.gauges)
+	sortByFamily(gaugeNames)
+	writeFamily(gaugeNames, "gauge", func(name string) {
+		fmt.Fprintf(bw, "%s %d\n", name, r.gauges[name].Value())
+	})
+
+	histNames := sortedNames(r.hists)
+	sortByFamily(histNames)
+	writeFamily(histNames, "histogram", func(name string) {
+		h := r.hists[name]
+		fam, labels := splitName(name)
+		var cum int64
+		for i, bound := range h.bounds {
+			cum += atomic.LoadInt64(&h.counts[i])
+			le := strconv.FormatFloat(float64(bound)/1e9, 'g', -1, 64)
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", fam, joinLabels(labels, `le="`+le+`"`), cum)
+		}
+		cum += atomic.LoadInt64(&h.counts[len(h.bounds)])
+		fmt.Fprintf(bw, "%s_bucket%s %d\n", fam, joinLabels(labels, `le="+Inf"`), cum)
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		fmt.Fprintf(bw, "%s_sum%s %g\n", fam, suffix, float64(atomic.LoadInt64(&h.sum))/1e9)
+		fmt.Fprintf(bw, "%s_count%s %d\n", fam, suffix, atomic.LoadInt64(&h.count))
+	})
+
+	return bw.Flush()
+}
+
+// sortByFamily re-sorts names so that all members of a family are
+// adjacent (family first, then the full name as tie-break); plain
+// lexicographic order would split a family when an unlabeled name of
+// another family sorts between its labeled variants.
+func sortByFamily(names []string) {
+	sort.Slice(names, func(i, j int) bool {
+		fi, _ := splitName(names[i])
+		fj, _ := splitName(names[j])
+		if fi != fj {
+			return fi < fj
+		}
+		return names[i] < names[j]
+	})
+}

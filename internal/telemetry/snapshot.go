@@ -1,0 +1,127 @@
+package telemetry
+
+import "sync/atomic"
+
+// A Snapshot is the JSON-portable freeze of a registry, emitted into
+// the record stream (records.TypeTelemetry) so saer-aggregate can fold
+// the telemetry of many processes. Field names are part of the records
+// schema — extend, never rename.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// A HistogramSnapshot freezes one histogram. Counts are per-bucket
+// (not cumulative); the last entry is the +Inf overflow bucket, so
+// len(Counts) == len(BoundsNanos)+1.
+type HistogramSnapshot struct {
+	Count       int64   `json:"count"`
+	SumNanos    int64   `json:"sum_nanos"`
+	BoundsNanos []int64 `json:"bounds_nanos,omitempty"`
+	Counts      []int64 `json:"counts,omitempty"`
+}
+
+// Snapshot freezes the registry's current values. Instruments still
+// being bumped concurrently are read atomically per cell, so the
+// snapshot is consistent per instrument but not across instruments —
+// fine for progress reporting and post-run folding. A nil registry
+// yields a nil snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			hs := HistogramSnapshot{
+				Count:       atomic.LoadInt64(&h.count),
+				SumNanos:    atomic.LoadInt64(&h.sum),
+				BoundsNanos: h.bounds,
+				Counts:      make([]int64, len(h.counts)),
+			}
+			for i := range h.counts {
+				hs.Counts[i] = atomic.LoadInt64(&h.counts[i])
+			}
+			s.Histograms[name] = hs
+		}
+	}
+	return s
+}
+
+// Merge folds other into s: counters and gauges sum (a gauge like open
+// sessions summed across processes is the fleet total), histograms sum
+// bucket-wise when the bounds agree and fall back to count/sum-only
+// when they don't (different build generations). Merging nil is a
+// no-op.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if s == nil || other == nil {
+		return
+	}
+	for name, v := range other.Counters {
+		if s.Counters == nil {
+			s.Counters = make(map[string]int64)
+		}
+		s.Counters[name] += v
+	}
+	for name, v := range other.Gauges {
+		if s.Gauges == nil {
+			s.Gauges = make(map[string]int64)
+		}
+		s.Gauges[name] += v
+	}
+	for name, oh := range other.Histograms {
+		if s.Histograms == nil {
+			s.Histograms = make(map[string]HistogramSnapshot)
+		}
+		sh, ok := s.Histograms[name]
+		if !ok {
+			// Deep-copy so later merges don't alias other's slices.
+			sh = HistogramSnapshot{
+				Count:       oh.Count,
+				SumNanos:    oh.SumNanos,
+				BoundsNanos: append([]int64(nil), oh.BoundsNanos...),
+				Counts:      append([]int64(nil), oh.Counts...),
+			}
+			s.Histograms[name] = sh
+			continue
+		}
+		sh.Count += oh.Count
+		sh.SumNanos += oh.SumNanos
+		if boundsEqual(sh.BoundsNanos, oh.BoundsNanos) && len(sh.Counts) == len(oh.Counts) {
+			for i := range sh.Counts {
+				sh.Counts[i] += oh.Counts[i]
+			}
+		} else {
+			sh.BoundsNanos, sh.Counts = nil, nil
+		}
+		s.Histograms[name] = sh
+	}
+}
+
+func boundsEqual(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

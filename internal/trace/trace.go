@@ -1,6 +1,18 @@
 // Package trace exports protocol executions as CSV and JSON so that
 // external tools (spreadsheets, gnuplot, pandas) can plot the per-round
 // series and load distributions produced by the experiments.
+//
+// Trace is the post-hoc corner of the repository's observability
+// triangle (see DESIGN.md, "Observability"): it serializes a finished
+// core.Result — the per-round series a tracked run accumulated and the
+// final server load histogram — after the run is over, for exactly one
+// execution at a time. It observes nothing while the protocol executes
+// and keeps no schema versioning or stream framing of its own. For the
+// durable, versioned multi-run stream that saer-aggregate folds, use
+// internal/records; for live in-process counters and phase histograms
+// readable mid-run (Prometheus /metrics, -progress), use
+// internal/telemetry. Both of those layers feed files and endpoints;
+// this one feeds plotting tools.
 package trace
 
 import (

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // SplitWindows partitions m servers into shard windows [lo, hi), one per
@@ -58,6 +59,11 @@ type BankConfig struct {
 	// Tests lower it to exercise frame spilling without gigabyte
 	// payloads; production callers leave it zero.
 	FrameLimit int
+	// Telemetry, when non-nil, receives per-shard client instruments:
+	// RTT histograms, tx/rx byte counters, redials and spilled frames
+	// (saer_wire_* series, labeled by shard). Pure observation — the
+	// protocol bytes and results are identical with or without it.
+	Telemetry *telemetry.Registry
 }
 
 func (c BankConfig) withDefaults() BankConfig {
@@ -126,6 +132,7 @@ func DialConfig(addrs []string, variant core.Variant, capacity int32, m int, cfg
 			lo:    int32(windows[i][0]),
 			hi:    int32(windows[i][1]),
 			slots: make(chan struct{}, cfg.Pipeline),
+			tel:   newShardTel(cfg.Telemetry, i),
 		})
 	}
 	for s := 0; s < cfg.Sessions; s++ {

@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // The pipelined client connection. One shardConn carries every session's
@@ -41,6 +43,12 @@ type pendingCall struct {
 	session uint32
 	parse   func(payload []byte) error
 	done    chan error
+
+	// rtt, when non-nil, receives the call's round trip in wait; start is
+	// stamped at the top of begin, so the observation includes pipeline
+	// queueing, the write, the server's work and the read back.
+	rtt   *telemetry.Histogram
+	start time.Time
 }
 
 func newPendingCall(want byte, session uint32, parse func([]byte) error) *pendingCall {
@@ -140,8 +148,15 @@ type shardConn struct {
 
 	slots chan struct{}
 
+	// tel, when non-nil, is this shard's telemetry bundle (DialConfig
+	// builds it from BankConfig.Telemetry before any dial).
+	tel *shardTel
+
 	wmu sync.Mutex // serializes dialing and frame writes; never taken by the reader
 	lc  *liveConn
+	// dialed records that at least one dial attempt happened (wmu held),
+	// so later attempts count as redials.
+	dialed bool
 }
 
 // ensureLocked (wmu held) makes sure a live epoch exists, dialing with
@@ -166,6 +181,10 @@ func (sc *shardConn) ensureLocked() error {
 			base := cfg.RedialBackoff << (attempt - 1)
 			time.Sleep(base + time.Duration(rand.Int64N(int64(base))))
 		}
+		if sc.dialed && sc.tel != nil {
+			sc.tel.redials.Inc(0)
+		}
+		sc.dialed = true
 		lc, err := sc.dialOnce()
 		if err == nil {
 			sc.lc = lc
@@ -190,6 +209,9 @@ func (sc *shardConn) dialOnce() (*liveConn, error) {
 	}
 	bw := bufio.NewWriterSize(conn, 1<<16)
 	fc := &frameConn{r: bufio.NewReaderSize(conn, 1<<16), w: bw, limit: sc.bank.cfg.FrameLimit}
+	if sc.tel != nil {
+		fc.tx, fc.rx, fc.spills = sc.tel.tx, sc.tel.rx, sc.tel.spills
+	}
 	b := sc.bank
 	var hello []byte
 	hello = appendU32(hello, helloMagic)
@@ -232,6 +254,10 @@ func (sc *shardConn) dialOnce() (*liveConn, error) {
 // cleanup. The payload may be reused as soon as begin returns.
 func (sc *shardConn) begin(session uint32, reqType byte, payload []byte, replyType byte, parse func([]byte) error) *pendingCall {
 	pc := newPendingCall(replyType, session, parse)
+	if sc.tel != nil {
+		pc.rtt = sc.tel.rtt
+		pc.start = time.Now()
+	}
 	sc.slots <- struct{}{}
 	sc.wmu.Lock()
 	if err := sc.ensureLocked(); err != nil {
@@ -267,6 +293,9 @@ func (sc *shardConn) begin(session uint32, reqType byte, payload []byte, replyTy
 // pipeline slot.
 func (sc *shardConn) wait(pc *pendingCall) error {
 	err := <-pc.done
+	if pc.rtt != nil && err == nil {
+		pc.rtt.Observe(time.Since(pc.start))
+	}
 	<-sc.slots
 	return err
 }

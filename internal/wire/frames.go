@@ -46,6 +46,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"repro/internal/telemetry"
 )
 
 // Message types.
@@ -126,6 +128,12 @@ type frameConn struct {
 	msg  []byte  // reused reassembly buffer for spilled messages
 	rhdr [4]byte // read-side length prefix scratch
 	whdr [9]byte // write-side header scratch (length + type + session)
+
+	// Optional telemetry, set once at construction: tx/rx count bytes on
+	// the socket (length prefixes included), spills counts continuation
+	// fragments written. The counters are nil-receiver-safe, so the
+	// un-instrumented path is one nil test per frame.
+	tx, rx, spills *telemetry.Counter
 }
 
 func newFrameConn(rw io.ReadWriter) *frameConn {
@@ -145,6 +153,7 @@ func (c *frameConn) writeFrame(typ byte, session uint32, chunk []byte) error {
 			return err
 		}
 	}
+	c.tx.Add(0, int64(len(c.whdr)+len(chunk)))
 	return nil
 }
 
@@ -158,6 +167,7 @@ func (c *frameConn) writeMessage(typ byte, session uint32, payload []byte) error
 		if err := c.writeFrame(typ|frameCont, session, payload[:maxChunk]); err != nil {
 			return err
 		}
+		c.spills.Inc(0)
 		payload = payload[maxChunk:]
 	}
 	return c.writeFrame(typ, session, payload)
@@ -181,6 +191,7 @@ func (c *frameConn) readFrame() (typ byte, session uint32, chunk []byte, err err
 	if _, err = io.ReadFull(c.r, c.rbuf); err != nil {
 		return 0, 0, nil, err
 	}
+	c.rx.Add(0, int64(len(c.rhdr)+len(c.rbuf)))
 	typ = c.rbuf[0]
 	session = binary.LittleEndian.Uint32(c.rbuf[1:])
 	return typ, session, c.rbuf[frameHeaderSize:], nil

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Server is one server-shard listener: it owns no protocol configuration
@@ -28,6 +29,12 @@ import (
 // FIFO reply matching depends on.
 type Server struct {
 	ln net.Listener
+
+	// tel, when non-nil, is the shard's telemetry bundle. Write-once via
+	// SetTelemetry before Serve starts accepting (StartSetTelemetry does
+	// this between Listen and Serve), so connection goroutines read it
+	// without locking.
+	tel *serverTel
 
 	mu     sync.Mutex
 	report Report
@@ -55,6 +62,16 @@ func Listen(addr string) (*Server, error) {
 
 // Addr returns the listener's bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetTelemetry attaches per-shard server instruments from reg (nil
+// detaches): open connection/session gauges, round and request
+// counters, the decide-latency histogram and the transport byte/spill
+// counters (saer_server_* series, labeled with shard when shard >= 0).
+// Call it before Serve; connections accepted earlier keep the bundle
+// they started with.
+func (s *Server) SetTelemetry(reg *telemetry.Registry, shard int) {
+	s.tel = newServerTel(reg, shard)
+}
 
 // SetFrameLimit lowers the per-frame size cap for connections accepted
 // after the call — a test knob for exercising oversized-batch spilling
@@ -89,6 +106,9 @@ func (s *Server) Serve() error {
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
 		s.mu.Unlock()
+		if s.tel != nil {
+			s.tel.openConns.Add(1)
+		}
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -97,6 +117,9 @@ func (s *Server) Serve() error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				conn.Close()
+				if s.tel != nil {
+					s.tel.openConns.Add(-1)
+				}
 			}()
 			s.serveConn(conn)
 		}()
@@ -163,10 +186,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		bw:       bw,
 		sessions: make(map[uint32]*connSession),
 	}
+	if s.tel != nil {
+		st.fc.tx, st.fc.rx, st.fc.spills = s.tel.tx, s.tel.rx, s.tel.spills
+	}
 	if err := s.runConn(st); err != nil && !errors.Is(err, net.ErrClosed) {
 		// Best effort: the connection may already be gone.
 		st.fc.writeMessage(msgError, st.sid, []byte(err.Error()))
 		bw.Flush()
+	}
+	if s.tel != nil && len(st.sessions) > 0 {
+		s.tel.openSessions.Add(-int64(len(st.sessions)))
 	}
 }
 
@@ -241,6 +270,9 @@ func (s *Server) handleHello(st *connState, sid uint32, payload []byte) error {
 	s.mu.Lock()
 	s.report.Sessions++
 	s.mu.Unlock()
+	if s.tel != nil {
+		s.tel.openSessions.Add(1)
+	}
 	return st.fc.writeMessage(msgHelloOK, sid, nil)
 }
 
@@ -296,12 +328,18 @@ func (s *Server) handleRound(st *connState, ses *connSession, payload []byte) er
 			j++
 		}
 	}
+	elapsed := time.Since(start)
 	s.mu.Lock()
 	s.report.Rounds++
 	s.report.Requests += received
 	s.report.Accepted += acceptedReqs
-	s.report.DecideNanos += uint64(time.Since(start).Nanoseconds())
+	s.report.DecideNanos += uint64(elapsed.Nanoseconds())
 	s.mu.Unlock()
+	if s.tel != nil {
+		s.tel.rounds.Inc(0)
+		s.tel.requests.Add(0, int64(received))
+		s.tel.decide.Observe(elapsed)
+	}
 
 	st.out = st.out[:0]
 	st.out = appendI32Slice(st.out, acc)
@@ -344,13 +382,21 @@ type ServerSet struct {
 
 // StartSet listens on every addr and serves each on its own goroutine.
 func StartSet(addrs []string) (*ServerSet, error) {
+	return StartSetTelemetry(addrs, nil)
+}
+
+// StartSetTelemetry is StartSet with per-shard server instruments
+// registered on reg (nil behaves like StartSet). The bundle is attached
+// between Listen and Serve, so every accepted connection is counted.
+func StartSetTelemetry(addrs []string, reg *telemetry.Registry) (*ServerSet, error) {
 	ss := &ServerSet{errs: make([]error, len(addrs))}
-	for _, addr := range addrs {
+	for i, addr := range addrs {
 		srv, err := Listen(addr)
 		if err != nil {
 			ss.Close()
 			return nil, err
 		}
+		srv.SetTelemetry(reg, i)
 		ss.servers = append(ss.servers, srv)
 	}
 	for i, srv := range ss.servers {

@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+)
+
+// Wire-layer telemetry. Both halves of the transport carry an optional
+// instrument bundle, resolved once at construction (client: DialConfig
+// via BankConfig.Telemetry; server: SetTelemetry/StartSetTelemetry) so
+// the per-frame hot paths never touch the registry. All instruments are
+// nil-receiver-safe, so an un-instrumented connection pays one nil test
+// per frame and nothing per byte.
+//
+// Per-shard series embed the shard index as a Prometheus label
+// (`saer_wire_rtt_seconds{shard="2"}`); saer-aggregate's snapshot fold
+// sums matching names across processes.
+
+// shardLabel renders name with a shard label, or unlabeled for shard<0.
+func shardLabel(name string, shard int) string {
+	if shard < 0 {
+		return name
+	}
+	return fmt.Sprintf(`%s{shard="%d"}`, name, shard)
+}
+
+// shardTel is the client-side bundle of one shard connection.
+type shardTel struct {
+	// rtt is the per-call round trip: stamped in begin (before the
+	// request bytes are written), observed in wait when the reply has
+	// been parsed — so it includes queueing on the pipeline, the write,
+	// the server's decide and the read back.
+	rtt     *telemetry.Histogram
+	tx      *telemetry.Counter
+	rx      *telemetry.Counter
+	spills  *telemetry.Counter
+	redials *telemetry.Counter
+}
+
+func newShardTel(reg *telemetry.Registry, shard int) *shardTel {
+	if reg == nil {
+		return nil
+	}
+	return &shardTel{
+		rtt:     reg.Histogram(shardLabel("saer_wire_rtt_seconds", shard)),
+		tx:      reg.Counter(shardLabel("saer_wire_tx_bytes_total", shard)),
+		rx:      reg.Counter(shardLabel("saer_wire_rx_bytes_total", shard)),
+		spills:  reg.Counter(shardLabel("saer_wire_spilled_frames_total", shard)),
+		redials: reg.Counter(shardLabel("saer_wire_redials_total", shard)),
+	}
+}
+
+// serverTel is the server-side bundle of one shard listener.
+type serverTel struct {
+	openConns    *telemetry.Gauge
+	openSessions *telemetry.Gauge
+	rounds       *telemetry.Counter
+	requests     *telemetry.Counter
+	decide       *telemetry.Histogram
+	tx           *telemetry.Counter
+	rx           *telemetry.Counter
+	spills       *telemetry.Counter
+}
+
+func newServerTel(reg *telemetry.Registry, shard int) *serverTel {
+	if reg == nil {
+		return nil
+	}
+	return &serverTel{
+		openConns:    reg.Gauge(shardLabel("saer_server_open_conns", shard)),
+		openSessions: reg.Gauge(shardLabel("saer_server_open_sessions", shard)),
+		rounds:       reg.Counter(shardLabel("saer_server_rounds_total", shard)),
+		requests:     reg.Counter(shardLabel("saer_server_requests_total", shard)),
+		decide:       reg.Histogram(shardLabel("saer_server_decide_seconds", shard)),
+		tx:           reg.Counter(shardLabel("saer_server_tx_bytes_total", shard)),
+		rx:           reg.Counter(shardLabel("saer_server_rx_bytes_total", shard)),
+		spills:       reg.Counter(shardLabel("saer_server_spilled_frames_total", shard)),
+	}
+}

@@ -1,13 +1,20 @@
 #!/bin/sh
 # wire-smoke.sh — end-to-end smoke of the wire service mode: build the
-# three service binaries, start a 3-shard server, run the load-generator
-# client at n=2^12 with -verify (which asserts the wire run reproduces
-# the in-process core.Run result bit-for-bit), fold the client's record
-# stream with the aggregator, and tear everything down. The whole thing
-# runs under a timeout so a wedged handshake fails the job instead of
-# hanging it.
+# three service binaries, start a 3-shard server with its telemetry
+# debug listener, run the load-generator client at n=2^12 with -verify
+# (which asserts the wire run reproduces the in-process core.Run result
+# bit-for-bit), scrape the server's /metrics and /debug/pprof/profile
+# endpoints while it is still serving, fold the client's record stream
+# (trials + telemetry snapshot) with the aggregator, and tear everything
+# down. The whole thing runs under a timeout so a wedged handshake fails
+# the job instead of hanging it.
 #
 # Usage: ./scripts/wire-smoke.sh [n]   (default n = 4096)
+#
+# Set WIRE_SMOKE_OUT to a directory to keep the run's observability
+# artifacts (client records, folded stream, /metrics scrape, server
+# log) after the temp dir is cleaned up — CI uploads that directory as
+# a workflow artifact.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,13 +28,19 @@ cleanup() {
         kill -TERM "$server_pid" 2>/dev/null || true
         wait "$server_pid" 2>/dev/null || true
     fi
+    if [ -n "${WIRE_SMOKE_OUT:-}" ]; then
+        mkdir -p "$WIRE_SMOKE_OUT"
+        for f in run.jsonl folded.jsonl metrics.prom server.log; do
+            [ -f "$work/$f" ] && cp "$work/$f" "$WIRE_SMOKE_OUT/" || true
+        done
+    fi
     rm -rf "$work"
 }
 trap cleanup EXIT INT TERM
 
 go build -o "$work/bin/" ./cmd/saer-server ./cmd/saer-client ./cmd/saer-aggregate
 
-"$work/bin/saer-server" -shards 3 >"$work/server.log" 2>&1 &
+"$work/bin/saer-server" -shards 3 -debug-addr 127.0.0.1:0 >"$work/server.log" 2>&1 &
 server_pid=$!
 
 # Wait (max ~10s) for the server's "ready" line before dialing.
@@ -47,8 +60,22 @@ while ! grep -q '^ready$' "$work/server.log" 2>/dev/null; do
     sleep 0.1
 done
 
-addrs="$(awk '/listening on/ {print $NF}' "$work/server.log" | paste -sd, -)"
-echo "wire-smoke: 3 shards at $addrs"
+addrs="$(awk '/^shard .* listening on/ {print $NF}' "$work/server.log" | paste -sd, -)"
+debug_addr="$(awk '/^debug listening on/ {print $NF}' "$work/server.log")"
+echo "wire-smoke: 3 shards at $addrs, debug at $debug_addr"
+if [ -z "$debug_addr" ]; then
+    echo "wire-smoke: server printed no debug address" >&2
+    exit 1
+fi
+
+# The endpoint must be scrapeable before any round has run (all-zero
+# counters render fine), and a short CPU profile must stream.
+curl -fsS "http://$debug_addr/metrics" >/dev/null
+curl -fsS "http://$debug_addr/debug/pprof/profile?seconds=1" >"$work/profile.pb.gz"
+if [ ! -s "$work/profile.pb.gz" ]; then
+    echo "wire-smoke: empty pprof profile" >&2
+    exit 1
+fi
 
 # -workers 4 exercises the parallel client phase, -sessions 2 the
 # multiplexed trial fan-out; -verify asserts each trial is still
@@ -56,12 +83,28 @@ echo "wire-smoke: 3 shards at $addrs"
 "$work/bin/saer-client" -connect "$addrs" -n "$n" -c 4 -trials 4 \
     -workers 4 -sessions 2 -verify -records "$work/run.jsonl"
 
+# Scrape the live /metrics while the server still holds the run's
+# counters: the round counter must be non-zero after 4 trials.
+curl -fsS "http://$debug_addr/metrics" >"$work/metrics.prom"
+rounds="$(awk '/^saer_server_rounds_total/ {sum += $2} END {print sum + 0}' "$work/metrics.prom")"
+if [ "$rounds" -le 0 ]; then
+    echo "wire-smoke: /metrics reports zero server rounds after the run" >&2
+    cat "$work/metrics.prom" >&2
+    exit 1
+fi
+echo "wire-smoke: /metrics reports $rounds server round calls"
+
 "$work/bin/saer-aggregate" -json "$work/folded.jsonl" "$work/run.jsonl"
 
-# The folded stream must carry one record per shard.
+# The folded stream must carry one record per shard, and the client's
+# telemetry snapshot must have survived the fold.
 shards="$(grep -c '"type":"shard"' "$work/folded.jsonl")"
 if [ "$shards" -ne 3 ]; then
     echo "wire-smoke: expected 3 folded shard records, got $shards" >&2
+    exit 1
+fi
+if ! grep -q '"type":"telemetry"' "$work/folded.jsonl"; then
+    echo "wire-smoke: no telemetry record in the folded stream" >&2
     exit 1
 fi
 
